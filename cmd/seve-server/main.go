@@ -1,0 +1,121 @@
+// Command seve-server runs a SEVE world server over TCP.
+//
+// It hosts a Manhattan People world; clients (cmd/seve-client) connect,
+// receive the initial world, and submit moves. The server executes no
+// game logic — it timestamps actions, computes transitive closures, and
+// relays (Section III of the paper).
+//
+// The workload world is derived deterministically from -seed and the
+// size flags, so clients started with the same flags share the same
+// walls without any geometry crossing the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"seve/internal/core"
+	"seve/internal/durable"
+	"seve/internal/manhattan"
+	"seve/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7777", "listen address")
+		seed    = flag.Int64("seed", 1, "world seed (must match clients)")
+		size    = flag.Float64("size", 1000, "world side length")
+		walls   = flag.Int("walls", 10_000, "number of walls")
+		avatars = flag.Int("avatars", 64, "maximum number of clients/avatars")
+		mode    = flag.String("mode", "infobound", "protocol level: basic|incomplete|firstbound|infobound")
+		rtt     = flag.Float64("rtt", 100, "assumed client RTT in ms (bound models)")
+		data    = flag.String("data", "", "directory for the durability journal and checkpoints (empty = in-memory only)")
+		verbose = flag.Bool("v", false, "log client joins and drops")
+	)
+	flag.Parse()
+
+	wcfg := manhattan.DefaultConfig()
+	wcfg.Seed = *seed
+	wcfg.Width, wcfg.Height = *size, *size
+	wcfg.NumWalls = *walls
+	wcfg.NumAvatars = *avatars
+	w := manhattan.NewWorld(wcfg)
+	manhattan.RegisterWire(w)
+
+	cfg := core.DefaultConfig()
+	cfg.RTTMs = *rtt
+	cfg.MaxSpeed = wcfg.Speed
+	cfg.DefaultRadius = wcfg.EffectRange
+	cfg.Threshold = 1.5 * wcfg.Visibility
+	switch *mode {
+	case "basic":
+		cfg.Mode = core.ModeBasic
+	case "incomplete":
+		cfg.Mode = core.ModeIncomplete
+	case "firstbound":
+		cfg.Mode = core.ModeFirstBound
+	case "infobound":
+		cfg.Mode = core.ModeInfoBound
+	default:
+		fmt.Fprintf(os.Stderr, "seve-server: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	init := w.InitialState(0)
+	scfg := transport.ServerConfig{Core: cfg, Init: init}
+	if *verbose {
+		scfg.Logf = log.Printf
+	}
+	if *data != "" {
+		// Recover the world committed by previous runs, then journal on.
+		recovered, upTo, err := durable.Recover(*data)
+		if err != nil {
+			log.Fatalf("seve-server: recovering %s: %v", *data, err)
+		}
+		if upTo > 0 {
+			// Overlay recovered values onto the generated world: objects
+			// never written keep their seeded tuples.
+			for _, id := range recovered.IDs() {
+				v, _ := recovered.Get(id)
+				init.Set(id, v)
+			}
+			log.Printf("seve-server: recovered %d objects through action %d from %s",
+				recovered.Len(), upTo, *data)
+		}
+		store, err := durable.Open(*data)
+		if err != nil {
+			log.Fatalf("seve-server: opening journal: %v", err)
+		}
+		defer store.Close()
+		scfg.Durable = store
+	}
+	srv := transport.NewServer(scfg)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("seve-server: %v", err)
+	}
+	log.Printf("seve-server: %s world %gx%g, %d walls, mode %s, listening on %s",
+		mapName(*seed), *size, *size, *walls, cfg.Mode, l.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		log.Printf("seve-server: shutting down (installed %d actions)", srv.Installed())
+		srv.Close()
+		l.Close()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("seve-server: %v", err)
+	}
+}
+
+func mapName(seed int64) string {
+	return fmt.Sprintf("manhattan-people/%d", seed)
+}

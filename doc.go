@@ -1,0 +1,17 @@
+// Package seve is a from-scratch Go implementation of SEVE — the
+// Scalable Engine for Virtual Environments from "Scalability for Virtual
+// Worlds" (Gupta, Demers, Gehrke, Unterbrunner, White; ICDE 2009) — plus
+// every substrate its evaluation depends on: the action-based
+// consistency protocols (Algorithms 1–7), the multiversion world-state
+// database, the Central/Broadcast/RING baseline architectures, the
+// Manhattan People workload, a deterministic discrete-event network
+// simulator standing in for the paper's EMULab testbed, and a real TCP
+// deployment.
+//
+// Start with README.md for the architecture tour, DESIGN.md for the
+// paper-to-module map, and EXPERIMENTS.md for the reproduced evaluation.
+// The library lives under internal/; the runnable entry points are
+// cmd/seve-bench (regenerates every figure and table), cmd/seve-server
+// and cmd/seve-client (real network deployment), and the programs under
+// examples/.
+package seve

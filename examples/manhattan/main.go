@@ -1,0 +1,75 @@
+// Manhattan People: the paper's full evaluation workload (Section V-A2),
+// run through the discrete-event simulator under all four architectures
+// so the scalability story is visible in one screen of output.
+//
+// 48 clients walk a 1000×1000 world with 20 000 walls at the paper's
+// Table I parameters (238 ms latency, 100 Kbps links, one move per
+// 300 ms, per-move cost pinned to the measured 7.44 ms). Compare the
+// response-time and traffic columns: the Central server and the
+// Broadcast clients saturate (48 × 7.44 ms > 300 ms), SEVE stays at one
+// round trip, and RING matches SEVE's speed but diverges from the true
+// world state.
+//
+// Run with:
+//
+//	go run ./examples/manhattan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seve/internal/experiments"
+	"seve/internal/metrics"
+)
+
+func main() {
+	const clients = 48
+	archs := []experiments.Arch{
+		experiments.ArchCentral,
+		experiments.ArchBroadcast,
+		experiments.ArchRing,
+		experiments.ArchSEVE,
+	}
+
+	table := metrics.Table{
+		Title: fmt.Sprintf("Manhattan People, %d clients, 100k-wall cost calibration (7.44 ms/move)", clients),
+		Header: []string{
+			"architecture", "mean-resp-ms", "p95-resp-ms",
+			"traffic-kb", "server-busy-ms", "busiest-client-ms",
+			"dropped", "divergent-objects",
+		},
+	}
+
+	for _, arch := range archs {
+		rc := experiments.DefaultRunConfig(arch, clients)
+		rc.MovesPerClient = 50
+		rc.World.NumWalls = 20_000
+		// Pin the paper's measured per-move cost directly.
+		rc.World.BaseCostMs = 7.44
+		rc.World.PerWallCostMs = 0
+		rc.SlackMs = 40_000
+		res, err := experiments.Run(rc)
+		if err != nil {
+			log.Fatalf("manhattan: %s: %v", arch, err)
+		}
+		table.AddRow(
+			arch.String(),
+			metrics.Ms(res.Response.Mean()),
+			metrics.Ms(res.Response.Percentile(95)),
+			metrics.KB(res.TotalBytes),
+			metrics.Ms(res.ServerBusyMs),
+			metrics.Ms(res.MaxClientBusyMs),
+			fmt.Sprintf("%d", res.Dropped),
+			fmt.Sprintf("%d", res.Divergence),
+		)
+	}
+	fmt.Println(table.String())
+	fmt.Println("Reading the table:")
+	fmt.Println("  - Central: all compute lands on the server (server-busy-ms) and its")
+	fmt.Println("    queue explodes — the Figure 6 breakdown past ~32 clients.")
+	fmt.Println("  - Broadcast: every client does the server's work (busiest-client-ms)")
+	fmt.Println("    and traffic is quadratic.")
+	fmt.Println("  - RING: fast, but divergent-objects > 0 — replicas silently disagree.")
+	fmt.Println("  - SEVE: one-round-trip responses, near-central traffic, zero divergence.")
+}

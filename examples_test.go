@@ -1,0 +1,40 @@
+package seve_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end-to-end. Each example
+// asserts its own invariants and panics on violation (non-zero exit), so
+// a passing run is a behavioural check, not just a compile check.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn the go tool")
+	}
+	examples := []struct {
+		pkg  string
+		want string // a line the output must contain
+	}{
+		{"./examples/quickstart", "Alice now sees [111]"},
+		{"./examples/scrying", "fighter 3 (correct)"},
+		{"./examples/philosophers", "philosophers got both forks"},
+		{"./examples/trading", "Gold and items conserved"},
+		{"./examples/interest", "wing-beats"},
+		{"./examples/manhattan", "SEVE"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(strings.TrimPrefix(ex.pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", ex.pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), ex.want) {
+				t.Fatalf("output missing %q:\n%s", ex.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module seve
+
+go 1.22

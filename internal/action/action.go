@@ -1,0 +1,168 @@
+// Package action defines the action abstraction at the heart of the
+// paper's protocols: "an action consists of a read set RS(a), a write set
+// WS(a) and the code that needs to be executed to compute values for
+// WS(a) given values for RS(a)" (Section III-C), with the convention
+// RS(a) ⊇ WS(a).
+//
+// Actions are deterministic: applying the same action to the same values
+// of its read set always produces the same writes. That determinism is
+// what lets every client replay the serialized action stream and arrive
+// at the same stable state (Theorem 1), and what makes the optimistic /
+// stable result comparison of Algorithm 1 meaningful.
+package action
+
+import (
+	"fmt"
+
+	"seve/internal/geom"
+	"seve/internal/world"
+)
+
+// ClientID identifies a client program. The server is not a client;
+// server-generated blind writes use OriginServer.
+type ClientID int32
+
+// OriginServer marks actions fabricated by the server (blind writes).
+const OriginServer ClientID = -1
+
+// ID uniquely identifies an action across the system: the originating
+// client plus a client-local sequence number.
+type ID struct {
+	Client ClientID
+	Seq    uint32
+}
+
+// String formats the id for diagnostics.
+func (id ID) String() string { return fmt.Sprintf("a%d.%d", id.Client, id.Seq) }
+
+// Kind discriminates action types on the wire; applications register
+// their kinds with the wire codec.
+type Kind uint16
+
+// KindBlindWrite is reserved for server-generated blind writes.
+const KindBlindWrite Kind = 0
+
+// Action is a unit of world-state change. Implementations must be
+// deterministic and must confine their accesses to the declared sets:
+// every object read must be in ReadSet and every object written must be
+// in WriteSet. The engines verify this in strict mode.
+//
+// Apply executes the action's code against tx. If the action detects a
+// fatal conflict it must perform no writes and return false — "it detects
+// a fatal conflict and behaves as a no-op to simulate aborting"
+// (Section III-A, following Bayou).
+type Action interface {
+	// ID returns the action's globally unique identity.
+	ID() ID
+	// Kind returns the wire discriminator.
+	Kind() Kind
+	// ReadSet returns RS(a), declared before execution.
+	ReadSet() world.IDSet
+	// WriteSet returns WS(a) ⊆ RS(a), declared before execution.
+	WriteSet() world.IDSet
+	// Apply executes against tx and reports whether the action committed
+	// (false = no-op abort).
+	Apply(tx *world.Tx) bool
+	// MarshalBody encodes the action's parameters (not its identity,
+	// which the envelope carries).
+	MarshalBody() []byte
+}
+
+// Spatial is implemented by actions with a bounded area of influence —
+// "a sphere centered at the point p̄A and radius rA" (Section III-D). The
+// First Bound and Information Bound models require it; actions without it
+// are conservatively treated as affecting everyone.
+type Spatial interface {
+	// Influence returns the action's maximum area of influence.
+	Influence() geom.Circle
+}
+
+// Moving is optionally implemented by directed actions (arrows,
+// projectiles) to enable the area-culling optimization of Section IV-B.
+type Moving interface {
+	// Motion returns the velocity vector v̄M of the action's influence
+	// point, in world units per millisecond.
+	Motion() geom.Vec
+}
+
+// Classed is optionally implemented to support inconsequential action
+// elimination (Section IV-A): clients subscribe to interest classes, and
+// the server skips pushing actions of classes a client is not interested
+// in. Class 0 is "always interesting".
+type Classed interface {
+	// InterestClass returns the action's class bit (1..63); the server
+	// tests it against each client's subscription mask.
+	InterestClass() uint8
+}
+
+// Result is the observable effect of evaluating an action against some
+// state: whether it committed, and the writes it performed. Algorithm 1
+// compares the optimistic result v against the stable result u; equality
+// of Results is that comparison.
+type Result struct {
+	OK     bool
+	Writes []world.Write
+}
+
+// Equal reports whether two results are identical effects.
+func (r Result) Equal(o Result) bool {
+	if r.OK != o.OK || len(r.Writes) != len(o.Writes) {
+		return false
+	}
+	for i := range r.Writes {
+		if r.Writes[i].ID != o.Writes[i].ID || !r.Writes[i].Val.Equal(o.Writes[i].Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the result.
+func (r Result) Clone() Result {
+	c := Result{OK: r.OK, Writes: make([]world.Write, len(r.Writes))}
+	for i, w := range r.Writes {
+		c.Writes[i] = world.Write{ID: w.ID, Val: w.Val.Clone()}
+	}
+	return c
+}
+
+// Eval runs a against a view through a fresh transaction and packages the
+// outcome as a Result. If the action aborts, any writes it buffered
+// before detecting the conflict are discarded.
+func Eval(a Action, view world.View) Result {
+	tx := world.NewTx(view)
+	ok := a.Apply(tx)
+	if !ok {
+		return Result{OK: false}
+	}
+	return Result{OK: true, Writes: tx.Writes()}
+}
+
+// CheckAccess verifies that an executed transaction stayed within the
+// action's declared sets; the engines call it in strict mode to catch
+// application bugs that would silently break the closure analysis.
+func CheckAccess(a Action, tx *world.Tx) error {
+	rs, ws := a.ReadSet(), a.WriteSet()
+	for _, id := range tx.ReadSet() {
+		if !rs.Contains(id) {
+			return fmt.Errorf("action %v read object %d outside declared RS %v", a.ID(), id, rs)
+		}
+	}
+	for _, id := range tx.WriteSet() {
+		if !ws.Contains(id) {
+			return fmt.Errorf("action %v wrote object %d outside declared WS %v", a.ID(), id, ws)
+		}
+	}
+	return nil
+}
+
+// Envelope wraps an action with its serialization metadata. Seq is the
+// server-assigned position in the global queue ("a unique order number
+// pos(a) that is a's position in the queue", Algorithm 2); it is zero
+// until the server stamps it. Serial positions start at 1 so that
+// position 0 can denote the initial world state in multiversion reads.
+type Envelope struct {
+	Seq    uint64
+	Origin ClientID
+	Act    Action
+}

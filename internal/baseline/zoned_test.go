@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"testing"
+
+	"seve/internal/action"
+	"seve/internal/geom"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+func TestZoneOfTiling(t *testing.T) {
+	g := NewZoneGrid(100, 100, 2, initWorld(1))
+	if g.Zones() != 4 {
+		t.Fatalf("zones = %d, want 4", g.Zones())
+	}
+	cases := []struct {
+		p    geom.Vec
+		zone int
+	}{
+		{geom.Vec{X: 10, Y: 10}, 0},
+		{geom.Vec{X: 60, Y: 10}, 1},
+		{geom.Vec{X: 10, Y: 60}, 2},
+		{geom.Vec{X: 60, Y: 60}, 3},
+		// Out-of-range positions clamp to edge tiles.
+		{geom.Vec{X: -5, Y: -5}, 0},
+		{geom.Vec{X: 500, Y: 500}, 3},
+	}
+	for _, c := range cases {
+		if got := g.ZoneOf(c.p); got != c.zone {
+			t.Errorf("ZoneOf(%v) = %d, want %d", c.p, got, c.zone)
+		}
+	}
+	// Degenerate grid.
+	g1 := NewZoneGrid(100, 100, 0, initWorld(1))
+	if g1.Zones() != 1 {
+		t.Fatalf("perRow 0 should clamp to 1 zone, got %d", g1.Zones())
+	}
+}
+
+func TestZoneServerExecutesAndGossips(t *testing.T) {
+	init := initWorld(2)
+	g := NewZoneGrid(100, 100, 2, init)
+	g.RegisterClient(1)
+	g.RegisterClient(2)
+
+	a := &addAction{id: action.ID{Client: 1, Seq: 1}, rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 10}
+	out := g.Server(0).HandleSubmit(1, &wire.Submit{Env: action.Envelope{Origin: 1, Act: a}})
+
+	if len(out.Executed) != 1 {
+		t.Fatalf("executed = %d", len(out.Executed))
+	}
+	// Origin gets a Completion; the other client a Batch; peers one update.
+	var gotCompletion, gotBatch bool
+	for _, rep := range out.Replies {
+		switch rep.Msg.(type) {
+		case *wire.Completion:
+			if rep.To != 1 {
+				t.Fatalf("completion to %d", rep.To)
+			}
+			gotCompletion = true
+		case *wire.Batch:
+			if rep.To != 2 {
+				t.Fatalf("batch to %d", rep.To)
+			}
+			gotBatch = true
+		}
+	}
+	if !gotCompletion || !gotBatch {
+		t.Fatalf("replies incomplete: completion=%v batch=%v", gotCompletion, gotBatch)
+	}
+	if len(out.PeerUpdates) != 1 {
+		t.Fatalf("peer updates = %d", len(out.PeerUpdates))
+	}
+	// A peer installing the gossip converges on the value.
+	g.Server(3).HandlePeerUpdate(out.PeerUpdates[0].(*wire.Batch))
+	v, _ := g.Server(3).State().Get(1)
+	if v[0] != 11 {
+		t.Fatalf("peer replica = %v, want 11", v)
+	}
+	if g.Server(0).Executed() != 1 || g.Server(3).Executed() != 0 {
+		t.Fatal("execution counters wrong")
+	}
+	if g.Server(0).Zone() != 0 {
+		t.Fatal("zone index wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sort"
+
+	"seve/internal/action"
+	"seve/internal/geom"
+	"seve/internal/wire"
+)
+
+// Tick runs the First Bound push cycle (Section III-D): "at regular
+// intervals of ω·RTT time, the server sends to each client C all actions
+// submitted in the previous ω·RTT that could possibly affect any of C's
+// future actions". The transport adapter calls Tick every
+// Config.PushIntervalMs milliseconds in ModeFirstBound and above.
+//
+// Eligibility of action A for client C is Equation (1):
+//
+//	‖p̄A − p̄C‖ ≤ 2s·(1+ω)·RTT + rC + rA
+//
+// refined by area culling (Section IV-B) for actions that carry a
+// velocity vector, and by interest-class elimination (Section IV-A) when
+// enabled. Actions already sent to C — including everything C received
+// in closure replies — are skipped via the sent(a) bookkeeping shared
+// with Algorithm 6.
+func (s *Server) Tick(nowMs float64) ServerOutput {
+	var out ServerOutput
+	if s.cfg.Mode < ModeFirstBound {
+		return out
+	}
+	if s.cfg.HybridRelay {
+		s.hybridTick(nowMs, &out)
+		return out
+	}
+	windowStart := s.lastPushMs
+	s.lastPushMs = nowMs
+
+	// Deterministic client order: map iteration order would randomize
+	// reply ordering and, through link serialization, the whole
+	// simulation timeline.
+	cids := make([]action.ClientID, 0, len(s.clients))
+	for cid := range s.clients {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, cid := range cids {
+		ci := s.clients[cid]
+		var seeds []int
+		for i, e := range s.queue {
+			if e.stampedMs <= windowStart || e.stampedMs > nowMs {
+				continue
+			}
+			if _, already := e.sent[cid]; already {
+				continue
+			}
+			if !s.pushEligible(e, ci, nowMs) {
+				continue
+			}
+			seeds = append(seeds, i)
+		}
+		if len(seeds) == 0 {
+			continue
+		}
+		batch := s.closureBatch(cid, seeds, &out)
+		out.Replies = append(out.Replies, Reply{
+			To:  cid,
+			Msg: s.sequence(cid, &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}),
+		})
+	}
+	return out
+}
+
+// pushEligible decides whether entry e could affect a future action of
+// the client described by ci.
+func (s *Server) pushEligible(e *entry, ci *clientInfo, nowMs float64) bool {
+	// Inconsequential action elimination: skip classes the client did not
+	// subscribe to. Class 0 and a zero mask mean "always interesting".
+	if s.cfg.InterestFilter && e.class != 0 && ci.interest != 0 {
+		if ci.interest&(1<<e.class) == 0 {
+			return false
+		}
+	}
+	if !e.hasPos || !ci.hasPos {
+		// No spatial information: conservatively reachable.
+		return true
+	}
+	rC := ci.radius
+	if rC == 0 {
+		rC = s.cfg.DefaultRadius
+	}
+	if s.cfg.AreaCulling && e.hasVel {
+		dt := e.stampedMs - ci.posAtMs
+		return geom.MovingInfluenceReachable(
+			e.pos, e.vel, ci.pos, rC, s.cfg.MaxSpeed, s.cfg.Omega, s.cfg.RTTMs, dt)
+	}
+	return geom.InfluenceReachable(
+		e.pos, ci.pos, e.radius, rC, s.cfg.MaxSpeed, s.cfg.Omega, s.cfg.RTTMs)
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+
+	"seve/internal/action"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Client is the client-side protocol engine: Algorithm 1 in ModeBasic and
+// Algorithm 4 in the incomplete-world modes, with Algorithm 3 as the
+// reconciliation procedure.
+//
+// The client maintains two versions of the world state (Section III-A):
+// an optimistic version ζCO to which locally created actions are applied
+// immediately, and a stable version ζCS to which actions are applied in
+// the server-assigned serial order. ζCS is a multiversion store because
+// under the Incomplete World Model the server may deliver an action older
+// than ones the client has already applied (a later transitive closure
+// can reach further back); replaying it exactly requires reading each
+// object as of the action's serial position. See world.MVStore.
+type Client struct {
+	id  action.ClientID
+	cfg Config
+
+	co *world.State   // ζCO, optimistic
+	cs *world.MVStore // ζCS, stable (multiversion)
+
+	// queue is Q = [⟨a1,v1⟩, …, ⟨ak,vk⟩]: locally generated actions not
+	// yet received back from the server, with their optimistic results.
+	queue []pendingAction
+
+	nextActSeq uint32
+
+	// Batch-order restoration: batches from the server are numbered per
+	// recipient; relayed copies take a two-hop path and can arrive out of
+	// order relative to direct replies, which would violate the
+	// closures' sent() assumptions. pendingBatches buffers gaps.
+	nextBatchSeq   uint64
+	pendingBatches map[uint64]*wire.Batch
+
+	// stats
+	reconciliations int
+	appliedRemote   int
+	appliedBlind    int
+	prunedBelow     uint64
+}
+
+type pendingAction struct {
+	act        action.Action
+	optimistic action.Result
+}
+
+// NewClient returns a client engine whose both world versions start as
+// init. The initial world is version 0 in the stable store, matching the
+// server's convention that serial positions start at 1.
+func NewClient(id action.ClientID, cfg Config, init *world.State) *Client {
+	cs := world.NewMVStore()
+	cs.Seed(init)
+	return &Client{
+		id:             id,
+		cfg:            cfg,
+		co:             init.Clone(),
+		cs:             cs,
+		nextBatchSeq:   1,
+		pendingBatches: make(map[uint64]*wire.Batch),
+	}
+}
+
+// ID returns the client's identity.
+func (c *Client) ID() action.ClientID { return c.id }
+
+// NextActionID mints the identity for the client's next action.
+func (c *Client) NextActionID() action.ID {
+	c.nextActSeq++
+	return action.ID{Client: c.id, Seq: c.nextActSeq}
+}
+
+// Optimistic returns the optimistic world version ζCO. Applications read
+// it to decide their next action (it reflects local actions instantly,
+// which is what makes the game feel responsive).
+func (c *Client) Optimistic() *world.State { return c.co }
+
+// Stable returns the stable world version ζCS.
+func (c *Client) Stable() *world.MVStore { return c.cs }
+
+// QueueLen reports |Q|, the number of in-flight local actions.
+func (c *Client) QueueLen() int { return len(c.queue) }
+
+// Reconciliations reports how many times Algorithm 3 ran.
+func (c *Client) Reconciliations() int { return c.reconciliations }
+
+// AppliedRemote reports how many other-client actions were evaluated
+// against the stable state — the client-side compute load the Incomplete
+// World Model exists to bound. Server blind writes are counted
+// separately by AppliedBlind.
+func (c *Client) AppliedRemote() int { return c.appliedRemote }
+
+// AppliedBlind reports how many server-generated blind writes were
+// applied to the stable state.
+func (c *Client) AppliedBlind() int { return c.appliedBlind }
+
+// Submit performs step 2 of Algorithms 1/4: the action is executed on
+// ζCO producing its optimistic evaluation v, the pair ⟨a,v⟩ is appended
+// to Q, and a Submit message for the server is returned.
+//
+// The action must have been given an ID from NextActionID. The optimistic
+// result is returned so the application can render the action's
+// provisional effect immediately.
+func (c *Client) Submit(a action.Action) (*wire.Submit, action.Result) {
+	v := c.applyOptimistic(a)
+	c.queue = append(c.queue, pendingAction{act: a, optimistic: v.Clone()})
+	return &wire.Submit{Env: action.Envelope{Origin: c.id, Act: a}}, v
+}
+
+// applyOptimistic evaluates a against ζCO and applies its writes.
+func (c *Client) applyOptimistic(a action.Action) action.Result {
+	res := action.Eval(a, world.StateView{S: c.co})
+	for _, w := range res.Writes {
+		c.co.Set(w.ID, w.Val)
+	}
+	return res
+}
+
+// HandleBatch performs steps 4–5 of Algorithms 1/4 for every envelope in
+// a server batch, restoring per-recipient batch order first: a sequenced
+// batch ahead of its turn is buffered; processing resumes — possibly
+// through several buffered batches — once the gap fills. Unsequenced
+// batches (ClientSeq 0, from baseline servers) process immediately.
+func (c *Client) HandleBatch(b *wire.Batch) ClientOutput {
+	var out ClientOutput
+	if b.ClientSeq == 0 {
+		c.processBatch(b, &out)
+		return out
+	}
+	if b.ClientSeq != c.nextBatchSeq {
+		c.pendingBatches[b.ClientSeq] = b
+		return out
+	}
+	c.processBatch(b, &out)
+	c.nextBatchSeq++
+	for {
+		next, ok := c.pendingBatches[c.nextBatchSeq]
+		if !ok {
+			return out
+		}
+		delete(c.pendingBatches, c.nextBatchSeq)
+		c.processBatch(next, &out)
+		c.nextBatchSeq++
+	}
+}
+
+// processBatch applies one batch in envelope order.
+func (c *Client) processBatch(b *wire.Batch, out *ClientOutput) {
+	for _, env := range b.Envs {
+		if env.Origin == c.id {
+			if b.Push {
+				// A shared hybrid push batch can carry our own submission
+				// (a cell-mate needed it). Install its stable writes — a
+				// later action in this batch may read them — but do NOT
+				// resolve it here: commit, reconciliation, and the
+				// completion message belong to the closure reply, which
+				// arrives in submission order. Re-evaluation there is
+				// idempotent: same versions, same result.
+				c.applyStable(env, out)
+				continue
+			}
+			c.handleOwn(env, out)
+		} else {
+			c.handleRemote(env, out)
+		}
+	}
+	if b.InstalledUpTo > c.prunedBelow && !c.cfg.DisableGC {
+		// Server-driven garbage collection (Section III-C): versions at
+		// or below the installed point can never be read again by a
+		// correctly formed batch, because blind writes are stamped at the
+		// install point.
+		c.cs.PruneBelow(b.InstalledUpTo)
+		c.prunedBelow = b.InstalledUpTo
+	}
+}
+
+// handleRemote is step 4: "action b originated at some other client, or
+// is a blind write created by the server". The action is applied to ζCS;
+// each of its writes is also performed on ζCO if and only if the object
+// is not in WS(Q) (those objects are awaiting permanent values for the
+// client's own in-flight actions).
+func (c *Client) handleRemote(env action.Envelope, out *ClientOutput) {
+	res := c.applyStable(env, out)
+	if env.Origin == action.OriginServer {
+		c.appliedBlind++
+	} else {
+		c.appliedRemote++
+	}
+	out.Applied = append(out.Applied, env.Act)
+
+	wsQ := c.queueWriteSet()
+	for _, w := range res.Writes {
+		if !wsQ.Contains(w.ID) {
+			c.co.Set(w.ID, w.Val)
+		}
+	}
+
+	if c.cfg.FailureTolerant && env.Origin != action.OriginServer {
+		// Failure-tolerance extension: complete every applied action.
+		out.ToServer = append(out.ToServer, &wire.Completion{
+			Seq: env.Seq, By: c.id, Res: res,
+		})
+	}
+}
+
+// handleOwn is step 5: the returned action must be a1, the head of Q
+// (server replies and pushes are FIFO per link, so a client's own actions
+// come back in submission order). Its stable evaluation u is compared
+// with the optimistic evaluation v1; on disagreement Algorithm 3
+// reconciles ζCO with ζCS. In the incomplete-world modes a completion
+// message ⟨a1, u⟩ is sent to the server either way.
+func (c *Client) handleOwn(env action.Envelope, out *ClientOutput) {
+	if len(c.queue) == 0 || c.queue[0].act.ID() != env.Act.ID() {
+		out.Violations = append(out.Violations, fmt.Sprintf(
+			"client %d: own action %v returned out of order (queue head %v)",
+			c.id, env.Act.ID(), c.queueHeadID()))
+		// Recover by treating it as remote so the stable state stays
+		// correct even if the transport misbehaved.
+		c.handleRemote(env, out)
+		return
+	}
+
+	u := c.applyStable(env, out)
+	head := c.queue[0]
+	c.queue = c.queue[1:]
+
+	reconciled := false
+	if !u.Equal(head.optimistic) {
+		c.reconcile(head.act.WriteSet())
+		reconciled = true
+	}
+
+	out.Commits = append(out.Commits, Commit{
+		ActID:      env.Act.ID(),
+		Seq:        env.Seq,
+		Res:        u.Clone(),
+		Reconciled: reconciled,
+	})
+
+	if c.cfg.Mode >= ModeIncomplete {
+		out.ToServer = append(out.ToServer, &wire.Completion{
+			Seq: env.Seq, By: c.id, Res: u,
+		})
+	}
+}
+
+// applyStable evaluates env against ζCS as of its serial position and
+// installs its writes at that position.
+func (c *Client) applyStable(env action.Envelope, out *ClientOutput) action.Result {
+	at := env.Seq
+	if at > 0 {
+		at-- // an action at position n reads the state after 1..n-1
+	}
+	view := world.AtView{M: c.cs, Seq: at}
+	tx := world.NewTx(view)
+	ok := env.Act.Apply(tx)
+
+	if c.cfg.Strict {
+		if err := action.CheckAccess(env.Act, tx); err != nil {
+			out.Violations = append(out.Violations, err.Error())
+		}
+		// A read of an object with no version at or before env.Seq-1
+		// means the closure failed to deliver a needed value — the
+		// protocol bug Theorem 1 rules out.
+		for _, id := range tx.Missed() {
+			out.Violations = append(out.Violations, fmt.Sprintf(
+				"client %d: action %v (seq %d) read object %d with no delivered version",
+				c.id, env.Act.ID(), env.Seq, id))
+		}
+	}
+
+	res := action.Result{OK: ok}
+	if ok {
+		res.Writes = tx.Writes()
+		for _, w := range res.Writes {
+			c.cs.WriteAt(w.ID, env.Seq, w.Val)
+		}
+	}
+	return res
+}
+
+// HandleRelay applies a hybrid push batch and schedules peer-to-peer
+// forwards of the same batch to the other targets (Section VII hybrid
+// mode). The relay client is always among the targets; it does not
+// forward to itself.
+func (c *Client) HandleRelay(m *wire.Relay) ClientOutput {
+	// Forward first — peers must not wait on this client's own ordering.
+	var out ClientOutput
+	for i, t := range m.Targets {
+		if t == c.id {
+			continue
+		}
+		copy := &wire.Batch{
+			Envs:          m.Inner.Envs,
+			Push:          true,
+			InstalledUpTo: m.Inner.InstalledUpTo,
+		}
+		if i < len(m.TargetSeqs) {
+			copy.ClientSeq = m.TargetSeqs[i]
+		}
+		out.ToPeers = append(out.ToPeers, Reply{To: t, Msg: copy})
+	}
+	inner := c.HandleBatch(m.Inner)
+	out.ToServer = append(out.ToServer, inner.ToServer...)
+	out.Applied = append(out.Applied, inner.Applied...)
+	out.Commits = append(out.Commits, inner.Commits...)
+	out.DroppedLocal = append(out.DroppedLocal, inner.DroppedLocal...)
+	out.Violations = append(out.Violations, inner.Violations...)
+	return out
+}
+
+// HandleDrop aborts a locally originated action that the Information
+// Bound Model invalidated (Algorithm 7: isValid = false). The entry is
+// removed from Q and, since its optimistic writes are now wrong,
+// Algorithm 3 reconciles.
+func (c *Client) HandleDrop(d *wire.Drop) ClientOutput {
+	var out ClientOutput
+	for i := range c.queue {
+		if c.queue[i].act.ID() == d.ActID {
+			ws := c.queue[i].act.WriteSet()
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			c.reconcile(ws)
+			out.DroppedLocal = append(out.DroppedLocal, d.ActID)
+			return out
+		}
+	}
+	out.Violations = append(out.Violations, fmt.Sprintf(
+		"client %d: drop notice for unknown action %v", c.id, d.ActID))
+	return out
+}
+
+// HandleMsg dispatches any server message.
+func (c *Client) HandleMsg(msg wire.Msg) ClientOutput {
+	switch m := msg.(type) {
+	case *wire.Batch:
+		return c.HandleBatch(m)
+	case *wire.Relay:
+		return c.HandleRelay(m)
+	case *wire.Drop:
+		return c.HandleDrop(m)
+	default:
+		return ClientOutput{Violations: []string{
+			fmt.Sprintf("client %d: unexpected message type %d", c.id, msg.Type()),
+		}}
+	}
+}
+
+// reconcile is Algorithm 3: ζCO(WS(Q)) ← ζCS(WS(Q)), then the queued
+// actions are re-applied to ζCO in order, refreshing their optimistic
+// results.
+//
+// Two clarifications relative to the paper's pseudocode. First,
+// Algorithm 3 as printed re-inserts a1 even when invoked from step 5,
+// where a1 has just committed with its final stable result; re-queueing
+// it would wait forever for a second return. The intent — and this
+// implementation — is that the already-resolved head is removed before
+// reconciliation and only the still-pending suffix is re-applied.
+// Second, the rollback set must include the write set of the action that
+// was just resolved (committed with a different result, or dropped):
+// its optimistic writes are exactly the divergent ones, and they are no
+// longer covered by WS(Q) once it leaves the queue. resolvedWS carries it.
+func (c *Client) reconcile(resolvedWS world.IDSet) {
+	c.reconciliations++
+	ws := c.queueWriteSet().Union(resolvedWS)
+	c.co.CopyFrom(c.cs, ws)
+	for i := range c.queue {
+		c.queue[i].optimistic = c.applyOptimistic(c.queue[i].act).Clone()
+	}
+}
+
+// queueWriteSet returns WS(Q), the union of the declared write sets of
+// the pending actions.
+func (c *Client) queueWriteSet() world.IDSet {
+	var ws world.IDSet
+	for _, p := range c.queue {
+		ws = ws.Union(p.act.WriteSet())
+	}
+	return ws
+}
+
+func (c *Client) queueHeadID() action.ID {
+	if len(c.queue) == 0 {
+		return action.ID{}
+	}
+	return c.queue[0].act.ID()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+// closureBatch implements Algorithm 6, TransitiveClosure(A): given seed
+// indexes into the uncommitted queue (the just-submitted action for a
+// reply; the push-eligible actions for a First Bound push), it walks the
+// queue from newest to oldest accumulating the transitive read set S.
+// Every unsent action whose write set intersects S is prepended to the
+// batch and marked sent(a) ∋ C; already-sent writers subtract their write
+// sets from S (the client has their effects). Finally the blind write
+// W(S, ζS(S)) is prepended, seeding the client with the authoritative
+// values, as of the install point, of everything it must read.
+//
+// One generalization relative to the paper: Algorithm 6 is stated for a
+// single seed (the submitted action a_{n+1}). First Bound pushes reuse it
+// with multiple seeds — the union of their read sets starts S, and the
+// walk skips the seed positions. Running the full closure for pushes (the
+// paper pushes only the seed actions) guarantees that pushed actions are
+// exactly replayable at the client; the extra entries cost only queue
+// scans, which Section V-B1 measures at 0.04 ms per move.
+func (s *Server) closureBatch(c action.ClientID, seeds []int, out *ServerOutput) []action.Envelope {
+	isSeed := make(map[int]bool, len(seeds))
+	maxSeed := -1
+	var set world.IDSet
+	var included []action.Envelope
+	for _, i := range seeds {
+		isSeed[i] = true
+		if i > maxSeed {
+			maxSeed = i
+		}
+		set = set.Union(s.queue[i].rs)
+		s.queue[i].sent[c] = struct{}{}
+		included = append(included, s.queue[i].env)
+	}
+
+	for j := maxSeed - 1; j >= 0; j-- {
+		if isSeed[j] {
+			continue
+		}
+		out.QueueScanned++
+		s.totalQueueScans++
+		e := s.queue[j]
+		if !e.ws.Intersects(set) {
+			continue
+		}
+		if _, already := e.sent[c]; already {
+			// The client already has a_j's effects; its writes need not
+			// be seeded by the blind write.
+			set = set.Subtract(e.ws)
+			continue
+		}
+		set = set.Union(e.rs)
+		included = append(included, e.env)
+		e.sent[c] = struct{}{}
+	}
+
+	// The client applies the batch in delivery order and an action at
+	// position n reads versions ≤ n−1, so the batch must be in ascending
+	// serial order. With a single seed the walk already yields that (it
+	// is the paper's prepend); with multiple push seeds the walk-included
+	// entries interleave between seeds and an explicit sort is required.
+	sort.Slice(included, func(i, j int) bool { return included[i].Seq < included[j].Seq })
+
+	// Prepend W(S, ζS(S)). Objects unknown to ζS are skipped — they do
+	// not exist yet at the install point, and any queued creator of them
+	// is in the batch.
+	var writes []world.Write
+	for _, id := range set {
+		if v, ok := s.zs.Get(id); ok {
+			writes = append(writes, world.Write{ID: id, Val: v.Clone()})
+		}
+	}
+	batch := make([]action.Envelope, 0, len(included)+1)
+	if len(writes) > 0 {
+		bw := action.NewBlindWrite(s.nextBlindID(), writes)
+		batch = append(batch, action.Envelope{
+			Seq:    s.installed,
+			Origin: action.OriginServer,
+			Act:    bw,
+		})
+	}
+	batch = append(batch, included...)
+	return batch
+}

@@ -1,0 +1,172 @@
+// Package core implements the action-based consistency protocols of
+// Section III — the paper's primary contribution. The Client and Server
+// types are transport-agnostic state machines: the same engines run under
+// the discrete-event simulator (package experiments) and over real TCP
+// (cmd/seve-server, cmd/seve-client).
+//
+// Protocol levels build on each other exactly as in the paper:
+//
+//   - ModeBasic — Algorithms 1–3. The server timestamps and serializes
+//     every action and every client evaluates all of them. One-RTT
+//     response, full consistency, no scalability.
+//   - ModeIncomplete — Algorithms 4–6 (the Incomplete World Model). The
+//     server maintains the authoritative state ζS from completion
+//     messages and sends each client only the transitive closure of
+//     actions that affect its submissions, seeded by a blind write.
+//   - ModeFirstBound — adds the First Bound Model (Section III-D): the
+//     server proactively pushes, every ω·RTT, the actions whose influence
+//     spheres satisfy Equation (1) for the client, bounding response time
+//     by (1+ω)·RTT.
+//   - ModeInfoBound — adds the Information Bound Model (Algorithm 7):
+//     actions whose transitive conflict chains span farther than a
+//     distance threshold are dropped at submission, bounding the size of
+//     every closure (Equation 2). This is the full SEVE configuration
+//     evaluated in Section V.
+package core
+
+import "fmt"
+
+// Mode selects the protocol level. Each level includes all the machinery
+// of the levels below it.
+type Mode int
+
+// Protocol levels, in increasing order of machinery.
+const (
+	ModeBasic Mode = iota
+	ModeIncomplete
+	ModeFirstBound
+	ModeInfoBound
+)
+
+// String names the mode for diagnostics and experiment tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeBasic:
+		return "basic"
+	case ModeIncomplete:
+		return "incomplete"
+	case ModeFirstBound:
+		return "firstbound"
+	case ModeInfoBound:
+		return "infobound"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config carries the protocol parameters shared by the server and its
+// clients. The defaults mirror Table I of the paper.
+type Config struct {
+	// Mode is the protocol level.
+	Mode Mode
+
+	// Omega is ω ∈ (0, 1), the First Bound push interval as a fraction
+	// of RTT. The response-time bound is (1+ω)·RTT.
+	Omega float64
+
+	// RTTMs is the client↔server round-trip time in milliseconds used in
+	// Equations (1) and (2). The paper's testbed had 238 ms one-way
+	// latency, i.e. RTT 476 ms.
+	RTTMs float64
+
+	// MaxSpeed is s, the maximum rate of change of any object's position
+	// in world units per millisecond (Section III-D).
+	MaxSpeed float64
+
+	// Threshold is the Information Bound chain-breaking distance: a
+	// submitted action is dropped if its transitive conflict chain
+	// contains an action farther away than this (Algorithm 7). Table I
+	// sets it to 1.5 × avatar visibility.
+	Threshold float64
+
+	// DefaultRadius is the influence radius assumed for actions that do
+	// not implement action.Spatial, and the default rC for clients that
+	// have not yet submitted a spatial action.
+	DefaultRadius float64
+
+	// Strict makes engines verify that every action's actual reads and
+	// writes stay inside its declared RS/WS, and records any stable-state
+	// read of a never-delivered object as a protocol violation. Tests run
+	// strict; experiments may disable it for speed.
+	Strict bool
+
+	// FailureTolerant enables the Section III-C extension: every client
+	// sends completion messages for every action it applies, not only its
+	// own, so the server can install an action as long as any client that
+	// evaluated it survives.
+	FailureTolerant bool
+
+	// InterestFilter enables inconsequential action elimination
+	// (Section IV-A): First Bound pushes skip actions whose interest
+	// class the client did not subscribe to. Closure replies are never
+	// filtered — consistency of submitted actions always wins.
+	InterestFilter bool
+
+	// AreaCulling enables the Section IV-B refinement: actions
+	// implementing action.Moving are push-filtered by their projected
+	// position rather than a static influence sphere.
+	AreaCulling bool
+
+	// RecordHistory makes the server retain every stamped envelope so
+	// tests can replay the serial order through an oracle. Costs memory;
+	// off in benchmarks.
+	RecordHistory bool
+
+	// DisableGC stops clients from pruning stable-store versions at the
+	// server's installed point (the Section III-C memory optimization).
+	// Exists for the GC ablation; leave false in real deployments.
+	DisableGC bool
+
+	// HybridRelay delegates First Bound push fan-out to one relay client
+	// per neighbourhood cell, which forwards the shared batch peer-to-
+	// peer (the Section VII hybrid architecture). Requires
+	// ModeFirstBound or above.
+	HybridRelay bool
+
+	// CrossCheck makes the server compare redundant completion reports
+	// for the same action against the accepted result and flag clients
+	// whose reports disagree — the paper's Section II-B observation that
+	// "the servers can also log MMO statistics to detect any cheating or
+	// security threat", made concrete. Only meaningful together with
+	// FailureTolerant (otherwise each action has a single reporter).
+	CrossCheck bool
+}
+
+// DefaultConfig returns the Table I parameterization: full SEVE at
+// RTT 476 ms, ω = 0.5, max speed 0.01 units/ms, move effect range 10,
+// threshold 45 (1.5 × the 30-unit avatar visibility).
+func DefaultConfig() Config {
+	return Config{
+		Mode:          ModeInfoBound,
+		Omega:         0.5,
+		RTTMs:         476,
+		MaxSpeed:      0.01,
+		Threshold:     45,
+		DefaultRadius: 10,
+	}
+}
+
+// PushIntervalMs returns the First Bound push period ω·RTT.
+func (c Config) PushIntervalMs() float64 { return c.Omega * c.RTTMs }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Mode < ModeBasic || c.Mode > ModeInfoBound {
+		return fmt.Errorf("core: invalid mode %d", int(c.Mode))
+	}
+	if c.Mode >= ModeFirstBound {
+		if c.Omega <= 0 || c.Omega >= 1 {
+			return fmt.Errorf("core: omega must be in (0,1), got %v", c.Omega)
+		}
+		if c.RTTMs <= 0 {
+			return fmt.Errorf("core: RTT must be positive, got %v", c.RTTMs)
+		}
+	}
+	if c.Mode >= ModeInfoBound && c.Threshold <= 0 {
+		return fmt.Errorf("core: threshold must be positive, got %v", c.Threshold)
+	}
+	if c.HybridRelay && c.Mode < ModeFirstBound {
+		return fmt.Errorf("core: hybrid relay requires the First Bound push path (mode %v)", c.Mode)
+	}
+	return nil
+}

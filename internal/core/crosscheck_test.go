@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"seve/internal/action"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+func crossCheckConfig() Config {
+	cfg := cfgFor(ModeIncomplete)
+	cfg.FailureTolerant = true
+	cfg.CrossCheck = true
+	return cfg
+}
+
+// TestCrossCheckHonestFleetClean: redundant completions from honest
+// clients all match; nobody is flagged.
+func TestCrossCheckHonestFleetClean(t *testing.T) {
+	init := initWorld(2)
+	lb := newLoopback(t, crossCheckConfig(), init, 2)
+	// Conflicting actions so both clients evaluate both and both report.
+	lb.submit(1, &testAction{rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 10})
+	for lb.stepServer() {
+	}
+	lb.submit(2, &testAction{rs: world.NewIDSet(1, 2), ws: world.NewIDSet(2), delta: 100})
+	lb.drain()
+	lb.requireNoViolations()
+	if len(lb.srv.Suspects()) != 0 {
+		t.Fatalf("honest fleet flagged: %v", lb.srv.Suspects())
+	}
+	lb.checkAgainstOracle(init)
+}
+
+// TestCrossCheckFlagsLiar: a client reporting a tampered result for
+// someone else's action is flagged, and the authoritative state keeps
+// the accepted (first) result.
+func TestCrossCheckFlagsLiar(t *testing.T) {
+	init := initWorld(1)
+	cfg := crossCheckConfig()
+	srv := NewServer(cfg, init)
+	srv.RegisterClient(1, 0)
+	srv.RegisterClient(2, 0)
+	c1 := NewClient(1, cfg, init)
+
+	a := &testAction{rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 10}
+	a.id = c1.NextActionID()
+	m, _ := c1.Submit(a)
+	out := srv.HandleSubmit(1, m, 0)
+	co := c1.HandleMsg(out.Replies[0].Msg)
+	honest := co.ToServer[0].(*wire.Completion)
+	srv.HandleCompletion(honest)
+
+	// Client 2 "reports" the same action with an inflated value — a
+	// classic dupe/speed-hack signature.
+	forged := &wire.Completion{Seq: honest.Seq, By: 2, Res: action.Result{OK: true,
+		Writes: []world.Write{{ID: 1, Val: world.Value{1_000_000}}}}}
+	srv.HandleCompletion(forged)
+
+	suspects := srv.Suspects()
+	if suspects[2] != 1 {
+		t.Fatalf("liar not flagged: %v", suspects)
+	}
+	if suspects[1] != 0 {
+		t.Fatalf("honest client flagged: %v", suspects)
+	}
+	v, _ := srv.Authoritative().Get(1)
+	if v[0] != 11 {
+		t.Fatalf("forged result installed: %v", v)
+	}
+}
+
+// TestCrossCheckPendingDisagreement: a forged report racing the honest
+// one (arriving second, before installation of a later action) is also
+// caught.
+func TestCrossCheckPendingDisagreement(t *testing.T) {
+	init := initWorld(2)
+	cfg := crossCheckConfig()
+	srv := NewServer(cfg, init)
+	srv.RegisterClient(1, 0)
+	srv.RegisterClient(2, 0)
+	c1 := NewClient(1, cfg, init)
+	c2 := NewClient(2, cfg, init)
+
+	// Two actions; the completion for seq 1 is withheld so seq 2 stays
+	// pending.
+	a1 := &testAction{rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 1}
+	a1.id = c1.NextActionID()
+	m1, _ := c1.Submit(a1)
+	out1 := srv.HandleSubmit(1, m1, 0)
+	co1 := c1.HandleMsg(out1.Replies[0].Msg)
+
+	a2 := &testAction{rs: world.NewIDSet(2), ws: world.NewIDSet(2), delta: 2}
+	a2.id = c2.NextActionID()
+	m2, _ := c2.Submit(a2)
+	out2 := srv.HandleSubmit(2, m2, 0)
+	co2 := c2.HandleMsg(out2.Replies[0].Msg)
+
+	// Honest report for seq 2 first…
+	srv.HandleCompletion(co2.ToServer[0].(*wire.Completion))
+	// …then a forged duplicate while it is still pending.
+	srv.HandleCompletion(&wire.Completion{Seq: 2, By: 1, Res: action.Result{OK: false}})
+	if srv.Suspects()[1] != 1 {
+		t.Fatalf("pending-window liar not flagged: %v", srv.Suspects())
+	}
+	// Now complete seq 1; everything installs with honest values.
+	srv.HandleCompletion(co1.ToServer[0].(*wire.Completion))
+	if srv.Installed() != 2 {
+		t.Fatalf("installed = %d", srv.Installed())
+	}
+}
+
+// TestCrossCheckDisabledByDefault: without the flag, disagreeing
+// duplicates are silently ignored (first wins) and nobody is flagged.
+func TestCrossCheckDisabledByDefault(t *testing.T) {
+	cfg := cfgFor(ModeIncomplete)
+	cfg.FailureTolerant = true
+	srv := NewServer(cfg, initWorld(1))
+	srv.RegisterClient(1, 0)
+	c1 := NewClient(1, cfg, initWorld(1))
+	a := &testAction{rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 1}
+	a.id = c1.NextActionID()
+	m, _ := c1.Submit(a)
+	out := srv.HandleSubmit(1, m, 0)
+	co := c1.HandleMsg(out.Replies[0].Msg)
+	srv.HandleCompletion(co.ToServer[0].(*wire.Completion))
+	srv.HandleCompletion(&wire.Completion{Seq: 1, By: 2, Res: action.Result{OK: false}})
+	if len(srv.Suspects()) != 0 {
+		t.Fatalf("suspects without CrossCheck: %v", srv.Suspects())
+	}
+}

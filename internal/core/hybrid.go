@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"seve/internal/action"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Hybrid P2P/client-server push delegation — the Section VII direction
+// ("extensions to a hybrid architecture that strikes a balance between
+// P2P and client-server are an interesting direction for future work"),
+// implemented for the First Bound push path.
+//
+// Instead of unicasting a push batch per client, the server groups
+// clients into neighbourhood cells the size of the Equation (1)
+// influence reach, computes ONE shared closure batch per cell, and sends
+// it to a single relay client that forwards it peer-to-peer to the
+// others. The server remains the sole serializer and the authority for
+// ζS — the properties Section II-B argues MMO operators cannot give up —
+// while its push egress drops by roughly the cell population.
+//
+// The shared batch is a superset of each member's individual needs;
+// supersets are harmless (batches are idempotent and multiversioned).
+// Reliability of the relay hop is assumed, as in the simulator and the
+// paper's sketch; production hardening (acks, re-push on relay failure)
+// is intentionally out of scope.
+
+// hybridTick runs one push cycle with relay delegation.
+func (s *Server) hybridTick(nowMs float64, out *ServerOutput) {
+	windowStart := s.lastPushMs
+	s.lastPushMs = nowMs
+
+	// Cell size: the reach of Equation (1) — two max-speed cones plus
+	// both influence radii.
+	cell := 2*s.cfg.MaxSpeed*(1+s.cfg.Omega)*s.cfg.RTTMs + 2*s.cfg.DefaultRadius
+	if cell <= 0 {
+		cell = 1
+	}
+
+	groups := make(map[[2]int32][]action.ClientID)
+	var unplaced []action.ClientID
+	for cid, ci := range s.clients {
+		if !ci.hasPos {
+			unplaced = append(unplaced, cid)
+			continue
+		}
+		key := [2]int32{int32(math.Floor(ci.pos.X / cell)), int32(math.Floor(ci.pos.Y / cell))}
+		groups[key] = append(groups[key], cid)
+	}
+
+	// Deterministic iteration: sort group keys and members.
+	keys := make([][2]int32, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	for _, k := range keys {
+		members := groups[k]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		s.pushGroup(members, windowStart, nowMs, out)
+	}
+	// Clients with unknown positions are served individually (they are
+	// conservatively interested in everything, and grouping strangers
+	// under one relay would couple unrelated players).
+	sort.Slice(unplaced, func(i, j int) bool { return unplaced[i] < unplaced[j] })
+	for _, cid := range unplaced {
+		s.pushGroup([]action.ClientID{cid}, windowStart, nowMs, out)
+	}
+}
+
+// pushGroup computes the shared seed set and closure for one cell and
+// emits either a direct Batch (single member) or a Relay.
+func (s *Server) pushGroup(members []action.ClientID, windowStart, nowMs float64, out *ServerOutput) {
+	var seeds []int
+	for i, e := range s.queue {
+		if e.stampedMs <= windowStart || e.stampedMs > nowMs {
+			continue
+		}
+		wanted := false
+		for _, cid := range members {
+			if _, already := e.sent[cid]; already {
+				continue
+			}
+			if s.pushEligible(e, s.clients[cid], nowMs) {
+				wanted = true
+				break
+			}
+		}
+		if wanted {
+			seeds = append(seeds, i)
+		}
+	}
+	if len(seeds) == 0 {
+		return
+	}
+	batch := s.closureShared(members, seeds, out)
+	inner := &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}
+	if len(members) == 1 {
+		out.Replies = append(out.Replies, Reply{To: members[0], Msg: s.sequence(members[0], inner)})
+		return
+	}
+	seqs := make([]uint64, len(members))
+	for i, cid := range members {
+		if ci := s.clients[cid]; ci != nil {
+			ci.nextBatchSeq++
+			seqs[i] = ci.nextBatchSeq
+		}
+	}
+	inner.ClientSeq = seqs[0] // the relay's own copy
+	out.Replies = append(out.Replies, Reply{
+		To:  members[0],
+		Msg: &wire.Relay{Targets: members, TargetSeqs: seqs, Inner: inner},
+	})
+}
+
+// closureShared is Algorithm 6 generalized to a set of recipients: an
+// already-sent writer's effects are subtracted only if EVERY member has
+// them; otherwise the action is included for all (duplicates are
+// idempotent under the multiversion stores).
+func (s *Server) closureShared(members []action.ClientID, seeds []int, out *ServerOutput) []action.Envelope {
+	isSeed := make(map[int]bool, len(seeds))
+	maxSeed := -1
+	var set world.IDSet
+	var included []action.Envelope
+	for _, i := range seeds {
+		isSeed[i] = true
+		if i > maxSeed {
+			maxSeed = i
+		}
+		set = set.Union(s.queue[i].rs)
+		for _, cid := range members {
+			s.queue[i].sent[cid] = struct{}{}
+		}
+		included = append(included, s.queue[i].env)
+	}
+
+	for j := maxSeed - 1; j >= 0; j-- {
+		if isSeed[j] {
+			continue
+		}
+		out.QueueScanned++
+		s.totalQueueScans++
+		e := s.queue[j]
+		if !e.ws.Intersects(set) {
+			continue
+		}
+		sentToAll := true
+		for _, cid := range members {
+			if _, ok := e.sent[cid]; !ok {
+				sentToAll = false
+				break
+			}
+		}
+		if sentToAll {
+			set = set.Subtract(e.ws)
+			continue
+		}
+		set = set.Union(e.rs)
+		included = append(included, e.env)
+		for _, cid := range members {
+			e.sent[cid] = struct{}{}
+		}
+	}
+
+	sort.Slice(included, func(i, j int) bool { return included[i].Seq < included[j].Seq })
+
+	var writes []world.Write
+	for _, id := range set {
+		if v, ok := s.zs.Get(id); ok {
+			writes = append(writes, world.Write{ID: id, Val: v.Clone()})
+		}
+	}
+	batch := make([]action.Envelope, 0, len(included)+1)
+	if len(writes) > 0 {
+		bw := action.NewBlindWrite(s.nextBlindID(), writes)
+		batch = append(batch, action.Envelope{
+			Seq:    s.installed,
+			Origin: action.OriginServer,
+			Act:    bw,
+		})
+	}
+	batch = append(batch, included...)
+	return batch
+}

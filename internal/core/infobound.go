@@ -1,0 +1,62 @@
+package core
+
+import "seve/internal/world"
+
+// checkValidity implements the conflict-detection half of Algorithm 7
+// (the Information Bound Model): walking the uncommitted queue from
+// newest to oldest, it accumulates the transitive read set of the
+// submitted action; if any conflicting uncommitted action lies farther
+// than the threshold distance, the submission is invalid and will be
+// dropped (aborted immediately at the server, Section III-E).
+//
+// Two mappings from the paper's pseudocode:
+//
+//   - Algorithm 7 batches validity decisions per tick (onNextTick). The
+//     server processes submissions one at a time anyway — the decision to
+//     drop "is sequential" (Section III-E) — so checking at submission
+//     time examines exactly the same queue prefix the tick-based scan
+//     would, minus only the sub-tick batching artifact.
+//   - The chain set update is S ← (S − WS(Aj)) ∪ RS(Aj), per Algorithm 7
+//     line 26 (note the subtraction, unlike Algorithm 6): once a_j is
+//     accepted as the chain's writer of those objects, older writers of
+//     them no longer extend this chain.
+//
+// Actions without spatial metadata never break a chain (distance zero):
+// the bound is a spatial heuristic and non-spatial actions are assumed
+// globally relevant.
+func (s *Server) checkValidity(e *entry, out *ServerOutput) (invalid bool) {
+	set := e.rs
+	for j := len(s.queue) - 1; j >= 0; j-- {
+		out.QueueScanned++
+		s.totalQueueScans++
+		prev := s.queue[j]
+		if !prev.ws.Intersects(set) {
+			continue
+		}
+		if e.hasPos && prev.hasPos {
+			if e.pos.Dist(prev.pos) > s.cfg.Threshold {
+				return true
+			}
+		}
+		set = set.Subtract(prev.ws).Union(prev.rs)
+	}
+	return false
+}
+
+// ChainLength reports, for diagnostics and the Table II experiment, the
+// number of uncommitted actions in the transitive conflict chain of a
+// hypothetical action with the given read set and position — the quantity
+// Algorithm 7 bounds.
+func (s *Server) ChainLength(rs world.IDSet) int {
+	set := rs
+	n := 0
+	for j := len(s.queue) - 1; j >= 0; j-- {
+		prev := s.queue[j]
+		if !prev.ws.Intersects(set) {
+			continue
+		}
+		n++
+		set = set.Subtract(prev.ws).Union(prev.rs)
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+// infoBoundConfig: threshold 50 so chains spanning more than 50 world
+// units break.
+func infoBoundConfig() Config {
+	cfg := cfgFor(ModeInfoBound)
+	cfg.Threshold = 50
+	return cfg
+}
+
+// TestInfoBoundDropsFarChain: a submission whose conflict chain reaches
+// an action farther than the threshold is dropped, the origin client is
+// notified, and the client aborts and reconciles it.
+func TestInfoBoundDropsFarChain(t *testing.T) {
+	init := initWorld(3)
+	lb := newLoopback(t, infoBoundConfig(), init, 2)
+
+	// Client 1 writes object 1 at position (0,0); keep it uncommitted.
+	lb.submit(1, spatialAt(&testAction{rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 1}, 0, 0, 5))
+	for lb.stepServer() {
+	}
+	// Client 2, 100 units away (beyond threshold 50), reads object 1:
+	// direct conflict with a far action → dropped.
+	lb.submit(2, spatialAt(&testAction{rs: world.NewIDSet(1, 2), ws: world.NewIDSet(2), delta: 1}, 100, 0, 5))
+	lb.drain()
+	lb.requireNoViolations()
+
+	if lb.srv.TotalDropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", lb.srv.TotalDropped())
+	}
+	if len(lb.drops) != 1 {
+		t.Fatalf("client saw %d drop notices, want 1", len(lb.drops))
+	}
+	if lb.clients[2].QueueLen() != 0 {
+		t.Fatalf("dropped action still queued at client: %d", lb.clients[2].QueueLen())
+	}
+	// The dropped action's optimistic write must have been rolled back:
+	// object 2's optimistic value equals its stable value.
+	ov, _ := lb.clients[2].Optimistic().Get(2)
+	sv, _ := lb.clients[2].Stable().Get(2)
+	if !ov.Equal(sv) {
+		t.Fatalf("optimistic %v != stable %v after drop rollback", ov, sv)
+	}
+	lb.checkAgainstOracle(init)
+}
+
+// TestInfoBoundAcceptsNearChain: the same conflict within the threshold
+// is accepted.
+func TestInfoBoundAcceptsNearChain(t *testing.T) {
+	init := initWorld(3)
+	lb := newLoopback(t, infoBoundConfig(), init, 2)
+	lb.submit(1, spatialAt(&testAction{rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 1}, 0, 0, 5))
+	for lb.stepServer() {
+	}
+	lb.submit(2, spatialAt(&testAction{rs: world.NewIDSet(1, 2), ws: world.NewIDSet(2), delta: 1}, 30, 0, 5))
+	lb.drain()
+	lb.requireNoViolations()
+	if lb.srv.TotalDropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", lb.srv.TotalDropped())
+	}
+	if len(lb.commits) != 2 {
+		t.Fatalf("commits = %d, want 2", len(lb.commits))
+	}
+	lb.checkAgainstOracle(init)
+}
+
+// TestInfoBoundDiningPhilosophers builds the Section III-E scenario: n
+// philosophers in a ring, each grabbing its two adjacent forks in the
+// same instant. Direct conflicts involve only neighbours, but the
+// transitive closure spans the whole ring. With the ring's circumference
+// far exceeding the threshold, the Information Bound Model must drop a
+// few requests to break the chain — "by dropping a few actions at
+// regular intervals, the chain can be broken into numerous pieces" — and
+// must NOT drop everything.
+func TestInfoBoundDiningPhilosophers(t *testing.T) {
+	const n = 24
+	// Forks are objects 1..n. Philosopher i sits at angle 2πi/n on a
+	// ring of radius 200 (circumference ~1257 >> threshold 50; adjacent
+	// philosophers are ~52 apart > threshold... make radius smaller so
+	// neighbours are within threshold but the ring is not).
+	// Neighbour distance = 2R·sin(π/n); choose R=150: 2·150·sin(7.5°) ≈ 39
+	// < 50, while opposite philosophers are 300 apart.
+	const radius = 150.0
+	init := initWorld(n)
+	lb := newLoopback(t, infoBoundConfig(), init, n)
+
+	// All philosophers grab forks i and i+1 (mod n) "at the same tick":
+	// submit everything before the server sees any of it, then drain.
+	for i := 1; i <= n; i++ {
+		ang := 2 * math.Pi * float64(i) / n
+		x, y := radius*math.Cos(ang), radius*math.Sin(ang)
+		left := world.ObjectID(i)
+		right := world.ObjectID(i%n + 1)
+		grab := spatialAt(&testAction{
+			rs: world.NewIDSet(left, right), ws: world.NewIDSet(left, right), delta: 1,
+		}, x, y, 5)
+		lb.submit(action.ClientID(i), grab)
+	}
+	lb.drain()
+	lb.requireNoViolations()
+
+	dropped := lb.srv.TotalDropped()
+	if dropped == 0 {
+		t.Fatal("ring-spanning chain never broken: no drops")
+	}
+	if dropped >= n/2 {
+		t.Fatalf("chain breaking dropped %d of %d actions; should drop only a few", dropped, n)
+	}
+	if len(lb.commits)+len(lb.drops) != n {
+		t.Fatalf("commits (%d) + drops (%d) != submissions (%d)",
+			len(lb.commits), len(lb.drops), n)
+	}
+	lb.checkAgainstOracle(init)
+}
+
+// TestInfoBoundNonSpatialNeverDropped: actions without spatial metadata
+// never break chains — they are assumed globally relevant.
+func TestInfoBoundNonSpatialNeverDropped(t *testing.T) {
+	init := initWorld(2)
+	lb := newLoopback(t, infoBoundConfig(), init, 2)
+	lb.submit(1, &testAction{rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 1})
+	for lb.stepServer() {
+	}
+	lb.submit(2, &testAction{rs: world.NewIDSet(1, 2), ws: world.NewIDSet(2), delta: 1})
+	lb.drain()
+	lb.requireNoViolations()
+	if lb.srv.TotalDropped() != 0 {
+		t.Fatalf("non-spatial action dropped: %d", lb.srv.TotalDropped())
+	}
+	lb.checkAgainstOracle(init)
+}
+
+// TestChainLength exposes the quantity Algorithm 7 bounds.
+func TestChainLength(t *testing.T) {
+	init := initWorld(4)
+	cfg := infoBoundConfig()
+	srv := NewServer(cfg, init)
+	srv.RegisterClient(1, 0)
+	c1 := NewClient(1, cfg, init)
+	// Queue a chain: a1 writes 1; a2 reads {1,2} writes 2; a3 reads
+	// {2,3} writes 3. Chain of an action reading 3: a3 → a2 → a1.
+	chain := []struct{ rs, ws world.IDSet }{
+		{world.NewIDSet(1), world.NewIDSet(1)},
+		{world.NewIDSet(1, 2), world.NewIDSet(2)},
+		{world.NewIDSet(2, 3), world.NewIDSet(3)},
+	}
+	for _, c := range chain {
+		a := spatialAt(&testAction{rs: c.rs, ws: c.ws, delta: 1}, 0, 0, 5)
+		a.id = c1.NextActionID()
+		m, _ := c1.Submit(a)
+		srv.HandleSubmit(1, m, 0)
+	}
+	if got := srv.ChainLength(world.NewIDSet(3)); got != 3 {
+		t.Fatalf("ChainLength = %d, want 3", got)
+	}
+	if got := srv.ChainLength(world.NewIDSet(4)); got != 0 {
+		t.Fatalf("ChainLength of untouched object = %d, want 0", got)
+	}
+	// Note: per Algorithm 7's replace-semantics (S ← (S−WS)∪RS), reading
+	// object 2 chains through a2 then a1 but not a3.
+	if got := srv.ChainLength(world.NewIDSet(2)); got != 2 {
+		t.Fatalf("ChainLength(2) = %d, want 2", got)
+	}
+}

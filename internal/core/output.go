@@ -1,0 +1,60 @@
+package core
+
+import (
+	"seve/internal/action"
+	"seve/internal/wire"
+)
+
+// Reply is a message the server wants delivered to a specific client.
+type Reply struct {
+	To  action.ClientID
+	Msg wire.Msg
+}
+
+// ServerOutput is everything a server engine call produced. The engines
+// are pure state machines; the transport adapter (simulator or TCP loop)
+// delivers Replies and charges QueueScanned against the server's
+// processor using its cost model.
+type ServerOutput struct {
+	// Replies to deliver, in order.
+	Replies []Reply
+	// QueueScanned counts uncommitted-queue entries examined by closure
+	// and validity analysis during this call — the server-side compute
+	// the paper measures at 0.04 ms per move (Section V-B1).
+	QueueScanned int
+	// Dropped is set when the Information Bound Model invalidated the
+	// submitted action.
+	Dropped bool
+}
+
+// Commit records the stable resolution of one locally originated action,
+// reported by the client engine so the harness can measure response time
+// (submission → stable commit, the paper's headline metric).
+type Commit struct {
+	ActID action.ID
+	Seq   uint64
+	Res   action.Result
+	// Reconciled is true when the optimistic evaluation disagreed with
+	// the stable one and Algorithm 3 ran.
+	Reconciled bool
+}
+
+// ClientOutput is everything a client engine call produced.
+type ClientOutput struct {
+	// ToServer carries messages to send to the server, in order.
+	ToServer []wire.Msg
+	// Applied lists the actions evaluated against the stable state during
+	// this call; the adapter charges their compute cost.
+	Applied []action.Action
+	// Commits lists locally originated actions resolved during this call.
+	Commits []Commit
+	// DroppedLocal lists locally originated actions the server dropped.
+	DroppedLocal []action.ID
+	// ToPeers carries hybrid-relay forwards: batches this client must
+	// deliver directly to the named peers (Section VII hybrid mode).
+	ToPeers []Reply
+	// Violations records strict-mode protocol violations (reads of
+	// never-delivered objects, undeclared accesses). Always empty when
+	// the protocol machinery is sound — asserted by tests.
+	Violations []string
+}

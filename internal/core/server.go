@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+
+	"seve/internal/action"
+	"seve/internal/geom"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Server is the server-side protocol engine: Algorithm 2 in ModeBasic,
+// Algorithm 5 (with the Algorithm 6 transitive closure) in the
+// incomplete-world modes, plus the First Bound push scheduler and the
+// Algorithm 7 Information Bound dropper at the higher levels.
+//
+// The server executes no application logic — "the server merely
+// timestamps actions, queues them for delivery to clients, and manages
+// the network traffic" (Section III-A). Its only per-action compute is
+// read/write-set analysis, which is what lets one server handle
+// thousands of clients (Section V-B1).
+type Server struct {
+	cfg Config
+
+	// zs is ζS, the authoritative stable state, built by installing the
+	// write values carried in completion messages (Algorithm 5). Only
+	// maintained from ModeIncomplete up.
+	zs *world.State
+
+	// installed is the serial position up to which ζS is complete: the
+	// greatest j such that actions 1..j have all been installed.
+	installed uint64
+
+	// queue holds the uncommitted actions a_{installed+1} … a_n, in
+	// serial order: queue[i] has Seq == installed+1+i.
+	queue []*entry
+
+	// pendingRes holds completion results that arrived before all their
+	// predecessors ("the server holds it until ζS(i−1) is available",
+	// Algorithm 5 step 5).
+	pendingRes map[uint64]action.Result
+
+	// log retains every stamped envelope. ModeBasic uses it to answer
+	// submissions with the slice (posC, pos(a)]; RecordHistory retains it
+	// in other modes for the test oracle.
+	log []action.Envelope
+
+	clients map[action.ClientID]*clientInfo
+
+	nextSeq    uint64
+	nextBlind  uint32
+	lastPushMs float64
+
+	totalSubmitted   int
+	totalDropped     int
+	droppedByClient  map[action.ClientID]int
+	totalQueueScans  int
+	completionsTaken int
+
+	// Cross-check state (Config.CrossCheck): accepted results retained
+	// for a window past installation so late redundant reports can still
+	// be audited, and per-client mismatch counts.
+	recentResults map[uint64]action.Result
+	suspects      map[action.ClientID]int
+
+	// installHook, when set, observes every installation into ζS in
+	// serial order — the integration point for the durability layer
+	// (package durable) and any other change feed.
+	installHook func(seq uint64, res action.Result)
+}
+
+// crossCheckWindow is how many installed results the server retains for
+// auditing late completion reports.
+const crossCheckWindow = 256
+
+// clientInfo is what the server knows about a client for bound checks:
+// its last reported position and influence radius ("the position of the
+// character representing client C … and the maximum radius of influence
+// of an action by C", Section III-D).
+type clientInfo struct {
+	pos      geom.Vec
+	radius   float64
+	hasPos   bool
+	posAtMs  float64
+	interest uint64
+	// posC is the Algorithm 2 cursor: the position of the last action
+	// sent to this client (ModeBasic only).
+	posC uint64
+	// nextBatchSeq numbers the batches sent to this client so it can
+	// restore order across the direct and relayed paths.
+	nextBatchSeq uint64
+}
+
+// sequence stamps b with the client's next batch sequence number.
+func (s *Server) sequence(cid action.ClientID, b *wire.Batch) *wire.Batch {
+	if ci := s.clients[cid]; ci != nil {
+		ci.nextBatchSeq++
+		b.ClientSeq = ci.nextBatchSeq
+	}
+	return b
+}
+
+// entry is one uncommitted action in the server's global queue, with the
+// metadata the analyses need: cached read/write sets, the set sent(a) of
+// clients the action has been sent to (Algorithm 5), and spatial data.
+type entry struct {
+	env action.Envelope
+	rs  world.IDSet
+	ws  world.IDSet
+
+	sent map[action.ClientID]struct{}
+
+	pos       geom.Vec
+	radius    float64
+	hasPos    bool
+	vel       geom.Vec
+	hasVel    bool
+	class     uint8
+	stampedMs float64
+}
+
+// NewServer returns a server engine over the given initial world. The
+// configuration must be valid.
+func NewServer(cfg Config, init *world.State) *Server {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Server{
+		cfg:             cfg,
+		zs:              init.Clone(),
+		pendingRes:      make(map[uint64]action.Result),
+		clients:         make(map[action.ClientID]*clientInfo),
+		droppedByClient: make(map[action.ClientID]int),
+		recentResults:   make(map[uint64]action.Result),
+		suspects:        make(map[action.ClientID]int),
+	}
+}
+
+// SetInstallHook registers fn to be called synchronously for every
+// action installed into ζS, in serial order. Pass nil to remove. The
+// Section II transaction layer "commits at periodic checkpoints" to a
+// database through exactly this feed (see package durable).
+func (s *Server) SetInstallHook(fn func(seq uint64, res action.Result)) {
+	s.installHook = fn
+}
+
+// Suspects reports, per client, how many of its completion reports
+// disagreed with the accepted result for the same action. Non-empty only
+// with Config.CrossCheck; an honest fleet always reports zero.
+func (s *Server) Suspects() map[action.ClientID]int {
+	out := make(map[action.ClientID]int, len(s.suspects))
+	for k, v := range s.suspects {
+		out[k] = v
+	}
+	return out
+}
+
+// RegisterClient announces a client to the server. interestMask selects
+// interest classes for Section IV-A filtering; 0 subscribes to all
+// classes.
+func (s *Server) RegisterClient(id action.ClientID, interestMask uint64) {
+	if _, dup := s.clients[id]; dup {
+		panic(fmt.Sprintf("core: client %d registered twice", id))
+	}
+	s.clients[id] = &clientInfo{interest: interestMask}
+}
+
+// UnregisterClient removes a client (failure or disconnect). Queued
+// actions it originated remain; under FailureTolerant configurations
+// other clients' completions still install them.
+func (s *Server) UnregisterClient(id action.ClientID) {
+	delete(s.clients, id)
+}
+
+// Installed returns the serial position up to which ζS is complete.
+func (s *Server) Installed() uint64 { return s.installed }
+
+// Authoritative returns ζS.
+func (s *Server) Authoritative() *world.State { return s.zs }
+
+// QueueLen reports the number of uncommitted actions.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// TotalSubmitted reports all submissions received.
+func (s *Server) TotalSubmitted() int { return s.totalSubmitted }
+
+// TotalDropped reports submissions invalidated by the Information Bound
+// Model.
+func (s *Server) TotalDropped() int { return s.totalDropped }
+
+// DroppedByClient reports per-origin drop counts, for the fairness
+// analysis of Section III-E.
+func (s *Server) DroppedByClient() map[action.ClientID]int {
+	out := make(map[action.ClientID]int, len(s.droppedByClient))
+	for k, v := range s.droppedByClient {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalQueueScans reports cumulative queue entries examined by closure
+// and validity analysis.
+func (s *Server) TotalQueueScans() int { return s.totalQueueScans }
+
+// History returns the stamped envelopes in serial order. It requires
+// ModeBasic or Config.RecordHistory.
+func (s *Server) History() []action.Envelope { return s.log }
+
+// HandleMsg dispatches a client message. nowMs is the server's clock in
+// milliseconds (virtual time under simulation, wall time over TCP).
+func (s *Server) HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) ServerOutput {
+	switch m := msg.(type) {
+	case *wire.Submit:
+		return s.HandleSubmit(from, m, nowMs)
+	case *wire.Completion:
+		return s.HandleCompletion(m)
+	default:
+		// Unknown message types are ignored; the transport layer logs.
+		return ServerOutput{}
+	}
+}
+
+// HandleSubmit processes a newly submitted action: Algorithm 2 step 2 in
+// ModeBasic, Algorithm 5 step 3 plus the Algorithm 7 validity check in
+// the higher modes.
+func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float64) ServerOutput {
+	var out ServerOutput
+	s.totalSubmitted++
+
+	env := m.Env
+	env.Origin = from // trust the connection, not the payload
+
+	e := newEntry(env, nowMs)
+	s.noteClientPosition(from, e, nowMs)
+
+	if s.cfg.Mode >= ModeInfoBound {
+		if invalid := s.checkValidity(e, &out); invalid {
+			s.totalDropped++
+			s.droppedByClient[from]++
+			out.Dropped = true
+			out.Replies = append(out.Replies, Reply{
+				To:  from,
+				Msg: &wire.Drop{ActID: env.Act.ID()},
+			})
+			return out
+		}
+	}
+
+	// Timestamp a and put it into the queue (Algorithm 2 step 2a /
+	// Algorithm 5 step 3a).
+	s.nextSeq++
+	e.env.Seq = s.nextSeq
+	e.sent[from] = struct{}{} // the origin trivially has its own action
+
+	if s.cfg.Mode == ModeBasic {
+		s.log = append(s.log, e.env)
+		s.replyBasic(from, &out)
+		return out
+	}
+
+	s.queue = append(s.queue, e)
+	if s.cfg.RecordHistory {
+		s.log = append(s.log, e.env)
+	}
+	// Compute the reply with Algorithm 6: the transitive closure of
+	// uncommitted actions affecting this one, prefixed by a blind write.
+	batch := s.closureBatch(from, []int{len(s.queue) - 1}, &out)
+	out.Replies = append(out.Replies, Reply{
+		To:  from,
+		Msg: s.sequence(from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
+	})
+	return out
+}
+
+// replyBasic implements Algorithm 2 step 2b: "the server returns to C all
+// actions between positions posC and pos(a), and sets posC = pos(a)".
+func (s *Server) replyBasic(from action.ClientID, out *ServerOutput) {
+	ci := s.clients[from]
+	if ci == nil {
+		return
+	}
+	// log[i] has Seq i+1, so the slice (posC, nextSeq] is log[posC:nextSeq].
+	envs := make([]action.Envelope, s.nextSeq-ci.posC)
+	copy(envs, s.log[ci.posC:s.nextSeq])
+	ci.posC = s.nextSeq
+	out.Replies = append(out.Replies, Reply{
+		To:  from,
+		Msg: s.sequence(from, &wire.Batch{Envs: envs}),
+	})
+}
+
+// HandleCompletion processes Algorithm 5 step 5: the completion for a_i
+// is held until ζS(i−1) is available, then its values are installed into
+// ζS and a_i is discarded from the action queue.
+func (s *Server) HandleCompletion(m *wire.Completion) ServerOutput {
+	if s.cfg.Mode == ModeBasic {
+		return ServerOutput{} // no authoritative state to maintain
+	}
+	if m.Seq <= s.installed {
+		// Duplicate of an installed action (failure-tolerant
+		// redundancy); still audit it if cross-checking.
+		s.crossCheck(m)
+		return ServerOutput{}
+	}
+	if accepted, dup := s.pendingRes[m.Seq]; dup {
+		if s.cfg.CrossCheck && !m.Res.Equal(accepted) {
+			s.suspects[m.By]++
+		}
+	} else {
+		s.pendingRes[m.Seq] = m.Res.Clone()
+		s.completionsTaken++
+	}
+	// Install any now-contiguous prefix.
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		res, ok := s.pendingRes[head.env.Seq]
+		if !ok {
+			break
+		}
+		if res.OK {
+			for _, w := range res.Writes {
+				s.zs.Set(w.ID, w.Val)
+			}
+		}
+		s.installed = head.env.Seq
+		if s.installHook != nil {
+			s.installHook(head.env.Seq, res)
+		}
+		delete(s.pendingRes, head.env.Seq)
+		if s.cfg.CrossCheck {
+			s.recentResults[head.env.Seq] = res
+			if old := int64(head.env.Seq) - crossCheckWindow; old > 0 {
+				delete(s.recentResults, uint64(old))
+			}
+		}
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+	}
+	return ServerOutput{}
+}
+
+// crossCheck audits a late completion against the retained accepted
+// result.
+func (s *Server) crossCheck(m *wire.Completion) {
+	if !s.cfg.CrossCheck {
+		return
+	}
+	accepted, ok := s.recentResults[m.Seq]
+	if !ok {
+		return // outside the audit window
+	}
+	if !m.Res.Equal(accepted) {
+		s.suspects[m.By]++
+	}
+}
+
+// noteClientPosition updates the server's view of the client's character
+// position and action radius from the submitted action's spatial
+// metadata.
+func (s *Server) noteClientPosition(from action.ClientID, e *entry, nowMs float64) {
+	ci := s.clients[from]
+	if ci == nil || !e.hasPos {
+		return
+	}
+	ci.pos = e.pos
+	ci.hasPos = true
+	ci.posAtMs = nowMs
+	if e.radius > ci.radius {
+		ci.radius = e.radius
+	}
+}
+
+func newEntry(env action.Envelope, nowMs float64) *entry {
+	e := &entry{
+		env:       env,
+		rs:        env.Act.ReadSet(),
+		ws:        env.Act.WriteSet(),
+		sent:      make(map[action.ClientID]struct{}),
+		stampedMs: nowMs,
+	}
+	if sp, ok := env.Act.(action.Spatial); ok {
+		c := sp.Influence()
+		e.pos, e.radius, e.hasPos = c.Center, c.R, true
+	}
+	if mv, ok := env.Act.(action.Moving); ok {
+		e.vel, e.hasVel = mv.Motion(), true
+	}
+	if cl, ok := env.Act.(action.Classed); ok {
+		e.class = cl.InterestClass()
+	}
+	return e
+}
+
+func (s *Server) nextBlindID() action.ID {
+	s.nextBlind++
+	return action.ID{Client: action.OriginServer, Seq: s.nextBlind}
+}

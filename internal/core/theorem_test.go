@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+// randomRun drives a random workload through a loopback at the given
+// mode and checks every Theorem 1 invariant: no strict-mode violations,
+// stable results equal to the serial oracle, ζS equal to the oracle
+// state, and submissions fully accounted for as commits + drops.
+//
+// Deliveries are randomized (FIFO per link but arbitrarily interleaved
+// across links), so this explores schedules far beyond the deterministic
+// unit tests: stale optimistic evaluations, deep closure chains,
+// out-of-order completions, pushes racing replies.
+func randomRun(t *testing.T, mode Mode, seed int64) {
+	t.Helper()
+	randomRunWith(t, seed, func(cfg *Config) { cfg.Mode = mode })
+}
+
+// randomRunWith is randomRun with an arbitrary config mutation applied
+// on top of the randomized base configuration.
+func randomRunWith(t *testing.T, seed int64, mutate func(*Config)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	const nClients = 5
+	const nObjects = 8
+	const nRounds = 12
+
+	cfg := cfgFor(ModeBasic)
+	cfg.MaxSpeed = 0.01
+	cfg.Threshold = 120 // some drops in infobound mode, not a bloodbath
+	cfg.DefaultRadius = 10
+	cfg.FailureTolerant = rng.Intn(2) == 0
+	mutate(&cfg)
+	mode := cfg.Mode
+
+	init := initWorld(nObjects)
+	lb := newLoopback(t, cfg, init, nClients)
+
+	submitted := 0
+	for round := 0; round < nRounds; round++ {
+		lb.nowMs += float64(rng.Intn(100) + 1)
+		// Every client may submit an action over a random object
+		// neighbourhood (objects cluster to force conflicts).
+		for c := 1; c <= nClients; c++ {
+			if rng.Intn(3) == 0 {
+				continue // this client idles this round
+			}
+			base := rng.Intn(nObjects) + 1
+			rs := []world.ObjectID{world.ObjectID(base)}
+			for k := 0; k < rng.Intn(3); k++ {
+				rs = append(rs, world.ObjectID(rng.Intn(nObjects)+1))
+			}
+			// WS ⊆ RS: pick a nonempty prefix.
+			ws := rs[:1+rng.Intn(len(rs))]
+			a := &testAction{
+				rs:    world.NewIDSet(rs...),
+				ws:    world.NewIDSet(ws...),
+				delta: float64(rng.Intn(100)),
+			}
+			if rng.Intn(4) != 0 { // most actions are spatial
+				spatialAt(a, rng.Float64()*200, rng.Float64()*200, 5+rng.Float64()*10)
+			}
+			lb.submit(action.ClientID(c), a)
+			submitted++
+		}
+		// Random partial delivery, interleaved with First Bound ticks.
+		steps := rng.Intn(20)
+		for s := 0; s < steps; s++ {
+			lb.drainRandomStep(rng)
+		}
+		if mode >= ModeFirstBound && rng.Intn(2) == 0 {
+			lb.tick()
+		}
+	}
+	lb.drainRandom(rng)
+	if mode >= ModeFirstBound {
+		// A final push cycle plus drain flushes anything unpushed.
+		lb.nowMs += cfg.PushIntervalMs()
+		lb.tick()
+		lb.drainRandom(rng)
+	}
+
+	lb.requireNoViolations()
+	if got := len(lb.commits) + len(lb.drops); got != submitted {
+		t.Fatalf("mode %v seed %d: commits (%d) + drops (%d) != submitted (%d)",
+			mode, seed, len(lb.commits), len(lb.drops), submitted)
+	}
+	lb.checkAgainstOracle(init)
+
+	// After quiescence every client's in-flight queue is empty and its
+	// optimistic state has converged to its stable state.
+	for cid, c := range lb.clients {
+		if c.QueueLen() != 0 {
+			t.Fatalf("mode %v seed %d: client %d still has %d in-flight actions",
+				mode, seed, cid, c.QueueLen())
+		}
+	}
+}
+
+// drainRandomStep performs at most one randomly chosen delivery.
+func (lb *loopback) drainRandomStep(rng *rand.Rand) {
+	var choices []func() bool
+	if len(lb.toServer) > 0 {
+		choices = append(choices, lb.stepServer)
+	}
+	for _, cid := range lb.order {
+		if len(lb.toClient[cid]) > 0 {
+			cid := cid
+			choices = append(choices, func() bool { return lb.stepClient(cid) })
+		}
+	}
+	if len(choices) == 0 {
+		return
+	}
+	choices[rng.Intn(len(choices))]()
+}
+
+func TestTheorem1PropertyBasic(t *testing.T) {
+	f := func(seed int64) bool {
+		randomRun(t, ModeBasic, seed)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem1PropertyIncomplete(t *testing.T) {
+	f := func(seed int64) bool {
+		randomRun(t, ModeIncomplete, seed)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem1PropertyFirstBound(t *testing.T) {
+	f := func(seed int64) bool {
+		randomRun(t, ModeFirstBound, seed)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem1PropertyInfoBound(t *testing.T) {
+	f := func(seed int64) bool {
+		randomRun(t, ModeInfoBound, seed)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBasicConvergenceAcrossClients: in ModeBasic, once every client has
+// received the full log (forced by a final no-op submission from each),
+// all stable states are identical.
+func TestBasicConvergenceAcrossClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	init := initWorld(6)
+	lb := newLoopback(t, cfgFor(ModeBasic), init, 4)
+	for round := 0; round < 10; round++ {
+		for c := 1; c <= 4; c++ {
+			obj := world.ObjectID(rng.Intn(6) + 1)
+			lb.submit(action.ClientID(c), &testAction{
+				rs: world.NewIDSet(obj), ws: world.NewIDSet(obj),
+				delta: float64(rng.Intn(50)),
+			})
+		}
+		lb.drainRandom(rng)
+	}
+	// Final sync: everyone submits once more so Algorithm 2 ships them
+	// the tail of the log.
+	for c := 1; c <= 4; c++ {
+		lb.submit(action.ClientID(c), &testAction{
+			rs: world.NewIDSet(1), ws: world.NewIDSet(1), delta: 0,
+		})
+	}
+	lb.drain()
+	lb.requireNoViolations()
+
+	var digests []uint64
+	for c := 1; c <= 4; c++ {
+		digests = append(digests, lb.clients[action.ClientID(c)].Stable().LatestState().Digest())
+	}
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] {
+			t.Fatalf("client stable states diverged: digests %v", digests)
+		}
+	}
+	lb.checkAgainstOracle(init)
+}
+
+// TestDropFairness: in a symmetric high-contention workload, Information
+// Bound drops are spread across clients rather than starving one
+// (Section III-E's fairness conjecture).
+func TestDropFairness(t *testing.T) {
+	const n = 12
+	cfg := cfgFor(ModeInfoBound)
+	cfg.Threshold = 30
+	init := initWorld(n)
+	lb := newLoopback(t, cfg, init, n)
+	rng := rand.New(rand.NewSource(7))
+
+	// Ring contention, many rounds, randomized service order.
+	for round := 0; round < 40; round++ {
+		for i := 1; i <= n; i++ {
+			left := world.ObjectID(i)
+			right := world.ObjectID(i%n + 1)
+			// Positions on a wide ring: neighbours ~ within threshold.
+			ang := 2 * 3.141592653589793 * float64(i) / n
+			a := spatialAt(&testAction{
+				rs: world.NewIDSet(left, right), ws: world.NewIDSet(left, right), delta: 1,
+			}, 110*cos64(ang), 110*sin64(ang), 3)
+			lb.submit(action.ClientID(i), a)
+		}
+		lb.drainRandom(rng)
+	}
+	lb.requireNoViolations()
+	byClient := lb.srv.DroppedByClient()
+	total := lb.srv.TotalDropped()
+	if total < n { // expect plenty of drops in 40 contested rounds
+		t.Skipf("only %d drops; contention too low for a fairness check", total)
+	}
+	max := 0
+	for _, d := range byClient {
+		if d > max {
+			max = d
+		}
+	}
+	// No single client absorbs more than half of all drops.
+	if max*2 > total {
+		t.Fatalf("drop unfairness: one client took %d of %d drops (%v)", max, total, byClient)
+	}
+	lb.checkAgainstOracle(init)
+}
+
+func cos64(x float64) float64 { return math.Cos(x) }
+func sin64(x float64) float64 { return math.Sin(x) }

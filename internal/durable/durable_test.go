@@ -1,0 +1,290 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+func write(id world.ObjectID, vals ...float64) world.Write {
+	return world.Write{ID: id, Val: world.Value(vals)}
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 10)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(2, action.Result{OK: false}); err != nil { // abort: no effect
+		t.Fatal(err)
+	}
+	if err := st.Append(3, action.Result{OK: true, Writes: []world.Write{write(1, 30), write(2, 5, 6)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st.LastAppended() != 3 {
+		t.Fatalf("LastAppended = %d", st.LastAppended())
+	}
+	st.Close()
+
+	got, upTo, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo != 3 {
+		t.Fatalf("recovered up to %d, want 3", upTo)
+	}
+	if v, _ := got.Get(1); v[0] != 30 {
+		t.Fatalf("obj 1 = %v, want 30", v)
+	}
+	if v, _ := got.Get(2); !v.Equal(world.Value{5, 6}) {
+		t.Fatalf("obj 2 = %v", v)
+	}
+}
+
+func TestRecoverEmptyAndMissingDir(t *testing.T) {
+	st, upTo, err := Recover(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || upTo != 0 || st.Len() != 0 {
+		t.Fatalf("missing dir: %v %d %d", err, upTo, st.Len())
+	}
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Close()
+	st, upTo, err = Recover(dir)
+	if err != nil || upTo != 0 || st.Len() != 0 {
+		t.Fatalf("empty dir: %v %d %d", err, upTo, st.Len())
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	st.Append(2, action.Result{OK: true, Writes: []world.Write{write(1, 2)}})
+	st.Close()
+
+	// Tear the last record: chop 3 bytes off the log.
+	logPath := filepath.Join(dir, "actions.log")
+	raw, _ := os.ReadFile(logPath)
+	os.WriteFile(logPath, raw[:len(raw)-3], 0o644)
+
+	got, upTo, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo != 1 {
+		t.Fatalf("recovered up to %d, want 1 (torn record dropped)", upTo)
+	}
+	if v, _ := got.Get(1); v[0] != 1 {
+		t.Fatalf("obj 1 = %v, want 1", v)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	st.Append(2, action.Result{OK: true, Writes: []world.Write{write(1, 2)}})
+	st.Append(3, action.Result{OK: true, Writes: []world.Write{write(1, 3)}})
+	st.Close()
+
+	// Flip a byte inside the second record's body.
+	logPath := filepath.Join(dir, "actions.log")
+	raw, _ := os.ReadFile(logPath)
+	raw[len(raw)/2] ^= 0xFF
+	os.WriteFile(logPath, raw, 0o644)
+
+	_, upTo, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo >= 3 {
+		t.Fatalf("recovered up to %d despite corruption", upTo)
+	}
+}
+
+func TestSnapshotAndLogTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	st.Append(2, action.Result{OK: true, Writes: []world.Write{write(2, 2)}})
+
+	snap := world.NewState()
+	snap.Set(1, world.Value{1})
+	snap.Set(2, world.Value{2})
+	if err := st.Snapshot(2, snap); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot installs land in the fresh log.
+	st.Append(3, action.Result{OK: true, Writes: []world.Write{write(1, 100)}})
+	st.Close()
+
+	got, upTo, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo != 3 {
+		t.Fatalf("upTo = %d", upTo)
+	}
+	if v, _ := got.Get(1); v[0] != 100 {
+		t.Fatalf("obj 1 = %v", v)
+	}
+	if v, _ := got.Get(2); v[0] != 2 {
+		t.Fatalf("obj 2 = %v", v)
+	}
+	// Only the newest snapshot file remains.
+	entries, _ := os.ReadDir(dir)
+	snaps := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".state" {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("snapshot files = %d, want 1", snaps)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	s1 := world.NewState()
+	s1.Set(1, world.Value{1})
+	if err := st.Snapshot(1, s1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := world.NewState()
+	s2.Set(1, world.Value{2})
+	if err := st.Snapshot(2, s2); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Snapshot(2) removed snapshot(1); recreate an older intact one and
+	// corrupt the newer.
+	body := encodeState(1, s1)
+	sum := make([]byte, 4)
+	// correct crc for older snapshot
+	copy(sum, mustCRC(body))
+	os.WriteFile(filepath.Join(dir, "snapshot-00000000000000000001.state"), append(sum, body...), 0o644)
+	newer := filepath.Join(dir, "snapshot-00000000000000000002.state")
+	raw, _ := os.ReadFile(newer)
+	raw[len(raw)-1] ^= 0xFF
+	os.WriteFile(newer, raw, 0o644)
+
+	got, upTo, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo != 1 {
+		t.Fatalf("upTo = %d, want 1 (fallback)", upTo)
+	}
+	if v, _ := got.Get(1); v[0] != 1 {
+		t.Fatalf("obj 1 = %v", v)
+	}
+}
+
+func mustCRC(body []byte) []byte {
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint32(out, crc32.ChecksumIEEE(body))
+	return out
+}
+
+// TestRecoverEqualsOracleProperty: for random histories with snapshots at
+// random points and a possibly-torn tail, recovery equals the oracle
+// state at the recovered position.
+func TestRecoverEqualsOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		st, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		oracle := map[uint64]*world.State{0: world.NewState()}
+		cur := world.NewState()
+		n := uint64(rng.Intn(40) + 1)
+		for seq := uint64(1); seq <= n; seq++ {
+			res := action.Result{OK: rng.Intn(5) != 0}
+			if res.OK {
+				for k := 0; k < rng.Intn(3)+1; k++ {
+					w := write(world.ObjectID(rng.Intn(6)+1), rng.Float64())
+					res.Writes = append(res.Writes, w)
+					cur.Set(w.ID, w.Val)
+				}
+			}
+			if err := st.Append(seq, res); err != nil {
+				return false
+			}
+			oracle[seq] = cur.Clone()
+			if rng.Intn(10) == 0 {
+				if err := st.Snapshot(seq, cur); err != nil {
+					return false
+				}
+			}
+		}
+		st.Close()
+		// Randomly tear the log tail.
+		if rng.Intn(2) == 0 {
+			logPath := filepath.Join(dir, "actions.log")
+			raw, _ := os.ReadFile(logPath)
+			if len(raw) > 4 {
+				cut := rng.Intn(len(raw))
+				os.WriteFile(logPath, raw[:cut], 0o644)
+			}
+		}
+		got, upTo, err := Recover(dir)
+		if err != nil {
+			return false
+		}
+		want, ok := oracle[upTo]
+		return ok && got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenOnFilePathFails(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file); err == nil {
+		t.Fatal("Open over a regular file succeeded")
+	}
+}
+
+func TestRecoverIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644)
+	os.WriteFile(filepath.Join(dir, "snapshot-garbage.state"), []byte("xx"), 0o644)
+	st, upTo, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo != 0 || st.Len() != 0 {
+		t.Fatalf("recovered %d objects upTo %d from garbage", st.Len(), upTo)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	st.Close()
+	if err := st.Append(1, action.Result{OK: true}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/manhattan"
+	"seve/internal/metrics"
+)
+
+// Options tunes experiment fidelity. Quick mode shrinks sweeps and move
+// counts so the full battery runs in seconds (used by tests and
+// `seve-bench -quick`); the default reproduces the paper's scales.
+type Options struct {
+	Quick bool
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+func (o Options) log(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// moves returns the per-client move count for the fidelity level.
+func (o Options) moves() int {
+	if o.Quick {
+		return 30
+	}
+	return 100
+}
+
+// pick returns full or quick depending on fidelity.
+func pick[T any](o Options, full, quick T) T {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// calibrateMoveCost adjusts PerWallCostMs so the average per-move cost in
+// this world equals targetMs — the paper's measured 7.44 ms per move for
+// the Figure 6 setup. Returns the updated workload config.
+func calibrateMoveCost(cfg manhattan.Config, targetMs float64) manhattan.Config {
+	w := manhattan.NewWorld(cfg)
+	avg := w.AvgVisibleWalls(8)
+	if avg <= 0 {
+		cfg.BaseCostMs = targetMs
+		cfg.PerWallCostMs = 0
+		return cfg
+	}
+	if targetMs < cfg.BaseCostMs {
+		cfg.BaseCostMs = targetMs / 2
+	}
+	cfg.PerWallCostMs = (targetMs - cfg.BaseCostMs) / avg
+	return cfg
+}
+
+// TableI prints the simulation settings, mirroring the paper's Table I.
+func TableI() *metrics.Table {
+	w := manhattan.DefaultConfig()
+	t := &metrics.Table{
+		Title:  "Table I: Simulation Settings",
+		Header: []string{"parameter", "value"},
+	}
+	t.AddRow("Virtual world size", fmt.Sprintf("%.0f x %.0f", w.Width, w.Height))
+	t.AddRow("Number of walls", fmt.Sprintf("0 - %d", w.NumWalls))
+	t.AddRow("Number of clients", "0 - 64")
+	t.AddRow("Average latency", "238ms")
+	t.AddRow("Maximum bandwidth", "100Kbps")
+	t.AddRow("Moves per client", "100")
+	t.AddRow("Move generation rate", "Every 300ms per client")
+	t.AddRow("Move effect range", fmt.Sprintf("%.0funits", w.EffectRange))
+	t.AddRow("Avatar visibility", fmt.Sprintf("%.0funits", w.Visibility))
+	t.AddRow("Threshold", "1.5 x Avatar visibility")
+	return t
+}

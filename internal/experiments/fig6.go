@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/metrics"
+)
+
+// Fig6 regenerates Figure 6: "Scalability of SEVE vs Central
+// architecture" — mean response time observed by clients against the
+// number of clients, for the Central, SEVE, and Broadcast models, at
+// 100 000 walls with the per-move cost calibrated to the paper's
+// measured 7.44 ms.
+//
+// Expected shape (Section V-B1): Central and Broadcast break down at
+// about 30–32 clients — 32 clients × 7.44 ms consumes 238 of the 300 ms
+// between moves, and past that the serving processor (the server for
+// Central, every client for Broadcast) accumulates an unbounded backlog.
+// SEVE's response time stays flat: its server only timestamps and
+// analyzes read/write sets.
+func Fig6(opt Options) (*metrics.Table, error) {
+	counts := pick(opt, []int{4, 8, 16, 24, 32, 40, 48, 56, 64}, []int{4, 16, 32, 48})
+	archs := []Arch{ArchCentral, ArchSEVE, ArchBroadcast}
+
+	t := &metrics.Table{
+		Title:  "Figure 6: Response Time (ms) vs Number of Clients (100k walls, 7.44 ms/move)",
+		Header: []string{"clients", "Central", "SEVE", "Broadcast"},
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, arch := range archs {
+			rc := DefaultRunConfig(arch, n)
+			rc.MovesPerClient = opt.moves()
+			rc.World = calibrateMoveCost(rc.World, 7.44)
+			rc.SlackMs = 60_000 // let saturated backlogs drain so means are honest
+			res, err := Run(rc)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %v/%d: %w", arch, n, err)
+			}
+			row = append(row, metrics.Ms(res.Response.Mean()))
+			opt.log("fig6 %v clients=%d mean=%.0fms committed=%d/%d",
+				arch, n, res.Response.Mean(), res.Committed, res.Submitted)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/metrics"
+)
+
+// Fig7 regenerates Figure 7: "Response Time vs Action Complexity" —
+// mean response time against the compute cost of a single move, with the
+// number of clients fixed at 25. The cost knob is applied directly as
+// the per-move base cost (the paper turned the same knob via wall count
+// and trig-heavy evaluation).
+//
+// Expected shape (Section V-B1): Central and Broadcast perform well
+// below ~10 ms per move (25 clients × 12 ms = 300 ms, the full move
+// budget) and become unplayable past it; SEVE is unaffected because no
+// single node evaluates more than its own neighbourhood.
+func Fig7(opt Options) (*metrics.Table, error) {
+	costs := pick(opt,
+		[]float64{1, 3, 5, 7.44, 10, 12, 15, 20, 25},
+		[]float64{1, 7.44, 15, 25})
+	archs := []Arch{ArchCentral, ArchSEVE, ArchBroadcast}
+	const clients = 25
+
+	t := &metrics.Table{
+		Title:  "Figure 7: Response Time (ms) vs Complexity as Time per Action (ms), 25 clients",
+		Header: []string{"ms/action", "Central", "SEVE", "Broadcast"},
+	}
+	for _, c := range costs {
+		row := []string{metrics.Ms(c)}
+		for _, arch := range archs {
+			rc := DefaultRunConfig(arch, clients)
+			rc.MovesPerClient = opt.moves()
+			rc.World.NumWalls = 1000 // geometry only; cost pinned below
+			rc.World.BaseCostMs = c
+			rc.World.PerWallCostMs = 0
+			rc.SlackMs = 60_000
+			res, err := Run(rc)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %v/%.1f: %w", arch, c, err)
+			}
+			row = append(row, metrics.Ms(res.Response.Mean()))
+			opt.log("fig7 %v cost=%.1fms mean=%.0fms", arch, c, res.Response.Mean())
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

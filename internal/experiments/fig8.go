@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/core"
+	"seve/internal/metrics"
+)
+
+// fig8World builds the density-stress setup of Section V-B1: 60 clients,
+// the world reduced to 250×250 units, avatars initially 4 units apart,
+// avatar visibility swept from 10 to 100 units. Rising visibility raises
+// the per-move cost (more visible walls to check) and the number of
+// avatars each avatar sees — the figure's x axis.
+func fig8World(visibility float64, moves int) RunConfig {
+	rc := DefaultRunConfig(ArchSEVE, 60)
+	rc.World.Width, rc.World.Height = 250, 250
+	rc.World.NumWalls = 3000
+	rc.World.Visibility = visibility
+	rc.MovesPerClient = moves
+	rc.Spacing = 4
+	rc.SlackMs = 30_000
+	// The dense crowd makes closure batches an order of magnitude larger
+	// than the Figure 6 workload's; at the Table I 100 Kbps every variant
+	// is link-dead at every density, hiding the compute effect the figure
+	// isolates. A 1 Mbps link keeps the wire out of the way.
+	rc.BandwidthBps = 1_000_000
+
+	// The chain-breaking threshold stays at the Table I default
+	// (1.5 × the default 30-unit visibility): the sweep varies what
+	// avatars can see, not the consistency budget.
+	cfg := core.DefaultConfig()
+	cfg.RTTMs = 2 * rc.LatencyMs
+	cfg.MaxSpeed = rc.World.Speed
+	cfg.DefaultRadius = rc.World.EffectRange
+	cfg.Threshold = 45
+	rc.Core = cfg
+	return rc
+}
+
+// Fig8 regenerates Figure 8: "Effect of increasing density of avatars" —
+// mean response time against the average number of visible avatars, for
+// SEVE with and without move dropping.
+//
+// Expected shape (Section V-B1): the no-dropping variant bogs down past
+// ~35 visible avatars because conflict chains through the packed crowd
+// deliver nearly every action to every client and the clients run out of
+// compute; the dropping variant breaks the chains (1.5–7.5 % of moves
+// dropped) and stays stable.
+func Fig8(opt Options) (*metrics.Table, error) {
+	visibilities := pick(opt,
+		[]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		[]float64{10, 40, 70, 100})
+
+	t := &metrics.Table{
+		Title:  "Figure 8: Response Time (ms) vs Avatars Visible (average), 60 clients, 250x250",
+		Header: []string{"visibility", "avatars-visible", "SEVE-nodrop", "SEVE-drop", "moves-dropped-%"},
+	}
+	for _, vis := range visibilities {
+		rcND := fig8World(vis, opt.moves())
+		rcND.Arch = ArchSEVENoDrop
+		noDrop, err := Run(rcND)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 nodrop vis=%.0f: %w", vis, err)
+		}
+		rcD := fig8World(vis, opt.moves())
+		rcD.Arch = ArchSEVE
+		drop, err := Run(rcD)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 drop vis=%.0f: %w", vis, err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f", vis),
+			fmt.Sprintf("%.1f", drop.AvgVisibleAvatars),
+			metrics.Ms(noDrop.Response.Mean()),
+			metrics.Ms(drop.Response.Mean()),
+			metrics.Pct(drop.Dropped, drop.Submitted),
+		)
+		opt.log("fig8 vis=%.0f visible=%.1f nodrop=%.0fms drop=%.0fms dropped=%s%%",
+			vis, drop.AvgVisibleAvatars, noDrop.Response.Mean(), drop.Response.Mean(),
+			metrics.Pct(drop.Dropped, drop.Submitted))
+	}
+	return t, nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/metrics"
+)
+
+// Fig9 regenerates Figure 9: "Total data transfer" — bytes put on all
+// links over the run, against the number of clients, for Central, SEVE
+// and Broadcast.
+//
+// Expected shape (Section V-B2): Broadcast traffic is quadratic in the
+// number of clients (every action relayed to every client — the original
+// motivation for RING); SEVE's total "does not differ significantly from
+// a centralized model, which obviously is optimal in total traffic".
+// Absolute byte counts depend on this codec's message sizes, so only the
+// ratios and growth rates are comparable to the paper's kb figures.
+func Fig9(opt Options) (*metrics.Table, error) {
+	counts := pick(opt, []int{8, 16, 24, 32, 40, 48, 56, 64}, []int{8, 24, 48})
+	archs := []Arch{ArchCentral, ArchSEVE, ArchBroadcast}
+
+	t := &metrics.Table{
+		Title:  "Figure 9: Total Data Transfer (kb) vs Number of Clients",
+		Header: []string{"clients", "Central", "SEVE", "Broadcast"},
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, arch := range archs {
+			rc := DefaultRunConfig(arch, n)
+			rc.MovesPerClient = opt.moves()
+			// Light per-move cost: Figure 9 measures traffic, not
+			// saturation, and a saturated run stops emitting messages.
+			rc.World.NumWalls = 1000
+			rc.World.BaseCostMs = 1
+			rc.World.PerWallCostMs = 0
+			res, err := Run(rc)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v/%d: %w", arch, n, err)
+			}
+			row = append(row, metrics.KB(res.TotalBytes))
+			opt.log("fig9 %v clients=%d bytes=%d", arch, n, res.TotalBytes)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/action"
+	"seve/internal/baseline"
+	"seve/internal/manhattan"
+	"seve/internal/netsim"
+	"seve/internal/sim"
+	"seve/internal/wire"
+)
+
+// Zoned-architecture wiring (Section II-A). Zone servers occupy node ids
+// zoneNodeBase+z; clients route each move to the server whose tile their
+// avatar stands in, and servers gossip effects over fast intra-
+// datacenter links.
+
+const zoneNodeBase netsim.NodeID = 100_000
+
+func (h *harness) zoneNode(z int) netsim.NodeID { return zoneNodeBase + netsim.NodeID(z) }
+
+func (h *harness) buildZoned() {
+	perRow := h.rc.ZonesPerRow
+	if perRow < 1 {
+		perRow = 2
+	}
+	h.zones = baseline.NewZoneGrid(h.rc.World.Width, h.rc.World.Height, perRow, h.init)
+	h.centralClients = make(map[action.ClientID]*baseline.CentralClient)
+	h.clientProcs = make(map[action.ClientID]*sim.Proc)
+	h.zoneProcs = make([]*sim.Proc, h.zones.Zones())
+
+	for z := 0; z < h.zones.Zones(); z++ {
+		z := z
+		srv := h.zones.Server(z)
+		proc := sim.NewProc(h.k, fmt.Sprintf("zone%d", z))
+		h.zoneProcs[z] = proc
+		node := h.zoneNode(z)
+		h.net.AddNode(node, func(from netsim.NodeID, msg netsim.Message) {
+			switch m := msg.(type) {
+			case *wire.Submit:
+				out := srv.HandleSubmit(action.ClientID(from), m)
+				cost := h.rc.Costs.ServerDispatchMs
+				for _, a := range out.Executed {
+					cost += h.rc.Costs.actionCost(a)
+				}
+				proc.Exec(sim.Time(cost), func() {
+					for _, rep := range out.Replies {
+						h.net.Send(node, h.nodeOf(rep.To), rep.Msg)
+					}
+					for _, pu := range out.PeerUpdates {
+						for pz := 0; pz < h.zones.Zones(); pz++ {
+							if pz != z {
+								h.net.Send(node, h.zoneNode(pz), pu)
+							}
+						}
+					}
+				})
+			case *wire.Batch:
+				// Peer gossip: cheap replica maintenance.
+				srv.HandlePeerUpdate(m)
+				proc.Exec(sim.Time(0.01), func() {})
+			}
+		})
+	}
+	// Server-to-server links: same datacenter, 2 ms, effectively
+	// unmetered.
+	for a := 0; a < h.zones.Zones(); a++ {
+		for b := 0; b < h.zones.Zones(); b++ {
+			if a != b {
+				h.net.SetLink(h.zoneNode(a), h.zoneNode(b),
+					netsim.LinkConfig{Latency: 2, BandwidthBps: 0})
+			}
+		}
+	}
+
+	for i := 1; i <= h.rc.World.NumAvatars; i++ {
+		cid := action.ClientID(i)
+		h.zones.RegisterClient(cid)
+		cl := baseline.NewCentralClient(cid, h.init)
+		h.centralClients[cid] = cl
+		proc := sim.NewProc(h.k, fmt.Sprintf("client%d", i))
+		h.clientProcs[cid] = proc
+		h.net.AddNode(h.nodeOf(cid), func(from netsim.NodeID, msg netsim.Message) {
+			commits := cl.HandleMsg(msg.(wire.Msg))
+			proc.Exec(0, func() { h.recordCommits(commits) })
+		})
+	}
+}
+
+// submitMoveZoned routes the move to the zone covering the avatar's
+// current position in the client's view.
+func (h *harness) submitMoveZoned(cid action.ClientID) {
+	cl := h.centralClients[cid]
+	avatar := manhattan.AvatarID(int(cid))
+	mv, err := h.w.NewMove(cl.NextActionID(), avatar, cl.View())
+	if err != nil {
+		h.res.Violations = append(h.res.Violations, err.Error())
+		return
+	}
+	h.sampleVisibility(cl.View(), avatar)
+	msg := cl.Submit(mv)
+	h.submitAt[mv.ID()] = h.k.Now()
+	h.res.Submitted++
+	zone := h.zones.ZoneOf(mv.Influence().Center)
+	h.net.Send(h.nodeOf(cid), h.zoneNode(zone), msg)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/core"
+	"seve/internal/metrics"
+)
+
+// Hybrid is an extension experiment for the Section VII future-work
+// direction, implemented in core: delegating First Bound push fan-out to
+// one relay client per neighbourhood cell. With avatars crowded so cells
+// hold many clients, the server's egress drops by roughly the cell
+// population while consistency (Theorem 1, enforced in strict mode by
+// the core tests) and response times are unchanged; total network bytes
+// shift onto the peer-to-peer links.
+func Hybrid(opt Options) (*metrics.Table, error) {
+	const clients = 48
+
+	t := &metrics.Table{
+		Title:  "Hybrid P2P relay (Section VII): 48 clients packed 4 units apart",
+		Header: []string{"push-fanout", "server-sent-kb", "total-kb", "mean-resp-ms", "p95-resp-ms"},
+	}
+	for _, hybrid := range []bool{false, true} {
+		rc := DefaultRunConfig(ArchSEVENoDrop, clients)
+		rc.MovesPerClient = opt.moves()
+		rc.World.NumWalls = 1000
+		rc.World.BaseCostMs = 1
+		rc.World.PerWallCostMs = 0
+		// The Figure 8 packed formation (avatars 4 units apart): several
+		// clients per influence cell, the regime where fan-out
+		// delegation pays.
+		rc.World.Width, rc.World.Height = 250, 250
+		rc.Spacing = 4
+		rc.BandwidthBps = 1_000_000
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.ModeFirstBound
+		cfg.RTTMs = 2 * rc.LatencyMs
+		cfg.MaxSpeed = rc.World.Speed
+		cfg.DefaultRadius = rc.World.EffectRange
+		cfg.Threshold = 45
+		cfg.HybridRelay = hybrid
+		rc.Core = cfg
+
+		res, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid=%v: %w", hybrid, err)
+		}
+		label := "server-unicast"
+		if hybrid {
+			label = "p2p-relay"
+		}
+		t.AddRow(
+			label,
+			metrics.KB(res.ServerSentBytes),
+			metrics.KB(res.TotalBytes),
+			metrics.Ms(res.Response.Mean()),
+			metrics.Ms(res.Response.Percentile(95)),
+		)
+		opt.log("hybrid=%v serverSent=%d total=%d resp=%.0f",
+			hybrid, res.ServerSentBytes, res.TotalBytes, res.Response.Mean())
+	}
+	return t, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/metrics"
+)
+
+// Protocols is an extension experiment beyond the paper's figures: it
+// quantifies the Section II-B protocol-family comparison the paper makes
+// in prose. Every class of consistency protocol the paper surveys runs
+// the same Manhattan People workload:
+//
+//   - Locking (Project Darkstar): strongly consistent but "the minimum
+//     time required by a client to proceed to the next conflicting
+//     transaction is twice the round trip time" — expect ≈ 2×RTT.
+//   - Ownership (Cyberwalk/WAVES): instant owner-local commits —
+//     response ≈ per-move cost — but cached reads are stale, so replicas
+//     diverge and contention is inexpressible.
+//   - Central, Broadcast, RING: the Section V baselines.
+//   - SEVE: one round trip, consistent, scalable.
+func Protocols(opt Options) (*metrics.Table, error) {
+	const clients = 32
+	archs := []Arch{ArchLocking, ArchOwnership, ArchCentral, ArchBroadcast, ArchRing, ArchSEVE}
+
+	t := &metrics.Table{
+		Title:  "Protocol Classes (Section II-B) on Manhattan People, 32 clients",
+		Header: []string{"protocol", "mean-resp-ms", "p95-resp-ms", "traffic-kb", "divergent-objects", "consistent", "queued-locks"},
+	}
+	for _, arch := range archs {
+		rc := DefaultRunConfig(arch, clients)
+		rc.MovesPerClient = opt.moves()
+		rc.World.NumWalls = 2000
+		rc.World.BaseCostMs = 7.44
+		rc.World.PerWallCostMs = 0
+		// A denser world raises contention so locking's conflict
+		// serialization and ownership's stale reads both show.
+		rc.World.Width, rc.World.Height = 300, 300
+		res, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("protocols %v: %w", arch, err)
+		}
+		consistent := "yes"
+		if res.Divergence > 0 {
+			consistent = "no"
+		}
+		t.AddRow(
+			arch.String(),
+			metrics.Ms(res.Response.Mean()),
+			metrics.Ms(res.Response.Percentile(95)),
+			metrics.KB(res.TotalBytes),
+			fmt.Sprintf("%d", res.Divergence),
+			consistent,
+			fmt.Sprintf("%d", res.LockQueued),
+		)
+		opt.log("protocols %v mean=%.0fms p95=%.0fms divergent=%d queued=%d",
+			arch, res.Response.Mean(), res.Response.Percentile(95), res.Divergence, res.LockQueued)
+	}
+	return t, nil
+}

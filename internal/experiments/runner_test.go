@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"testing"
+
+	"seve/internal/manhattan"
+)
+
+// smallRun returns a quick configuration: 8 clients, few walls, 10 moves.
+func smallRun(arch Arch) RunConfig {
+	rc := DefaultRunConfig(arch, 8)
+	rc.World.NumWalls = 500
+	rc.World.Width, rc.World.Height = 300, 300
+	rc.MovesPerClient = 10
+	rc.Verify = true
+	return rc
+}
+
+func TestRunSEVESmall(t *testing.T) {
+	res, err := Run(smallRun(ArchSEVE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 80 {
+		t.Fatalf("submitted = %d, want 80", res.Submitted)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d (committed %d, dropped %d)", res.Unresolved, res.Committed, res.Dropped)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+	// Response time is one round trip plus processing: within
+	// (1+omega)RTT plus modest slack per the First Bound claim.
+	if mean := res.Response.Mean(); mean < 476 || mean > 476*1.8 {
+		t.Fatalf("SEVE mean response = %v ms, want ≈ RTT (476–857)", mean)
+	}
+}
+
+func TestRunSEVENoDropSmall(t *testing.T) {
+	res, err := Run(smallRun(ArchSEVENoDrop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("no-drop run dropped %d", res.Dropped)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d", res.Unresolved)
+	}
+}
+
+func TestRunCentralSmall(t *testing.T) {
+	res, err := Run(smallRun(ArchCentral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d of %d", res.Unresolved, res.Submitted)
+	}
+	// Lightly loaded central: response ≈ RTT + exec.
+	if mean := res.Response.Mean(); mean < 476 || mean > 700 {
+		t.Fatalf("central mean response = %v", mean)
+	}
+	// The server did all the game-logic compute.
+	if res.ServerBusyMs <= 0 {
+		t.Fatal("central server did no work")
+	}
+	if res.ServerBusyMs < res.MaxClientBusyMs {
+		t.Fatal("central clients computed more than the server")
+	}
+}
+
+func TestRunBroadcastSmall(t *testing.T) {
+	res, err := Run(smallRun(ArchBroadcast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d", res.Unresolved)
+	}
+	// Every client evaluates every action: client compute exceeds the
+	// relay server's.
+	if res.MaxClientBusyMs <= res.ServerBusyMs {
+		t.Fatalf("broadcast client busy %v ≤ server busy %v", res.MaxClientBusyMs, res.ServerBusyMs)
+	}
+}
+
+func TestRunRingSmall(t *testing.T) {
+	res, err := Run(smallRun(ArchRing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d", res.Unresolved)
+	}
+	if res.Response.Count() == 0 {
+		t.Fatal("no commits recorded")
+	}
+}
+
+// TestBandwidthOrdering: at equal scale, Broadcast moves the most bytes
+// and Central the least among {Central, SEVE, Broadcast} — the Figure 9
+// ordering.
+func TestBandwidthOrdering(t *testing.T) {
+	bytes := map[Arch]uint64{}
+	for _, arch := range []Arch{ArchSEVE, ArchCentral, ArchBroadcast} {
+		rc := smallRun(arch)
+		rc.Verify = false
+		res, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes[arch] = res.TotalBytes
+	}
+	if bytes[ArchBroadcast] <= bytes[ArchSEVE] {
+		t.Fatalf("broadcast bytes %d ≤ SEVE bytes %d", bytes[ArchBroadcast], bytes[ArchSEVE])
+	}
+	if bytes[ArchBroadcast] <= bytes[ArchCentral] {
+		t.Fatalf("broadcast bytes %d ≤ central bytes %d", bytes[ArchBroadcast], bytes[ArchCentral])
+	}
+}
+
+// TestCentralSaturation: past ~32 clients at 7.44 ms/move per 300 ms,
+// the central server's backlog grows and response time blows up — the
+// Figure 6 knee.
+func TestCentralSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run is slow")
+	}
+	mk := func(clients int) *Result {
+		rc := DefaultRunConfig(ArchCentral, clients)
+		rc.World.NumWalls = 20_000 // keep world-building fast; cost model below
+		rc.MovesPerClient = 50
+		// Pin per-move cost at the paper's 7.44 ms regardless of walls.
+		rc.World.BaseCostMs = 7.44
+		rc.World.PerWallCostMs = 0
+		res, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	under := mk(16)
+	over := mk(64)
+	if under.Response.Mean() > 600 {
+		t.Fatalf("16-client central already saturated: %v ms", under.Response.Mean())
+	}
+	if over.Response.Mean() < 3*under.Response.Mean() {
+		t.Fatalf("64-client central not saturated: %v ms vs %v ms",
+			over.Response.Mean(), under.Response.Mean())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	rc := DefaultRunConfig(ArchSEVE, 4)
+	rc.MovesPerClient = 0
+	if _, err := Run(rc); err == nil {
+		t.Fatal("zero moves accepted")
+	}
+	rc = DefaultRunConfig(Arch(99), 4)
+	if _, err := Run(rc); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestDefaultRunConfigMatchesTableI(t *testing.T) {
+	rc := DefaultRunConfig(ArchSEVE, 64)
+	if rc.World.Width != 1000 || rc.World.NumWalls != 100_000 {
+		t.Fatalf("world = %+v", rc.World)
+	}
+	if rc.LatencyMs != 238 || rc.BandwidthBps != 100_000 {
+		t.Fatalf("link = %v ms, %v bps", rc.LatencyMs, rc.BandwidthBps)
+	}
+	if rc.MovesPerClient != 100 || rc.MoveIntervalMs != 300 {
+		t.Fatalf("workload = %d moves per %v ms", rc.MovesPerClient, rc.MoveIntervalMs)
+	}
+	cfg := rc.coreConfig()
+	if cfg.RTTMs != 476 {
+		t.Fatalf("RTT = %v", cfg.RTTMs)
+	}
+	if cfg.Threshold != 45 { // 1.5 × visibility 30
+		t.Fatalf("threshold = %v", cfg.Threshold)
+	}
+	if cfg.Mode.String() != "infobound" {
+		t.Fatalf("mode = %v", cfg.Mode)
+	}
+	_ = manhattan.DefaultConfig()
+}
+
+func TestRunLockingSmall(t *testing.T) {
+	rc := smallRun(ArchLocking)
+	rc.Verify = false
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d of %d", res.Unresolved, res.Submitted)
+	}
+	// Locking needs two round trips: request→grant, effect→echo.
+	if mean := res.Response.Mean(); mean < 2*476 {
+		t.Fatalf("locking mean response %v below 2xRTT", mean)
+	}
+}
+
+func TestRunOwnershipSmall(t *testing.T) {
+	rc := smallRun(ArchOwnership)
+	rc.Verify = false
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d", res.Unresolved)
+	}
+	// Owner-local commits: response is just the evaluation cost.
+	if mean := res.Response.Mean(); mean > 50 {
+		t.Fatalf("ownership mean response %v not local", mean)
+	}
+}
+
+func TestRunZonedSmall(t *testing.T) {
+	rc := smallRun(ArchZoned)
+	rc.Verify = false
+	rc.ZonesPerRow = 2
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d of %d", res.Unresolved, res.Submitted)
+	}
+	if mean := res.Response.Mean(); mean < 476 || mean > 700 {
+		t.Fatalf("zoned mean response = %v", mean)
+	}
+}
+
+func TestRunSEVEHybridSmall(t *testing.T) {
+	rc := smallRun(ArchSEVENoDrop)
+	cfg := rc.coreConfig()
+	cfg.HybridRelay = true
+	rc.Core = cfg
+	rc.Verify = true
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("unresolved = %d", res.Unresolved)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+}
+
+// TestRunsAreDeterministic: the discrete-event simulation is fully
+// reproducible — identical configurations produce bit-identical
+// measurements. Map-iteration anywhere in a fan-out path would break
+// this (and did, before reply ordering was made explicit).
+func TestRunsAreDeterministic(t *testing.T) {
+	for _, arch := range []Arch{ArchSEVE, ArchCentral, ArchBroadcast, ArchRing} {
+		rc := smallRun(arch)
+		rc.Verify = false
+		a, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Response.Mean() != b.Response.Mean() ||
+			a.TotalBytes != b.TotalBytes ||
+			a.Committed != b.Committed ||
+			a.Dropped != b.Dropped ||
+			a.QueueScans != b.QueueScans {
+			t.Fatalf("%v runs diverged: (%v, %d, %d, %d, %d) vs (%v, %d, %d, %d, %d)",
+				arch,
+				a.Response.Mean(), a.TotalBytes, a.Committed, a.Dropped, a.QueueScans,
+				b.Response.Mean(), b.TotalBytes, b.Committed, b.Dropped, b.QueueScans)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/core"
+	"seve/internal/metrics"
+)
+
+// Table2 regenerates Table II: "Percentage of moves dropped (visibility
+// = 20 units)" — the drop rate of the Information Bound Model as a
+// function of the move effect range, in the dense Figure 8 world.
+//
+// Expected shape: zero or negligible drops for effect ranges 1–5 (chains
+// grow only a few units per hop and never span the threshold within an
+// RTT) rising monotonically to several percent at range 11 — the paper
+// reports 0, 0, 0.01, 1.53, 4.03, 8.87 for ranges 1, 3, 5, 7, 9, 11.
+func Table2(opt Options) (*metrics.Table, error) {
+	ranges := pick(opt,
+		[]float64{1, 3, 5, 7, 9, 11},
+		[]float64{1, 5, 9, 11})
+
+	t := &metrics.Table{
+		Title:  "Table II: Percentage of Moves Dropped (visibility = 20 units)",
+		Header: []string{"move-effect-range", "%-moves-dropped"},
+	}
+	for _, r := range ranges {
+		rc := fig8World(20, opt.moves())
+		rc.Arch = ArchSEVE
+		rc.World.EffectRange = r
+		// Threshold follows Table I: 1.5 × the experiment's visibility.
+		cfg := rc.Core
+		cfg.Threshold = 1.5 * 20
+		cfg.DefaultRadius = r
+		rc.Core = cfg
+		res, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("table2 range=%.0f: %w", r, err)
+		}
+		t.AddRow(fmt.Sprintf("%.0f", r), metrics.Pct(res.Dropped, res.Submitted))
+		opt.log("table2 range=%.0f dropped=%d/%d (%s%%)",
+			r, res.Dropped, res.Submitted, metrics.Pct(res.Dropped, res.Submitted))
+	}
+	// Appease the linter if core ends up unused in quick edits.
+	_ = core.ModeInfoBound
+	return t, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/metrics"
+)
+
+// Zoning is an extension experiment quantifying the Section II-A
+// critique of the industry-standard zoning architecture: "zoning works
+// well to about a few dozen servers … [but] zones collapse if too many
+// users crowd into a zone all at once."
+//
+// 48 clients run Manhattan People over a 2×2-zoned world (four
+// Central-style servers, each comfortably able to host its quarter of a
+// uniformly spread population) while the crowd fraction sweeps from
+// uniform to everyone-in-one-tile. The zoned architecture degrades to a
+// single overloaded Central server; SEVE on one machine is indifferent
+// to where the avatars stand.
+func Zoning(opt Options) (*metrics.Table, error) {
+	const clients = 48
+	fractions := pick(opt, []float64{0, 0.25, 0.5, 0.75, 1.0}, []float64{0, 0.5, 1.0})
+
+	t := &metrics.Table{
+		Title:  "Zoning under crowding (Section II-A): 48 clients, 2x2 zones, 7.44 ms/move",
+		Header: []string{"crowd-fraction", "Zoned-mean-ms", "Zoned-p95-ms", "busiest-zone-ms", "SEVE-mean-ms"},
+	}
+	for _, f := range fractions {
+		mk := func(arch Arch) (*Result, error) {
+			rc := DefaultRunConfig(arch, clients)
+			rc.MovesPerClient = opt.moves()
+			rc.World.NumWalls = 2000
+			rc.World.BaseCostMs = 7.44
+			rc.World.PerWallCostMs = 0
+			rc.ZonesPerRow = 2
+			rc.CrowdFraction = f
+			rc.SlackMs = 40_000
+			return Run(rc)
+		}
+		zoned, err := mk(ArchZoned)
+		if err != nil {
+			return nil, fmt.Errorf("zoning crowd=%.2f: %w", f, err)
+		}
+		seve, err := mk(ArchSEVE)
+		if err != nil {
+			return nil, fmt.Errorf("zoning seve crowd=%.2f: %w", f, err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", f),
+			metrics.Ms(zoned.Response.Mean()),
+			metrics.Ms(zoned.Response.Percentile(95)),
+			metrics.Ms(zoned.ServerBusyMs),
+			metrics.Ms(seve.Response.Mean()),
+		)
+		opt.log("zoning crowd=%.2f zoned=%.0fms seve=%.0fms busiest=%.0fms",
+			f, zoned.Response.Mean(), seve.Response.Mean(), zoned.ServerBusyMs)
+	}
+	return t, nil
+}

@@ -1,0 +1,180 @@
+// Package metrics collects and formats the measurements the paper
+// reports: response-time distributions (Figures 6, 7, 8, 10), traffic
+// totals (Figure 9), and drop percentages (Table II).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Recorder accumulates scalar samples (milliseconds, bytes, counts).
+// The zero value is ready to use.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+}
+
+// Count reports the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum / float64(len(r.samples))
+}
+
+func (r *Recorder) sort() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (0 < p ≤ 100) using
+// nearest-rank, or 0 with no samples.
+func (r *Recorder) Percentile(p float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.samples) {
+		rank = len(r.samples) - 1
+	}
+	return r.samples[rank]
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (r *Recorder) Max() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	return r.samples[len(r.samples)-1]
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (r *Recorder) Min() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	return r.samples[0]
+}
+
+// Table is a printable experiment result: one header row plus data rows,
+// matching the rows/series of the paper artifact it regenerates.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Ms formats a millisecond quantity compactly.
+func Ms(v float64) string {
+	switch {
+	case v >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// KB formats a byte count in kilobytes (the unit of Figure 9).
+func KB(bytes uint64) string {
+	return fmt.Sprintf("%.1f", float64(bytes)/1000)
+}
+
+// Pct formats a percentage.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "0.00"
+	}
+	return fmt.Sprintf("%.2f", 100*float64(num)/float64(den))
+}
+
+// CSV renders the table as comma-separated values (header + rows), for
+// feeding the regenerated figures into a plotting tool.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

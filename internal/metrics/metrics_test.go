@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 || r.Min() != 0 || r.Percentile(50) != 0 {
+		t.Fatal("zero recorder not zero")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		r.Add(v)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if r.Mean() != 2 {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	if r.Min() != 1 || r.Max() != 3 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Percentile(50) != 2 {
+		t.Fatalf("P50 = %v", r.Percentile(50))
+	}
+	if r.Percentile(100) != 3 {
+		t.Fatalf("P100 = %v", r.Percentile(100))
+	}
+	// Adding after a sort must keep working.
+	r.Add(10)
+	if r.Max() != 10 {
+		t.Fatalf("Max after re-add = %v", r.Max())
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Recorder
+		n := rng.Intn(50) + 1
+		for i := 0; i < n; i++ {
+			r.Add(rng.Float64() * 100)
+		}
+		p50, p95, p99 := r.Percentile(50), r.Percentile(95), r.Percentile(99)
+		return p50 <= p95 && p95 <= p99 && p99 <= r.Max() && r.Min() <= p50
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := Table{Title: "Demo", Header: []string{"clients", "seve", "central"}}
+	tb.AddRow("8", "480.12", "510.00")
+	tb.AddRow("64", "481.00", "12000")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "clients") || !strings.Contains(out, "480.12") {
+		t.Fatalf("content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(12345) != "12345" {
+		t.Fatalf("Ms(12345) = %q", Ms(12345))
+	}
+	if Ms(123.456) != "123.5" {
+		t.Fatalf("Ms(123.456) = %q", Ms(123.456))
+	}
+	if Ms(1.234) != "1.23" {
+		t.Fatalf("Ms(1.234) = %q", Ms(1.234))
+	}
+	if KB(1500) != "1.5" {
+		t.Fatalf("KB = %q", KB(1500))
+	}
+	if Pct(1, 8) != "12.50" {
+		t.Fatalf("Pct = %q", Pct(1, 8))
+	}
+	if Pct(1, 0) != "0.00" {
+		t.Fatalf("Pct div0 = %q", Pct(1, 0))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", `x,"y`)
+	got := tb.CSV()
+	want := "a,b\n1,\"x,\"\"y\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

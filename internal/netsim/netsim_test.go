@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"testing"
+
+	"seve/internal/sim"
+)
+
+// fakeMsg is a payload with a fixed wire size.
+type fakeMsg struct {
+	size int
+	tag  int
+}
+
+func (m fakeMsg) WireSize() int { return m.size }
+
+func TestSendLatencyOnly(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, LinkConfig{Latency: 100, BandwidthBps: 0})
+	var arrivedAt sim.Time = -1
+	var from NodeID = -1
+	n.AddNode(1, func(f NodeID, m Message) { arrivedAt = k.Now(); from = f })
+	n.AddNode(2, func(NodeID, Message) {})
+	k.At(0, func() { n.Send(2, 1, fakeMsg{size: 1000}) })
+	k.Run()
+	if arrivedAt != 100 {
+		t.Fatalf("arrival = %v, want 100 (infinite bandwidth)", arrivedAt)
+	}
+	if from != 2 {
+		t.Fatalf("from = %d, want 2", from)
+	}
+}
+
+func TestSendSerializationDelay(t *testing.T) {
+	k := sim.NewKernel()
+	// 100 Kbps: 1250 bytes = 10_000 bits = 100 ms on the wire.
+	n := New(k, LinkConfig{Latency: 50, BandwidthBps: 100_000})
+	var arrivals []sim.Time
+	n.AddNode(1, func(NodeID, Message) { arrivals = append(arrivals, k.Now()) })
+	n.AddNode(2, func(NodeID, Message) {})
+	k.At(0, func() {
+		n.Send(2, 1, fakeMsg{size: 1250})
+		n.Send(2, 1, fakeMsg{size: 1250})
+	})
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != 150 {
+		t.Fatalf("first arrival = %v, want 150 (100 transmit + 50 latency)", arrivals[0])
+	}
+	if arrivals[1] != 250 {
+		t.Fatalf("second arrival = %v, want 250 (queued behind first)", arrivals[1])
+	}
+}
+
+func TestLinksAreIndependent(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, LinkConfig{Latency: 10, BandwidthBps: 100_000})
+	var at1, at2 sim.Time
+	n.AddNode(1, func(NodeID, Message) { at1 = k.Now() })
+	n.AddNode(2, func(NodeID, Message) { at2 = k.Now() })
+	n.AddNode(0, func(NodeID, Message) {})
+	k.At(0, func() {
+		n.Send(0, 1, fakeMsg{size: 1250}) // 100ms wire
+		n.Send(0, 2, fakeMsg{size: 1250}) // separate link: also 100ms wire
+	})
+	k.Run()
+	if at1 != 110 || at2 != 110 {
+		t.Fatalf("arrivals = %v, %v; want both 110 (independent links)", at1, at2)
+	}
+}
+
+func TestMessageOrderPreservedPerLink(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, LinkConfig{Latency: 30, BandwidthBps: 1_000_000})
+	var tags []int
+	n.AddNode(1, func(_ NodeID, m Message) { tags = append(tags, m.(fakeMsg).tag) })
+	n.AddNode(0, func(NodeID, Message) {})
+	k.At(0, func() {
+		for i := 0; i < 10; i++ {
+			n.Send(0, 1, fakeMsg{size: 100, tag: i})
+		}
+	})
+	k.Run()
+	for i, tag := range tags {
+		if tag != i {
+			t.Fatalf("FIFO violated: tags = %v", tags)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, LinkConfig{Latency: 1, BandwidthBps: 0})
+	n.AddNode(0, func(NodeID, Message) {})
+	n.AddNode(1, func(NodeID, Message) {})
+	k.At(0, func() {
+		n.Send(0, 1, fakeMsg{size: 100})
+		n.Send(1, 0, fakeMsg{size: 40})
+		n.Send(0, 1, fakeMsg{size: 60})
+	})
+	k.Run()
+	if n.TotalBytes() != 200 {
+		t.Fatalf("total bytes = %d, want 200", n.TotalBytes())
+	}
+	if n.TotalMessages() != 3 {
+		t.Fatalf("total msgs = %d, want 3", n.TotalMessages())
+	}
+	sent, recv := n.NodeBytes(0)
+	if sent != 160 || recv != 40 {
+		t.Fatalf("node 0 sent/recv = %d/%d, want 160/40", sent, recv)
+	}
+	if n.LinkBytes(0, 1) != 160 {
+		t.Fatalf("link 0->1 bytes = %d, want 160", n.LinkBytes(0, 1))
+	}
+	if n.LinkBytes(1, 0) != 40 {
+		t.Fatalf("link 1->0 bytes = %d, want 40", n.LinkBytes(1, 0))
+	}
+}
+
+func TestSendToUnknownNodeIsDropped(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, DefaultLink)
+	n.AddNode(0, func(NodeID, Message) {})
+	k.At(0, func() { n.Send(0, 99, fakeMsg{size: 10}) })
+	k.Run()
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped())
+	}
+	if n.TotalBytes() != 0 {
+		t.Fatalf("dropped message counted bytes: %d", n.TotalBytes())
+	}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, LinkConfig{Latency: 5, BandwidthBps: 0})
+	got := map[NodeID]int{}
+	for id := NodeID(0); id < 5; id++ {
+		id := id
+		n.AddNode(id, func(NodeID, Message) { got[id]++ })
+	}
+	k.At(0, func() { n.Broadcast(2, fakeMsg{size: 8}) })
+	k.Run()
+	if got[2] != 0 {
+		t.Fatal("broadcast delivered to sender")
+	}
+	for _, id := range []NodeID{0, 1, 3, 4} {
+		if got[id] != 1 {
+			t.Fatalf("node %d received %d messages, want 1", id, got[id])
+		}
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	n := New(sim.NewKernel(), DefaultLink)
+	n.AddNode(1, func(NodeID, Message) {})
+	n.AddNode(1, func(NodeID, Message) {})
+}
+
+func TestSetLinkOverride(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, LinkConfig{Latency: 100, BandwidthBps: 0})
+	var at sim.Time
+	n.AddNode(0, func(NodeID, Message) {})
+	n.AddNode(1, func(NodeID, Message) { at = k.Now() })
+	n.SetLink(0, 1, LinkConfig{Latency: 7, BandwidthBps: 0})
+	k.At(0, func() { n.Send(0, 1, fakeMsg{size: 1}) })
+	k.Run()
+	if at != 7 {
+		t.Fatalf("arrival = %v, want 7 via overridden link", at)
+	}
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Fatalf("final time = %v, want 30", k.Now())
+	}
+}
+
+func TestKernelTieBreakIsFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var trace []Time
+	k.At(10, func() {
+		trace = append(trace, k.Now())
+		k.After(5, func() {
+			trace = append(trace, k.Now())
+		})
+	})
+	k.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(10, func() { fired++ })
+	k.At(20, func() { fired++ })
+	k.At(30, func() { fired++ })
+	k.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("now = %v, want 20", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if fired != 3 || k.Now() != 30 {
+		t.Fatalf("after Run: fired = %d now = %v", fired, k.Now())
+	}
+}
+
+func TestKernelRunUntilAdvancesIdleClock(t *testing.T) {
+	k := NewKernel()
+	k.RunUntil(500)
+	if k.Now() != 500 {
+		t.Fatalf("idle RunUntil left clock at %v, want 500", k.Now())
+	}
+}
+
+func TestKernelStopResume(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(10, func() { fired++; k.Stop() })
+	k.At(20, func() { fired++ })
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+	k.Resume()
+	k.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after Resume, want 2", fired)
+	}
+}
+
+func TestKernelRandomScheduleIsSorted(t *testing.T) {
+	k := NewKernel()
+	rng := rand.New(rand.NewSource(42))
+	var times []Time
+	const n = 2000
+	for i := 0; i < n; i++ {
+		at := Time(rng.Intn(10_000))
+		k.At(at, func() { times = append(times, k.Now()) })
+	}
+	k.Run()
+	if len(times) != n {
+		t.Fatalf("fired %d, want %d", len(times), n)
+	}
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		t.Fatal("events fired out of time order")
+	}
+}
+
+func TestProcSerializesWork(t *testing.T) {
+	k := NewKernel()
+	p := NewProc(k, "cpu")
+	var done []Time
+	k.At(0, func() {
+		p.Exec(10, func() { done = append(done, k.Now()) })
+		p.Exec(10, func() { done = append(done, k.Now()) })
+	})
+	// A third job arrives while the first two are still queued.
+	k.At(5, func() {
+		p.Exec(10, func() { done = append(done, k.Now()) })
+	})
+	k.Run()
+	want := []Time{10, 20, 30}
+	if len(done) != 3 {
+		t.Fatalf("completions = %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestProcIdleGapResetsStart(t *testing.T) {
+	k := NewKernel()
+	p := NewProc(k, "cpu")
+	var done []Time
+	k.At(0, func() { p.Exec(5, func() { done = append(done, k.Now()) }) })
+	k.At(100, func() { p.Exec(5, func() { done = append(done, k.Now()) }) })
+	k.Run()
+	if done[0] != 5 || done[1] != 105 {
+		t.Fatalf("completions = %v, want [5 105]", done)
+	}
+	if p.BusyTotal() != 10 {
+		t.Fatalf("busy total = %v, want 10", p.BusyTotal())
+	}
+}
+
+func TestProcBacklogAndSaturation(t *testing.T) {
+	// Offered load of 2x capacity must grow the backlog linearly — the
+	// mechanism behind the Figure 6 knee.
+	k := NewKernel()
+	p := NewProc(k, "server")
+	for i := 0; i < 100; i++ {
+		at := Time(i * 10)
+		k.At(at, func() { p.Exec(20, func() {}) })
+	}
+	k.RunUntil(1000)
+	// 100 jobs x 20 ms = 2000 ms of work offered in 1000 ms.
+	if p.FreeAt() != 2000 {
+		t.Fatalf("freeAt = %v, want 2000", p.FreeAt())
+	}
+	if p.Backlog() != 1000 {
+		t.Fatalf("backlog = %v, want 1000", p.Backlog())
+	}
+}
+
+func TestProcZeroAndNegativeCost(t *testing.T) {
+	k := NewKernel()
+	p := NewProc(k, "cpu")
+	var at Time = -1
+	k.At(7, func() {
+		p.Exec(0, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 7 {
+		t.Fatalf("zero-cost job ran at %v, want 7", at)
+	}
+	k2 := NewKernel()
+	p2 := NewProc(k2, "cpu")
+	k2.At(3, func() { p2.Exec(-5, func() { at = k2.Now() }) })
+	k2.Run()
+	if at != 3 {
+		t.Fatalf("negative-cost job ran at %v, want 3", at)
+	}
+}
+
+func TestProcUtilization(t *testing.T) {
+	k := NewKernel()
+	p := NewProc(k, "cpu")
+	k.At(0, func() { p.Exec(25, func() {}) })
+	k.RunUntil(100)
+	if u := p.Utilization(); u != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}

@@ -1,0 +1,197 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"seve/internal/geom"
+)
+
+func TestSegmentIndexWithin(t *testing.T) {
+	segs := []geom.Segment{
+		{A: geom.Vec{X: 0, Y: 0}, B: geom.Vec{X: 10, Y: 0}},
+		{A: geom.Vec{X: 100, Y: 100}, B: geom.Vec{X: 110, Y: 100}},
+		{A: geom.Vec{X: 5, Y: 5}, B: geom.Vec{X: 5, Y: 15}},
+	}
+	idx := NewSegmentIndex(segs, 30)
+	got := idx.Within(geom.Vec{X: 5, Y: 2}, 4, nil)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Within = %v, want [0 2]", got)
+	}
+	if n := idx.CountWithin(geom.Vec{X: 5, Y: 2}, 4); n != 2 {
+		t.Fatalf("CountWithin = %d, want 2", n)
+	}
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if idx.Segment(1).A.X != 100 {
+		t.Fatalf("Segment(1) = %v", idx.Segment(1))
+	}
+}
+
+// TestSegmentIndexMatchesBruteForce cross-checks the grid against a linear
+// scan over random walls, including walls that span cell boundaries.
+func TestSegmentIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var segs []geom.Segment
+	for i := 0; i < 500; i++ {
+		a := geom.Vec{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		dir := geom.Vec{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1}.Normalize()
+		segs = append(segs, geom.Segment{A: a, B: a.Add(dir.Scale(10))})
+	}
+	idx := NewSegmentIndex(segs, 25)
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Vec{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		r := rng.Float64() * 80
+		got := idx.Within(p, r, nil)
+		var want []int32
+		for i, s := range segs {
+			if s.DistTo(p) <= r {
+				want = append(want, int32(i))
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d segments, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+		if n := idx.CountWithin(p, r); n != len(want) {
+			t.Fatalf("trial %d: CountWithin = %d, want %d", trial, n, len(want))
+		}
+	}
+}
+
+func TestPointIndexBasics(t *testing.T) {
+	idx := NewPointIndex(10)
+	idx.Upsert(1, geom.Vec{X: 5, Y: 5})
+	idx.Upsert(2, geom.Vec{X: 50, Y: 50})
+	idx.Upsert(3, geom.Vec{X: 7, Y: 5})
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	got := idx.Within(geom.Vec{X: 5, Y: 5}, 3, nil)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Within = %v, want [1 3]", got)
+	}
+	if p, ok := idx.Get(2); !ok || p.X != 50 {
+		t.Fatalf("Get(2) = %v, %v", p, ok)
+	}
+	if _, ok := idx.Get(99); ok {
+		t.Fatal("Get(99) found a ghost")
+	}
+}
+
+func TestPointIndexMoveAcrossCells(t *testing.T) {
+	idx := NewPointIndex(10)
+	idx.Upsert(1, geom.Vec{X: 5, Y: 5})
+	idx.Upsert(1, geom.Vec{X: 95, Y: 95}) // crosses many cell boundaries
+	if n := idx.CountWithin(geom.Vec{X: 5, Y: 5}, 3); n != 0 {
+		t.Fatalf("stale point still indexed: count = %d", n)
+	}
+	if n := idx.CountWithin(geom.Vec{X: 95, Y: 95}, 1); n != 1 {
+		t.Fatalf("moved point not found: count = %d", n)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d after move, want 1", idx.Len())
+	}
+}
+
+func TestPointIndexMoveWithinCell(t *testing.T) {
+	idx := NewPointIndex(100)
+	idx.Upsert(1, geom.Vec{X: 5, Y: 5})
+	idx.Upsert(1, geom.Vec{X: 6, Y: 6}) // same cell fast path
+	got := idx.Within(geom.Vec{X: 6, Y: 6}, 0.5, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Within after same-cell move = %v", got)
+	}
+}
+
+func TestPointIndexRemove(t *testing.T) {
+	idx := NewPointIndex(10)
+	idx.Upsert(1, geom.Vec{X: 5, Y: 5})
+	idx.Remove(1)
+	idx.Remove(42) // removing an absent id is a no-op
+	if idx.Len() != 0 {
+		t.Fatalf("Len = %d after remove", idx.Len())
+	}
+	if n := idx.CountWithin(geom.Vec{X: 5, Y: 5}, 10); n != 0 {
+		t.Fatalf("removed point still found")
+	}
+}
+
+// TestPointIndexMatchesBruteForceProperty drives random upserts, removes
+// and queries and cross-checks every query against a linear scan.
+func TestPointIndexMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		idx := NewPointIndex(17)
+		ref := map[int64]geom.Vec{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // upsert
+				id := int64(rng.Intn(40))
+				p := geom.Vec{X: rng.Float64()*500 - 250, Y: rng.Float64()*500 - 250}
+				idx.Upsert(id, p)
+				ref[id] = p
+			case 2: // remove
+				id := int64(rng.Intn(40))
+				idx.Remove(id)
+				delete(ref, id)
+			case 3: // query
+				q := geom.Vec{X: rng.Float64()*500 - 250, Y: rng.Float64()*500 - 250}
+				r := rng.Float64() * 100
+				got := idx.Within(q, r, nil)
+				want := 0
+				for _, p := range ref {
+					if p.Dist2(q) <= r*r {
+						want++
+					}
+				}
+				if len(got) != want || idx.CountWithin(q, r) != want {
+					return false
+				}
+			}
+		}
+		return idx.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	// math.Floor-based keys must bucket negative coordinates correctly.
+	idx := NewPointIndex(10)
+	idx.Upsert(1, geom.Vec{X: -5, Y: -5})
+	idx.Upsert(2, geom.Vec{X: 5, Y: 5})
+	got := idx.Within(geom.Vec{X: -5, Y: -5}, 2, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("negative-coordinate query = %v", got)
+	}
+	segs := []geom.Segment{{A: geom.Vec{X: -10, Y: -1}, B: geom.Vec{X: -2, Y: -1}}}
+	sidx := NewSegmentIndex(segs, 10)
+	if n := sidx.CountWithin(geom.Vec{X: -6, Y: -2}, 2); n != 1 {
+		t.Fatalf("negative-coordinate segment query = %d, want 1", n)
+	}
+}
+
+func TestZeroCellSizeDefaults(t *testing.T) {
+	// Constructors must not divide by zero when handed a bad cell size.
+	si := NewSegmentIndex(nil, 0)
+	if si.Len() != 0 {
+		t.Fatal("empty index not empty")
+	}
+	pi := NewPointIndex(-3)
+	pi.Upsert(1, geom.Vec{X: 1, Y: 1})
+	if pi.CountWithin(geom.Vec{X: 1, Y: 1}, 1) != 1 {
+		t.Fatal("index with defaulted cell size lost a point")
+	}
+}

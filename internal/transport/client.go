@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Client is a SEVE client over TCP: a core.Client engine fed by a reader
+// goroutine, with application submissions serialized against it.
+type Client struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	engine *core.Client
+
+	// OnCommit, if set before Run, receives every stable commit.
+	OnCommit func(core.Commit)
+	// OnDrop, if set before Run, receives Information Bound drops.
+	OnDrop func(action.ID)
+
+	commits chan core.Commit
+	errCh   chan error
+	closed  bool
+}
+
+// Dial connects, performs the Hello/Welcome handshake, and returns a
+// ready client whose engine is seeded with the server's initial world.
+func Dial(addr string, cfg core.Config, interestMask uint64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if err := wire.WriteFrame(conn, &wire.Hello{InterestMask: interestMask}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: welcome: %w", err)
+	}
+	welcome, ok := msg.(*wire.Welcome)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("transport: expected Welcome, got type %d", msg.Type())
+	}
+	init := world.NewState()
+	for _, w := range welcome.Init {
+		init.Set(w.ID, w.Val)
+	}
+	return &Client{
+		conn:    conn,
+		engine:  core.NewClient(welcome.You, cfg, init),
+		commits: make(chan core.Commit, 256),
+		errCh:   make(chan error, 1),
+	}, nil
+}
+
+// ID returns the server-assigned client id.
+func (c *Client) ID() action.ClientID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engine.ID()
+}
+
+// NextActionID mints an action identity.
+func (c *Client) NextActionID() action.ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engine.NextActionID()
+}
+
+// OptimisticRead reads an object from the optimistic state ζCO.
+func (c *Client) OptimisticRead(id world.ObjectID) (world.Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.engine.Optimistic().Get(id)
+	return v.Clone(), ok
+}
+
+// Engine runs f with the engine locked, for application reads that need
+// a consistent multi-object view.
+func (c *Client) Engine(f func(*core.Client)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(c.engine)
+}
+
+// Submit optimistically applies a and ships it to the server, returning
+// the optimistic result.
+func (c *Client) Submit(a action.Action) (action.Result, error) {
+	c.mu.Lock()
+	msg, res := c.engine.Submit(a)
+	c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, msg); err != nil {
+		return res, fmt.Errorf("transport: submit: %w", err)
+	}
+	return res, nil
+}
+
+// Run pumps server messages until the connection closes or Close is
+// called, invoking OnCommit/OnDrop as resolutions arrive. It returns nil
+// on orderly shutdown.
+func (c *Client) Run() error {
+	for {
+		msg, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("transport: read: %w", err)
+		}
+		c.mu.Lock()
+		out := c.engine.HandleMsg(msg)
+		c.mu.Unlock()
+		for _, m := range out.ToServer {
+			if err := wire.WriteFrame(c.conn, m); err != nil {
+				return fmt.Errorf("transport: completion write: %w", err)
+			}
+		}
+		for _, cm := range out.Commits {
+			if c.OnCommit != nil {
+				c.OnCommit(cm)
+			}
+		}
+		for _, id := range out.DroppedLocal {
+			if c.OnDrop != nil {
+				c.OnDrop(id)
+			}
+		}
+		if len(out.Violations) > 0 {
+			return fmt.Errorf("transport: protocol violation: %s", out.Violations[0])
+		}
+	}
+}
+
+// Close shuts the connection down; a concurrent Run returns nil.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

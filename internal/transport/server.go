@@ -1,0 +1,305 @@
+// Package transport runs the SEVE protocol engines over real TCP — the
+// deployment mode of the paper's "real experiments" (Section V), as
+// opposed to the discrete-event simulation in package experiments.
+//
+// Framing is the length-prefixed binary format of package wire. The
+// server owns a single engine goroutine (the core.Server is a sequential
+// state machine, exactly like its simulated counterpart); per-connection
+// reader and writer goroutines feed it through channels.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/durable"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// ServerConfig configures a TCP SEVE server.
+type ServerConfig struct {
+	// Core is the protocol configuration shared with the clients.
+	Core core.Config
+	// Init is the initial world state, shipped to joining clients in the
+	// Welcome message.
+	Init *world.State
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+	// Durable, when non-nil, journals every installed action and writes
+	// a checkpoint every SnapshotEvery installs (default 1000) — the
+	// Section II "commit at periodic checkpoints" layer.
+	Durable *durable.Store
+	// SnapshotEvery overrides the checkpoint period.
+	SnapshotEvery uint64
+}
+
+// Server accepts SEVE clients and serializes their actions.
+type Server struct {
+	cfg    ServerConfig
+	engine *core.Server
+
+	events chan serverEvent
+	done   chan struct{}
+
+	mu      sync.Mutex
+	writers map[action.ClientID]chan wire.Msg
+	nextID  action.ClientID
+	started time.Time
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type serverEvent struct {
+	from action.ClientID
+	msg  wire.Msg
+	// join is non-nil for a new connection: the channel receives the
+	// assigned id after registration.
+	join chan action.ClientID
+	// interestMask accompanies a join (Section IV-A subscription).
+	interestMask uint64
+	// leave marks a disconnect.
+	leave bool
+}
+
+// NewServer returns an unstarted server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		engine:  core.NewServer(cfg.Core, cfg.Init),
+		events:  make(chan serverEvent, 1024),
+		done:    make(chan struct{}),
+		writers: make(map[action.ClientID]chan wire.Msg),
+		started: time.Now(),
+	}
+	if cfg.Durable != nil {
+		every := cfg.SnapshotEvery
+		if every == 0 {
+			every = 1000
+		}
+		// The hook runs inside the engine loop (single-goroutine), so no
+		// extra locking is needed here.
+		s.engine.SetInstallHook(func(seq uint64, res action.Result) {
+			if err := cfg.Durable.Append(seq, res); err != nil {
+				cfg.Logf("transport: journal append: %v", err)
+				return
+			}
+			if seq%every == 0 {
+				if err := cfg.Durable.Snapshot(seq, s.engine.Authoritative()); err != nil {
+					cfg.Logf("transport: checkpoint: %v", err)
+				} else if err := cfg.Durable.Sync(); err != nil {
+					cfg.Logf("transport: fsync: %v", err)
+				}
+			}
+		})
+	}
+	return s
+}
+
+// Serve accepts connections on l until Close. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.wg.Add(1)
+	go s.engineLoop()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops the engine loop and disconnects everyone. The listener
+// passed to Serve must be closed by the caller (Serve returns nil once
+// it observes the closed state).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+}
+
+// Installed reports the server's installed serial position.
+func (s *Server) Installed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Installed()
+}
+
+func (s *Server) nowMs() float64 {
+	return float64(time.Since(s.started)) / float64(time.Millisecond)
+}
+
+// engineLoop owns the core.Server: all protocol state transitions happen
+// here, in arrival order, mirroring the simulator's semantics.
+func (s *Server) engineLoop() {
+	defer s.wg.Done()
+	var ticker *time.Ticker
+	var tickC <-chan time.Time
+	if s.cfg.Core.Mode >= core.ModeFirstBound {
+		ticker = time.NewTicker(time.Duration(s.cfg.Core.PushIntervalMs() * float64(time.Millisecond)))
+		tickC = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tickC:
+			s.mu.Lock()
+			out := s.engine.Tick(s.nowMs())
+			s.mu.Unlock()
+			s.dispatch(out)
+		case ev := <-s.events:
+			s.handleEvent(ev)
+		}
+	}
+}
+
+func (s *Server) handleEvent(ev serverEvent) {
+	switch {
+	case ev.join != nil:
+		s.mu.Lock()
+		s.nextID++
+		id := s.nextID
+		s.engine.RegisterClient(id, ev.interestMask)
+		s.mu.Unlock()
+		ev.join <- id
+	case ev.leave:
+		s.mu.Lock()
+		s.engine.UnregisterClient(ev.from)
+		delete(s.writers, ev.from)
+		s.mu.Unlock()
+	default:
+		s.mu.Lock()
+		out := s.engine.HandleMsg(ev.from, ev.msg, s.nowMs())
+		s.mu.Unlock()
+		s.dispatch(out)
+	}
+}
+
+func (s *Server) dispatch(out core.ServerOutput) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rep := range out.Replies {
+		if ch, ok := s.writers[rep.To]; ok {
+			select {
+			case ch <- rep.Msg:
+			default:
+				// A client that cannot drain its queue is effectively
+				// dead; dropping here instead of blocking keeps one slow
+				// client from stalling the world.
+				s.cfg.Logf("transport: client %d write queue full; dropping message", rep.To)
+			}
+		}
+	}
+}
+
+// handleConn performs the Hello/Welcome handshake then pumps frames.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		s.cfg.Logf("transport: handshake read: %v", err)
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		s.cfg.Logf("transport: expected Hello, got type %d", msg.Type())
+		return
+	}
+
+	join := make(chan action.ClientID, 1)
+	select {
+	case s.events <- serverEvent{join: join, interestMask: hello.InterestMask}:
+	case <-s.done:
+		return
+	}
+	id := <-join
+
+	writeQ := make(chan wire.Msg, 256)
+	s.mu.Lock()
+	s.writers[id] = writeQ
+	initWrites := stateWrites(s.cfg.Init)
+	s.mu.Unlock()
+
+	if err := wire.WriteFrame(conn, &wire.Welcome{You: id, Init: initWrites}); err != nil {
+		s.cfg.Logf("transport: welcome write to %d: %v", id, err)
+		return
+	}
+	s.cfg.Logf("transport: client %d joined from %s", id, conn.RemoteAddr())
+
+	// Writer pump.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case m := <-writeQ:
+				if err := wire.WriteFrame(conn, m); err != nil {
+					return
+				}
+			case <-s.done:
+				return
+			}
+		}
+	}()
+
+	// Reader pump (this goroutine).
+	for {
+		m, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.cfg.Logf("transport: client %d read: %v", id, err)
+			}
+			select {
+			case s.events <- serverEvent{from: id, leave: true}:
+			case <-s.done:
+			}
+			return
+		}
+		select {
+		case s.events <- serverEvent{from: id, msg: m}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// stateWrites flattens a state into write records for the Welcome.
+func stateWrites(st *world.State) []world.Write {
+	ids := st.IDs()
+	ws := make([]world.Write, 0, len(ids))
+	for _, id := range ids {
+		v, _ := st.Get(id)
+		ws = append(ws, world.Write{ID: id, Val: v.Clone()})
+	}
+	return ws
+}
+
+var _ = log.Printf // reserved for debug builds

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/durable"
+	"seve/internal/manhattan"
+	"seve/internal/world"
+)
+
+var registerOnce sync.Once
+
+// testWorld builds the shared workload world and registers the move
+// decoder (once per process; the wire registry is global).
+func testWorld() *manhattan.World {
+	cfg := manhattan.DefaultConfig()
+	cfg.Width, cfg.Height = 200, 200
+	cfg.NumWalls = 200
+	cfg.NumAvatars = 4
+	cfg.Seed = 11
+	w := manhattan.NewWorld(cfg)
+	registerOnce.Do(func() { manhattan.RegisterWire(w) })
+	return w
+}
+
+func protocolConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeIncomplete // deterministic: no timing-dependent pushes
+	cfg.Strict = true
+	return cfg
+}
+
+// TestEndToEndTCP runs a real server and three real clients over
+// loopback TCP: every submitted move must commit, and the server must
+// install every action.
+func TestEndToEndTCP(t *testing.T) {
+	w := testWorld()
+	init := w.InitialState(0)
+	cfg := protocolConfig()
+
+	srv := NewServer(ServerConfig{Core: cfg, Init: init, Logf: t.Logf})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		srv.Close()
+		l.Close()
+		<-serveDone
+	}()
+
+	const clients = 3
+	const movesPer = 5
+
+	var wg sync.WaitGroup
+	commitCounts := make([]int, clients)
+	errs := make(chan error, clients*2)
+
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(l.Addr().String(), cfg, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+
+			committed := make(chan core.Commit, movesPer)
+			cl.OnCommit = func(c core.Commit) { committed <- c }
+			runDone := make(chan error, 1)
+			go func() { runDone <- cl.Run() }()
+
+			avatar := manhattan.AvatarID(int(cl.ID()))
+			for m := 0; m < movesPer; m++ {
+				var mv *manhattan.MoveAction
+				cl.Engine(func(e *core.Client) {
+					mv, err = w.NewMove(e.NextActionID(), avatar, e.Optimistic())
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.Submit(mv); err != nil {
+					errs <- err
+					return
+				}
+				// Wait for the commit before the next move, bounding
+				// in-flight actions for a deterministic test.
+				select {
+				case <-committed:
+					commitCounts[ci]++
+				case <-time.After(10 * time.Second):
+					errs <- timeoutErr{}
+					return
+				}
+			}
+			cl.Close()
+			if err := <-runDone; err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for ci, n := range commitCounts {
+		if n != movesPer {
+			t.Fatalf("client %d committed %d of %d moves", ci, n, movesPer)
+		}
+	}
+	// All completions may still be in flight; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Installed() != clients*movesPer && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.Installed(); got != clients*movesPer {
+		t.Fatalf("server installed %d of %d actions", got, clients*movesPer)
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "timed out waiting for commit" }
+
+// TestDialRejectsNonServer verifies the handshake fails cleanly against
+// a listener that closes immediately.
+func TestDialRejectsNonServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	if _, err := Dial(l.Addr().String(), protocolConfig(), 0); err == nil {
+		t.Fatal("dial against closing peer succeeded")
+	}
+}
+
+// TestServerSurvivesClientDisconnect: a client that joins, submits, and
+// vanishes must not wedge the server for others.
+func TestServerSurvivesClientDisconnect(t *testing.T) {
+	w := testWorld()
+	init := w.InitialState(0)
+	cfg := protocolConfig()
+	// Failure tolerance lets the survivor complete the deserter's action.
+	cfg.FailureTolerant = true
+
+	srv := NewServer(ServerConfig{Core: cfg, Init: init})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		srv.Close()
+		l.Close()
+		<-serveDone
+	}()
+
+	// Deserter joins and vanishes without completing anything.
+	deserter, err := Dial(l.Addr().String(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avatarD := manhattan.AvatarID(int(deserter.ID()))
+	var mv *manhattan.MoveAction
+	deserter.Engine(func(e *core.Client) {
+		mv, err = w.NewMove(e.NextActionID(), avatarD, e.Optimistic())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deserter.Submit(mv); err != nil {
+		t.Fatal(err)
+	}
+	deserter.Close() // never reads the reply, never completes
+
+	// Survivor joins and works; its avatar is adjacent in id space but
+	// the world is sparse, so its moves are independent — they must
+	// commit regardless of the deserter's unfinished action.
+	survivor, err := Dial(l.Addr().String(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	committed := make(chan core.Commit, 4)
+	survivor.OnCommit = func(c core.Commit) { committed <- c }
+	go func() { _ = survivor.Run() }()
+
+	avatarS := manhattan.AvatarID(int(survivor.ID()))
+	for m := 0; m < 3; m++ {
+		var smv *manhattan.MoveAction
+		survivor.Engine(func(e *core.Client) {
+			smv, err = w.NewMove(e.NextActionID(), avatarS, e.Optimistic())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := survivor.Submit(smv); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-committed:
+		case <-time.After(10 * time.Second):
+			t.Fatal("survivor commit timed out after deserter left")
+		}
+	}
+	_ = action.OriginServer
+	_ = world.ObjectID(0)
+}
+
+// TestDurableServerRecovers: a server journaling to disk is stopped and
+// its world recovered; the recovered state matches what the clients
+// committed.
+func TestDurableServerRecovers(t *testing.T) {
+	w := testWorld()
+	init := w.InitialState(0)
+	cfg := protocolConfig()
+
+	dir := t.TempDir()
+	store, err := durable.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{Core: cfg, Init: init, Durable: store, SnapshotEvery: 3})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	cl, err := Dial(l.Addr().String(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := make(chan core.Commit, 8)
+	cl.OnCommit = func(c core.Commit) { committed <- c }
+	go func() { _ = cl.Run() }()
+
+	avatar := manhattan.AvatarID(int(cl.ID()))
+	const moves = 7
+	for m := 0; m < moves; m++ {
+		var mv *manhattan.MoveAction
+		cl.Engine(func(e *core.Client) {
+			mv, err = w.NewMove(e.NextActionID(), avatar, e.Optimistic())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Submit(mv); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-committed:
+		case <-time.After(10 * time.Second):
+			t.Fatal("commit timeout")
+		}
+	}
+	// Let the completion for the last move reach the server.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Installed() != moves && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.Installed() != moves {
+		t.Fatalf("installed %d of %d", srv.Installed(), moves)
+	}
+	var want world.Value
+	cl.Engine(func(e *core.Client) {
+		v, _ := e.Stable().Get(avatar)
+		want = v.Clone()
+	})
+	cl.Close()
+	srv.Close()
+	l.Close()
+	<-serveDone
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	// Recover from disk: the avatar is where the client left it.
+	got, upTo, err := durable.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo != moves {
+		t.Fatalf("recovered up to %d, want %d", upTo, moves)
+	}
+	gv, ok := got.Get(avatar)
+	if !ok || !gv.Equal(want) {
+		t.Fatalf("recovered avatar = %v, want %v", gv, want)
+	}
+}

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize caps a single frame at 16 MiB. A peer announcing a larger
+// frame is malformed or hostile; the reader rejects it instead of
+// allocating unboundedly.
+const MaxFrameSize = 16 << 20
+
+// WriteFrame writes one length-prefixed message to w: a 4-byte little-
+// endian payload length, a 1-byte message type, then the encoded payload.
+// This is the on-the-wire format of the real TCP deployment.
+func WriteFrame(w io.Writer, msg Msg) error {
+	payload := Encode(msg)
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(msg.Type())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one message written by WriteFrame. It returns io.EOF
+// unwrapped on a clean close before a header byte arrives, so callers can
+// distinguish orderly shutdown from corruption.
+func ReadFrame(r io.Reader) (Msg, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return Decode(MsgType(hdr[4]), payload)
+}

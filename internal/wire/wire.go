@@ -1,0 +1,494 @@
+// Package wire defines the messages exchanged between clients and the
+// server and their binary encoding. The same encoding serves two
+// purposes: it frames traffic in the real TCP deployment
+// (cmd/seve-server, cmd/seve-client), and its byte counts drive the
+// simulated bandwidth model behind the Figure 9 data-transfer experiment.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+// MsgType discriminates messages on the wire.
+type MsgType uint8
+
+// Message type codes.
+const (
+	TypeSubmit     MsgType = 1 // client → server: a new action (Algorithm 1/4, step 2)
+	TypeBatch      MsgType = 2 // server → client: serialized actions (Algorithm 2/6 reply or First Bound push)
+	TypeCompletion MsgType = 3 // client → server: stable result of an action (Algorithm 4, step 5)
+	TypeDrop       MsgType = 4 // server → client: action aborted by the Information Bound Model
+	TypeHello      MsgType = 5 // client → server: join (real deployment only)
+	TypeWelcome    MsgType = 6 // server → client: assigned id + initial world (real deployment only)
+	TypeLockGrant  MsgType = 7 // server → client: locks acquired (lock-based baseline, Section II-B)
+	TypeRelay      MsgType = 8 // server → relay client → peers: hybrid P2P push delegation (Section VII)
+)
+
+// Msg is any protocol message. WireSize reports the exact encoded size in
+// bytes (excluding the 5-byte frame header used on TCP), which the
+// network simulator charges against link bandwidth.
+type Msg interface {
+	WireSize() int
+	Type() MsgType
+}
+
+// Submit carries a freshly created action from its origin client to the
+// server.
+type Submit struct {
+	Env action.Envelope
+}
+
+// Type returns TypeSubmit.
+func (m *Submit) Type() MsgType { return TypeSubmit }
+
+// WireSize returns the encoded size.
+func (m *Submit) WireSize() int { return envelopeSize(m.Env) }
+
+// Batch carries serialized actions from the server to a client: the reply
+// to a submission (all actions between posC and pos(a) under Algorithm 2,
+// or the transitive closure plus blind write under Algorithm 6), or a
+// proactive First Bound push.
+type Batch struct {
+	Envs []action.Envelope
+	// Push marks proactive First Bound batches, which require no reply.
+	Push bool
+	// InstalledUpTo piggybacks the server's last installed serial
+	// position so clients can garbage-collect old versions
+	// (Section III-C memory optimization).
+	InstalledUpTo uint64
+	// ClientSeq is the per-recipient batch sequence number. Batches from
+	// a core.Server are numbered 1, 2, 3, … per client and the client
+	// processes them in that order, buffering gaps: with hybrid relays a
+	// batch can take a two-hop path and arrive after a younger direct
+	// reply, and out-of-order application would violate the closure's
+	// sent() assumptions. Zero marks an unsequenced batch (baseline
+	// architectures), processed immediately.
+	ClientSeq uint64
+}
+
+// Type returns TypeBatch.
+func (m *Batch) Type() MsgType { return TypeBatch }
+
+// WireSize returns the encoded size.
+func (m *Batch) WireSize() int {
+	n := 1 + 8 + 8 + 4 // push flag + installedUpTo + clientSeq + count
+	for _, e := range m.Envs {
+		n += envelopeSize(e)
+	}
+	return n
+}
+
+// Completion reports to the server the stable result u of action Seq, as
+// computed by client By against ζCS. The server installs the writes into
+// ζS (Algorithm 5, step 5). Under the failure-tolerance extension every
+// client that evaluates an action sends one, and By identifies which.
+type Completion struct {
+	Seq uint64
+	By  action.ClientID
+	Res action.Result
+}
+
+// Type returns TypeCompletion.
+func (m *Completion) Type() MsgType { return TypeCompletion }
+
+// WireSize returns the encoded size.
+func (m *Completion) WireSize() int {
+	return 8 + 4 + resultSize(m.Res)
+}
+
+// Drop tells an action's origin client that the Information Bound Model
+// invalidated it (Algorithm 7: isValid = false); the client aborts the
+// action locally and reconciles.
+type Drop struct {
+	ActID action.ID
+}
+
+// Type returns TypeDrop.
+func (m *Drop) Type() MsgType { return TypeDrop }
+
+// WireSize returns the encoded size.
+func (m *Drop) WireSize() int { return 8 }
+
+// Hello requests to join (real deployment).
+type Hello struct {
+	// InterestMask selects interest classes for inconsequential action
+	// elimination; 0 means all classes.
+	InterestMask uint64
+}
+
+// Type returns TypeHello.
+func (m *Hello) Type() MsgType { return TypeHello }
+
+// WireSize returns the encoded size.
+func (m *Hello) WireSize() int { return 8 }
+
+// LockGrant tells a client that all locks for its pending action were
+// acquired (the lock-based protocol family of Section II-B): the client
+// may now execute the action and return its effect as a Completion. Seq
+// is the action's serialized position; ActID names which pending action
+// was granted.
+type LockGrant struct {
+	Seq   uint64
+	ActID action.ID
+}
+
+// Type returns TypeLockGrant.
+func (m *LockGrant) Type() MsgType { return TypeLockGrant }
+
+// WireSize returns the encoded size.
+func (m *LockGrant) WireSize() int { return 8 + 8 }
+
+// Relay is the hybrid-architecture push (the Section VII future-work
+// direction, implemented): instead of unicasting one push Batch per
+// client, the server sends a shared neighbourhood Batch to a single
+// relay client, which applies it and forwards it peer-to-peer to the
+// other targets. Server egress drops by roughly the neighbourhood size.
+type Relay struct {
+	// Targets are the clients that must receive Inner — the relay itself
+	// (first entry by convention) plus its peers.
+	Targets []action.ClientID
+	// TargetSeqs are the per-recipient ClientSeq values, parallel to
+	// Targets; the relay rewrites them into the forwarded copies.
+	TargetSeqs []uint64
+	Inner      *Batch
+}
+
+// Type returns TypeRelay.
+func (m *Relay) Type() MsgType { return TypeRelay }
+
+// WireSize returns the encoded size.
+func (m *Relay) WireSize() int { return 4 + 12*len(m.Targets) + m.Inner.WireSize() }
+
+// Welcome assigns the joining client its id and ships the initial world
+// (real deployment).
+type Welcome struct {
+	You  action.ClientID
+	Init []world.Write
+}
+
+// Type returns TypeWelcome.
+func (m *Welcome) Type() MsgType { return TypeWelcome }
+
+// WireSize returns the encoded size.
+func (m *Welcome) WireSize() int {
+	n := 4 + 4
+	for _, w := range m.Init {
+		n += 8 + 2 + 8*len(w.Val)
+	}
+	return n
+}
+
+// envelopeSize is the encoded size of one envelope: seq(8) origin(4)
+// actClient(4) actSeq(4) kind(2) bodyLen(4) body.
+func envelopeSize(e action.Envelope) int {
+	return 8 + 4 + 4 + 4 + 2 + 4 + len(e.Act.MarshalBody())
+}
+
+// resultSize is the encoded size of a result: ok(1) count(4) + records.
+func resultSize(r action.Result) int {
+	n := 1 + 4
+	for _, w := range r.Writes {
+		n += 8 + 2 + 8*len(w.Val)
+	}
+	return n
+}
+
+// Decoder reconstructs application actions from their kind and body. The
+// registry is global because action kinds are global protocol constants;
+// it is guarded for the concurrent TCP deployment.
+type Decoder func(id action.ID, body []byte) (action.Action, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[action.Kind]Decoder{}
+)
+
+// RegisterKind installs the decoder for an action kind. Registering the
+// same kind twice panics: two applications disagreeing about a kind code
+// is a deployment error that must not be masked.
+func RegisterKind(k action.Kind, d Decoder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[k]; dup {
+		panic(fmt.Sprintf("wire: action kind %d registered twice", k))
+	}
+	registry[k] = d
+}
+
+// RegisteredKinds returns the registered kinds in sorted order.
+func RegisteredKinds() []action.Kind {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	ks := make([]action.Kind, 0, len(registry))
+	for k := range registry {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func decoderFor(k action.Kind) (Decoder, error) {
+	if k == action.KindBlindWrite {
+		return func(id action.ID, body []byte) (action.Action, error) {
+			return action.UnmarshalBlindWrite(id, body)
+		}, nil
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	d, ok := registry[k]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown action kind %d", k)
+	}
+	return d, nil
+}
+
+// --- encoding helpers ---
+
+func appendEnvelope(buf []byte, e action.Envelope) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Origin))
+	id := e.Act.ID()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Client))
+	buf = binary.LittleEndian.AppendUint32(buf, id.Seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(e.Act.Kind()))
+	body := e.Act.MarshalBody()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	return append(buf, body...)
+}
+
+func decodeEnvelope(buf []byte) (action.Envelope, int, error) {
+	const hdr = 8 + 4 + 4 + 4 + 2 + 4
+	if len(buf) < hdr {
+		return action.Envelope{}, 0, fmt.Errorf("wire: envelope header truncated")
+	}
+	seq := binary.LittleEndian.Uint64(buf)
+	origin := action.ClientID(int32(binary.LittleEndian.Uint32(buf[8:])))
+	actID := action.ID{
+		Client: action.ClientID(int32(binary.LittleEndian.Uint32(buf[12:]))),
+		Seq:    binary.LittleEndian.Uint32(buf[16:]),
+	}
+	kind := action.Kind(binary.LittleEndian.Uint16(buf[20:]))
+	blen := int(binary.LittleEndian.Uint32(buf[22:]))
+	if len(buf) < hdr+blen {
+		return action.Envelope{}, 0, fmt.Errorf("wire: envelope body truncated")
+	}
+	dec, err := decoderFor(kind)
+	if err != nil {
+		return action.Envelope{}, 0, err
+	}
+	act, err := dec(actID, buf[hdr:hdr+blen])
+	if err != nil {
+		return action.Envelope{}, 0, fmt.Errorf("wire: decoding kind %d: %w", kind, err)
+	}
+	return action.Envelope{Seq: seq, Origin: origin, Act: act}, hdr + blen, nil
+}
+
+func appendWrites(buf []byte, ws []world.Write) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ws)))
+	for _, w := range ws {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.ID))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(w.Val)))
+		for _, f := range w.Val {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+	}
+	return buf
+}
+
+func decodeWrites(buf []byte) ([]world.Write, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("wire: writes header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	ws := make([]world.Write, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < off+10 {
+			return nil, 0, fmt.Errorf("wire: write record %d truncated", i)
+		}
+		id := world.ObjectID(binary.LittleEndian.Uint64(buf[off:]))
+		attrs := int(binary.LittleEndian.Uint16(buf[off+8:]))
+		off += 10
+		if len(buf) < off+attrs*8 {
+			return nil, 0, fmt.Errorf("wire: write value %d truncated", i)
+		}
+		val := make(world.Value, attrs)
+		for j := 0; j < attrs; j++ {
+			val[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+j*8:]))
+		}
+		off += attrs * 8
+		ws = append(ws, world.Write{ID: id, Val: val})
+	}
+	return ws, off, nil
+}
+
+// Encode serializes msg (without the TCP frame header).
+func Encode(msg Msg) []byte {
+	switch m := msg.(type) {
+	case *Submit:
+		return appendEnvelope(nil, m.Env)
+	case *Batch:
+		buf := make([]byte, 0, m.WireSize())
+		flag := byte(0)
+		if m.Push {
+			flag = 1
+		}
+		buf = append(buf, flag)
+		buf = binary.LittleEndian.AppendUint64(buf, m.InstalledUpTo)
+		buf = binary.LittleEndian.AppendUint64(buf, m.ClientSeq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Envs)))
+		for _, e := range m.Envs {
+			buf = appendEnvelope(buf, e)
+		}
+		return buf
+	case *Completion:
+		buf := make([]byte, 0, m.WireSize())
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.By))
+		ok := byte(0)
+		if m.Res.OK {
+			ok = 1
+		}
+		buf = append(buf, ok)
+		return appendWrites(buf, m.Res.Writes)
+	case *Drop:
+		buf := make([]byte, 0, 8)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ActID.Client))
+		buf = binary.LittleEndian.AppendUint32(buf, m.ActID.Seq)
+		return buf
+	case *Hello:
+		return binary.LittleEndian.AppendUint64(nil, m.InterestMask)
+	case *LockGrant:
+		buf := binary.LittleEndian.AppendUint64(nil, m.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ActID.Client))
+		return binary.LittleEndian.AppendUint32(buf, m.ActID.Seq)
+	case *Relay:
+		buf := binary.LittleEndian.AppendUint32(nil, uint32(len(m.Targets)))
+		for i, t := range m.Targets {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+			var seq uint64
+			if i < len(m.TargetSeqs) {
+				seq = m.TargetSeqs[i]
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, seq)
+		}
+		return append(buf, Encode(m.Inner)...)
+	case *Welcome:
+		buf := binary.LittleEndian.AppendUint32(nil, uint32(m.You))
+		return appendWrites(buf, m.Init)
+	default:
+		panic(fmt.Sprintf("wire: cannot encode %T", msg))
+	}
+}
+
+// Decode reconstructs a message of the given type from its encoded form.
+func Decode(t MsgType, buf []byte) (Msg, error) {
+	switch t {
+	case TypeSubmit:
+		env, _, err := decodeEnvelope(buf)
+		if err != nil {
+			return nil, err
+		}
+		return &Submit{Env: env}, nil
+	case TypeBatch:
+		if len(buf) < 21 {
+			return nil, fmt.Errorf("wire: batch header truncated")
+		}
+		m := &Batch{
+			Push:          buf[0] == 1,
+			InstalledUpTo: binary.LittleEndian.Uint64(buf[1:]),
+			ClientSeq:     binary.LittleEndian.Uint64(buf[9:]),
+		}
+		n := int(binary.LittleEndian.Uint32(buf[17:]))
+		off := 21
+		for i := 0; i < n; i++ {
+			env, sz, err := decodeEnvelope(buf[off:])
+			if err != nil {
+				return nil, err
+			}
+			m.Envs = append(m.Envs, env)
+			off += sz
+		}
+		return m, nil
+	case TypeCompletion:
+		if len(buf) < 13 {
+			return nil, fmt.Errorf("wire: completion truncated")
+		}
+		m := &Completion{
+			Seq: binary.LittleEndian.Uint64(buf),
+			By:  action.ClientID(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		}
+		m.Res.OK = buf[12] == 1
+		ws, _, err := decodeWrites(buf[13:])
+		if err != nil {
+			return nil, err
+		}
+		m.Res.Writes = ws
+		return m, nil
+	case TypeDrop:
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("wire: drop truncated")
+		}
+		return &Drop{ActID: action.ID{
+			Client: action.ClientID(int32(binary.LittleEndian.Uint32(buf))),
+			Seq:    binary.LittleEndian.Uint32(buf[4:]),
+		}}, nil
+	case TypeHello:
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("wire: hello truncated")
+		}
+		return &Hello{InterestMask: binary.LittleEndian.Uint64(buf)}, nil
+	case TypeLockGrant:
+		if len(buf) < 16 {
+			return nil, fmt.Errorf("wire: lock grant truncated")
+		}
+		return &LockGrant{
+			Seq: binary.LittleEndian.Uint64(buf),
+			ActID: action.ID{
+				Client: action.ClientID(int32(binary.LittleEndian.Uint32(buf[8:]))),
+				Seq:    binary.LittleEndian.Uint32(buf[12:]),
+			},
+		}, nil
+	case TypeRelay:
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("wire: relay truncated")
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		if len(buf) < 4+12*n {
+			return nil, fmt.Errorf("wire: relay targets truncated")
+		}
+		m := &Relay{}
+		for i := 0; i < n; i++ {
+			off := 4 + 12*i
+			m.Targets = append(m.Targets,
+				action.ClientID(int32(binary.LittleEndian.Uint32(buf[off:]))))
+			m.TargetSeqs = append(m.TargetSeqs, binary.LittleEndian.Uint64(buf[off+4:]))
+		}
+		inner, err := Decode(TypeBatch, buf[4+12*n:])
+		if err != nil {
+			return nil, err
+		}
+		m.Inner = inner.(*Batch)
+		return m, nil
+	case TypeWelcome:
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("wire: welcome truncated")
+		}
+		m := &Welcome{You: action.ClientID(int32(binary.LittleEndian.Uint32(buf)))}
+		ws, _, err := decodeWrites(buf[4:])
+		if err != nil {
+			return nil, err
+		}
+		m.Init = ws
+		return m, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
+	}
+}

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+func TestMessageTypesAndSizes(t *testing.T) {
+	msgs := []Msg{
+		&Submit{Env: action.Envelope{Origin: 1, Act: &testAct{id: action.ID{Client: 1, Seq: 1}}}},
+		&Batch{},
+		&Completion{},
+		&Drop{},
+		&Hello{},
+		&Welcome{},
+		&LockGrant{},
+	}
+	want := []MsgType{TypeSubmit, TypeBatch, TypeCompletion, TypeDrop, TypeHello, TypeWelcome, TypeLockGrant}
+	for i, m := range msgs {
+		if m.Type() != want[i] {
+			t.Errorf("msg %d Type = %d, want %d", i, m.Type(), want[i])
+		}
+		if got := len(Encode(m)); got != m.WireSize() {
+			t.Errorf("%T: encoded %d bytes, WireSize %d", m, got, m.WireSize())
+		}
+	}
+}
+
+func TestLockGrantRoundTrip(t *testing.T) {
+	m := &LockGrant{Seq: 77, ActID: action.ID{Client: 3, Seq: 9}}
+	got, err := Decode(TypeLockGrant, Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*LockGrant)
+	if g.Seq != 77 || g.ActID != m.ActID {
+		t.Fatalf("round trip = %+v", g)
+	}
+	if _, err := Decode(TypeLockGrant, []byte{1, 2}); err == nil {
+		t.Fatal("truncated lock grant accepted")
+	}
+}
+
+// TestCompletionRoundTripProperty: random results survive the codec.
+func TestCompletionRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		res := action.Result{OK: rng.Intn(2) == 0}
+		for i := 0; i < rng.Intn(6); i++ {
+			val := make(world.Value, rng.Intn(5))
+			for j := range val {
+				val[j] = rng.NormFloat64() * 1e6
+			}
+			res.Writes = append(res.Writes, world.Write{
+				ID:  world.ObjectID(rng.Uint64()),
+				Val: val,
+			})
+		}
+		m := &Completion{Seq: rng.Uint64(), By: action.ClientID(rng.Int31()), Res: res}
+		buf := Encode(m)
+		if len(buf) != m.WireSize() {
+			return false
+		}
+		got, err := Decode(TypeCompletion, buf)
+		if err != nil {
+			return false
+		}
+		g := got.(*Completion)
+		return g.Seq == m.Seq && g.By == m.By && g.Res.Equal(m.Res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchRoundTripProperty: random blind-write batches survive the
+// codec, including push flags and installed markers.
+func TestBatchRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Batch{Push: rng.Intn(2) == 0, InstalledUpTo: rng.Uint64()}
+		for i := 0; i < rng.Intn(5); i++ {
+			var writes []world.Write
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				writes = append(writes, world.Write{
+					ID:  world.ObjectID(rng.Uint64()),
+					Val: world.Value{rng.Float64(), rng.Float64()},
+				})
+			}
+			bw := action.NewBlindWrite(action.ID{Client: action.OriginServer, Seq: rng.Uint32()}, writes)
+			m.Envs = append(m.Envs, action.Envelope{
+				Seq:    rng.Uint64(),
+				Origin: action.OriginServer,
+				Act:    bw,
+			})
+		}
+		buf := Encode(m)
+		if len(buf) != m.WireSize() {
+			return false
+		}
+		got, err := Decode(TypeBatch, buf)
+		if err != nil {
+			return false
+		}
+		g := got.(*Batch)
+		if g.Push != m.Push || g.InstalledUpTo != m.InstalledUpTo || len(g.Envs) != len(m.Envs) {
+			return false
+		}
+		for i := range g.Envs {
+			if g.Envs[i].Seq != m.Envs[i].Seq {
+				return false
+			}
+			gw := g.Envs[i].Act.(*action.BlindWrite).Writes()
+			mw := m.Envs[i].Act.(*action.BlindWrite).Writes()
+			if len(gw) != len(mw) {
+				return false
+			}
+			for j := range gw {
+				if gw[j].ID != mw[j].ID || !gw[j].Val.Equal(mw[j].Val) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// errWriter fails after n bytes, exercising WriteFrame's error paths.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShort
+	}
+	take := len(p)
+	if take > w.n {
+		take = w.n
+	}
+	w.n -= take
+	if take < len(p) {
+		return take, errShort
+	}
+	return take, nil
+}
+
+type shortErr struct{}
+
+func (shortErr) Error() string { return "short write" }
+
+var errShort = shortErr{}
+
+func TestWriteFrameErrors(t *testing.T) {
+	m := &Drop{ActID: action.ID{Client: 1, Seq: 1}}
+	if err := WriteFrame(&errWriter{n: 2}, m); err == nil {
+		t.Fatal("header write error not surfaced")
+	}
+	if err := WriteFrame(&errWriter{n: 6}, m); err == nil {
+		t.Fatal("payload write error not surfaced")
+	}
+}
+
+func TestRelayRoundTrip(t *testing.T) {
+	bw := action.NewBlindWrite(action.ID{Client: action.OriginServer, Seq: 5},
+		[]world.Write{{ID: 7, Val: world.Value{1}}})
+	m := &Relay{
+		Targets:    []action.ClientID{3, 9, 12},
+		TargetSeqs: []uint64{100, 200, 300},
+		Inner: &Batch{
+			Envs:          []action.Envelope{{Seq: 42, Origin: action.OriginServer, Act: bw}},
+			Push:          true,
+			InstalledUpTo: 41,
+			ClientSeq:     100,
+		},
+	}
+	buf := Encode(m)
+	if len(buf) != m.WireSize() {
+		t.Fatalf("encoded %d, WireSize %d", len(buf), m.WireSize())
+	}
+	got, err := Decode(TypeRelay, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*Relay)
+	if len(g.Targets) != 3 || g.Targets[1] != 9 || g.TargetSeqs[2] != 300 {
+		t.Fatalf("targets = %v seqs = %v", g.Targets, g.TargetSeqs)
+	}
+	if !g.Inner.Push || g.Inner.InstalledUpTo != 41 || g.Inner.ClientSeq != 100 {
+		t.Fatalf("inner = %+v", g.Inner)
+	}
+	if len(g.Inner.Envs) != 1 || g.Inner.Envs[0].Seq != 42 {
+		t.Fatalf("inner envs = %+v", g.Inner.Envs)
+	}
+}
+
+func TestRelayDecodeErrors(t *testing.T) {
+	if _, err := Decode(TypeRelay, []byte{1}); err == nil {
+		t.Fatal("short relay accepted")
+	}
+	// Claims 5 targets but provides none.
+	hdr := binary.LittleEndian.AppendUint32(nil, 5)
+	if _, err := Decode(TypeRelay, hdr); err == nil {
+		t.Fatal("truncated relay targets accepted")
+	}
+}
+
+func TestBatchClientSeqSurvives(t *testing.T) {
+	m := &Batch{ClientSeq: 77, InstalledUpTo: 3}
+	got, err := Decode(TypeBatch, Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*Batch).ClientSeq != 77 {
+		t.Fatalf("ClientSeq = %d", got.(*Batch).ClientSeq)
+	}
+}

@@ -1,0 +1,140 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIDSetSortsAndDedups(t *testing.T) {
+	s := NewIDSet(5, 1, 3, 1, 5, 2)
+	want := IDSet{1, 2, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("NewIDSet = %v, want %v", s, want)
+	}
+}
+
+func TestIDSetContains(t *testing.T) {
+	s := NewIDSet(2, 4, 6)
+	for _, id := range []ObjectID{2, 4, 6} {
+		if !s.Contains(id) {
+			t.Fatalf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []ObjectID{0, 1, 3, 5, 7} {
+		if s.Contains(id) {
+			t.Fatalf("Contains(%d) = true", id)
+		}
+	}
+	if IDSet(nil).Contains(1) {
+		t.Fatal("nil set contains 1")
+	}
+}
+
+func TestIDSetIntersects(t *testing.T) {
+	cases := []struct {
+		a, b IDSet
+		want bool
+	}{
+		{NewIDSet(1, 2, 3), NewIDSet(3, 4), true},
+		{NewIDSet(1, 2, 3), NewIDSet(4, 5), false},
+		{NewIDSet(), NewIDSet(1), false},
+		{nil, nil, false},
+		{NewIDSet(10), NewIDSet(10), true},
+		{NewIDSet(1, 5, 9), NewIDSet(2, 5, 8), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%v ∩ %v ≠ ∅ = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("intersects not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestIDSetUnionSubtractIntersect(t *testing.T) {
+	a := NewIDSet(1, 3, 5, 7)
+	b := NewIDSet(3, 4, 7, 8)
+	if got := a.Union(b); !got.Equal(NewIDSet(1, 3, 4, 5, 7, 8)) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Subtract(b); !got.Equal(NewIDSet(1, 5)) {
+		t.Fatalf("Subtract = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewIDSet(3, 7)) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Subtract(a); got.Len() != 0 {
+		t.Fatalf("a \\ a = %v", got)
+	}
+	if got := IDSet(nil).Union(b); !got.Equal(b) {
+		t.Fatalf("nil ∪ b = %v", got)
+	}
+}
+
+func TestIDSetClone(t *testing.T) {
+	a := NewIDSet(1, 2)
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+	if IDSet(nil).Clone() != nil {
+		t.Fatal("nil Clone not nil")
+	}
+}
+
+// randSet builds a random IDSet over a small universe so intersections are
+// common.
+func randSet(rng *rand.Rand) IDSet {
+	n := rng.Intn(12)
+	ids := make([]ObjectID, n)
+	for i := range ids {
+		ids[i] = ObjectID(rng.Intn(20))
+	}
+	return NewIDSet(ids...)
+}
+
+func TestIDSetAlgebraProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSet(rng), randSet(rng)
+
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		diff := a.Subtract(b)
+
+		// |A ∪ B| = |A| + |B| − |A ∩ B|
+		if union.Len() != a.Len()+b.Len()-inter.Len() {
+			return false
+		}
+		// A \ B and A ∩ B partition A.
+		if diff.Len()+inter.Len() != a.Len() {
+			return false
+		}
+		// Intersects agrees with Intersect.
+		if a.Intersects(b) != (inter.Len() > 0) {
+			return false
+		}
+		// Every member of the union is in A or B; membership is sane.
+		for _, id := range union {
+			if !a.Contains(id) && !b.Contains(id) {
+				return false
+			}
+		}
+		for _, id := range diff {
+			if b.Contains(id) || !a.Contains(id) {
+				return false
+			}
+		}
+		// (A \ B) ∪ (A ∩ B) = A
+		if !diff.Union(inter).Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package world
+
+import "sort"
+
+// Write is one recorded write: the pair (x, v) of a "write x ← v"
+// performed by an action (Algorithm 1, step 4). Completion messages carry
+// these records to the server, which installs them into ζS.
+type Write struct {
+	ID  ObjectID
+	Val Value
+}
+
+// View is a point-in-time read interface over a store. Actions execute
+// against a View through a Tx.
+type View interface {
+	Read(id ObjectID) (Value, bool)
+}
+
+// StateView adapts a State to a View.
+type StateView struct{ S *State }
+
+// Read returns the current value of id.
+func (v StateView) Read(id ObjectID) (Value, bool) { return v.S.Get(id) }
+
+// AtView reads an MVStore as of a serial position.
+type AtView struct {
+	M   *MVStore
+	Seq uint64
+}
+
+// Read returns the value of id as of Seq.
+func (v AtView) Read(id ObjectID) (Value, bool) { return v.M.ReadAt(id, v.Seq) }
+
+// LatestView reads the newest versions of an MVStore.
+type LatestView struct{ M *MVStore }
+
+// Read returns the newest value of id.
+func (v LatestView) Read(id ObjectID) (Value, bool) {
+	val, _, ok := v.M.Latest(id)
+	return val, ok
+}
+
+// Tx is a tracked transaction: it records the read set and buffers writes
+// (read-your-writes semantics) so an action's actual accesses can be
+// checked against its declared RS(a)/WS(a) and its effect extracted as a
+// list of Writes.
+type Tx struct {
+	view     View
+	readSet  map[ObjectID]struct{}
+	writeLog []Write
+	writeMap map[ObjectID]int // index into writeLog of latest write
+	missed   []ObjectID       // reads of unknown objects
+}
+
+// NewTx returns a transaction reading from view.
+func NewTx(view View) *Tx {
+	return &Tx{
+		view:     view,
+		readSet:  make(map[ObjectID]struct{}),
+		writeMap: make(map[ObjectID]int),
+	}
+}
+
+// Read returns the value of id, preferring the transaction's own buffered
+// write. The read is recorded. A read of an unknown object returns
+// (nil, false) and is recorded as missed — the signal an action uses to
+// detect a fatal conflict and abort as a no-op (Section III-A, Bayou-style
+// conflict checks).
+func (tx *Tx) Read(id ObjectID) (Value, bool) {
+	tx.readSet[id] = struct{}{}
+	if i, ok := tx.writeMap[id]; ok {
+		return tx.writeLog[i].Val, true
+	}
+	v, ok := tx.view.Read(id)
+	if !ok {
+		tx.missed = append(tx.missed, id)
+	}
+	return v, ok
+}
+
+// Write buffers v as the new value of id. Per the paper's convention
+// RS(a) ⊇ WS(a), a write also records a read.
+func (tx *Tx) Write(id ObjectID, v Value) {
+	tx.readSet[id] = struct{}{}
+	if i, ok := tx.writeMap[id]; ok {
+		tx.writeLog[i].Val = v.Clone()
+		return
+	}
+	tx.writeMap[id] = len(tx.writeLog)
+	tx.writeLog = append(tx.writeLog, Write{ID: id, Val: v.Clone()})
+}
+
+// ReadSet returns the ids read (including written ids), sorted.
+func (tx *Tx) ReadSet() IDSet {
+	ids := make(IDSet, 0, len(tx.readSet))
+	for id := range tx.readSet {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// WriteSet returns the ids written, sorted.
+func (tx *Tx) WriteSet() IDSet {
+	ids := make(IDSet, 0, len(tx.writeMap))
+	for id := range tx.writeMap {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Writes returns the buffered writes in first-write order, with later
+// writes to the same object collapsed into the first record.
+func (tx *Tx) Writes() []Write { return tx.writeLog }
+
+// Missed returns ids whose reads found no value, in read order.
+func (tx *Tx) Missed() []ObjectID { return tx.missed }

@@ -1,0 +1,111 @@
+package world
+
+import "testing"
+
+func TestTxReadYourWrites(t *testing.T) {
+	s := NewState()
+	s.Set(1, Value{1})
+	tx := NewTx(StateView{S: s})
+	v, ok := tx.Read(1)
+	if !ok || v[0] != 1 {
+		t.Fatalf("Read = %v, %v", v, ok)
+	}
+	tx.Write(1, Value{2})
+	v, _ = tx.Read(1)
+	if v[0] != 2 {
+		t.Fatalf("read-your-writes failed: %v", v)
+	}
+	// The underlying state is untouched until the caller applies writes.
+	if sv, _ := s.Get(1); sv[0] != 1 {
+		t.Fatal("Tx wrote through to the state")
+	}
+}
+
+func TestTxTracksSets(t *testing.T) {
+	s := NewState()
+	s.Set(1, Value{1})
+	s.Set(2, Value{2})
+	tx := NewTx(StateView{S: s})
+	tx.Read(1)
+	tx.Read(2)
+	tx.Write(3, Value{3})
+	if !tx.ReadSet().Equal(NewIDSet(1, 2, 3)) {
+		t.Fatalf("ReadSet = %v (writes must be included per RS ⊇ WS)", tx.ReadSet())
+	}
+	if !tx.WriteSet().Equal(NewIDSet(3)) {
+		t.Fatalf("WriteSet = %v", tx.WriteSet())
+	}
+}
+
+func TestTxWriteCollapsing(t *testing.T) {
+	tx := NewTx(StateView{S: NewState()})
+	tx.Write(1, Value{1})
+	tx.Write(2, Value{2})
+	tx.Write(1, Value{10})
+	w := tx.Writes()
+	if len(w) != 2 {
+		t.Fatalf("Writes = %v, want 2 collapsed records", w)
+	}
+	if w[0].ID != 1 || w[0].Val[0] != 10 {
+		t.Fatalf("collapsed write = %v", w[0])
+	}
+	if w[1].ID != 2 || w[1].Val[0] != 2 {
+		t.Fatalf("second write = %v", w[1])
+	}
+}
+
+func TestTxMissedReads(t *testing.T) {
+	tx := NewTx(StateView{S: NewState()})
+	if _, ok := tx.Read(7); ok {
+		t.Fatal("read of unknown object succeeded")
+	}
+	if len(tx.Missed()) != 1 || tx.Missed()[0] != 7 {
+		t.Fatalf("Missed = %v", tx.Missed())
+	}
+	// A write makes the object readable within the tx and it is no longer
+	// missed on subsequent reads.
+	tx.Write(7, Value{1})
+	if _, ok := tx.Read(7); !ok {
+		t.Fatal("read after write failed")
+	}
+	if len(tx.Missed()) != 1 {
+		t.Fatalf("Missed grew: %v", tx.Missed())
+	}
+}
+
+func TestTxWriteValueCopied(t *testing.T) {
+	tx := NewTx(StateView{S: NewState()})
+	v := Value{1}
+	tx.Write(1, v)
+	v[0] = 99
+	if tx.Writes()[0].Val[0] != 1 {
+		t.Fatal("Write aliased caller's slice")
+	}
+}
+
+func TestAtViewReadsAsOfSeq(t *testing.T) {
+	m := NewMVStore()
+	m.WriteAt(1, 0, Value{0})
+	m.WriteAt(1, 10, Value{10})
+	tx := NewTx(AtView{M: m, Seq: 5})
+	v, ok := tx.Read(1)
+	if !ok || v[0] != 0 {
+		t.Fatalf("AtView read = %v, %v; want 0 (version at seq 0)", v, ok)
+	}
+	tx2 := NewTx(AtView{M: m, Seq: 10})
+	v, _ = tx2.Read(1)
+	if v[0] != 10 {
+		t.Fatalf("AtView(10) read = %v, want 10", v)
+	}
+}
+
+func TestLatestView(t *testing.T) {
+	m := NewMVStore()
+	m.WriteAt(1, 3, Value{3})
+	m.WriteAt(1, 9, Value{9})
+	tx := NewTx(LatestView{M: m})
+	v, ok := tx.Read(1)
+	if !ok || v[0] != 9 {
+		t.Fatalf("LatestView read = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,35 @@
+package world
+
+// Value is an object's attribute tuple. The paper models every
+// participant as "a high-dimensional tuple" with a bounded rate of change
+// per attribute (Section III-D): spatial attributes move at most at the
+// maximum velocity, health by at most the maximum damage, and so on. A
+// flat float64 tuple captures that model; the meaning of each slot is
+// fixed by the application schema (see package manhattan for an example).
+type Value []float64
+
+// Clone returns an independent copy of the value. A nil value clones to
+// nil, preserving "object absent" semantics.
+func (v Value) Clone() Value {
+	if v == nil {
+		return nil
+	}
+	c := make(Value, len(v))
+	copy(c, v)
+	return c
+}
+
+// Equal reports whether two values are attribute-for-attribute identical.
+// NaN attributes never compare equal, matching float64 semantics; the
+// protocols never store NaN.
+func (v Value) Equal(o Value) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
