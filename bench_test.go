@@ -6,6 +6,7 @@ package seve_test
 // artifacts come from `go run ./cmd/seve-bench`.
 
 import (
+	"fmt"
 	"testing"
 
 	"seve/internal/action"
@@ -292,6 +293,143 @@ func BenchmarkDurableRecover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, upTo, err := durable.Recover(dir); err != nil || upTo != 5000 {
 			b.Fatalf("recover: %v (upTo %d)", err, upTo)
+		}
+	}
+}
+
+// --- Engine rewrite benchmarks: conflict index + parallel push ---
+
+// BenchmarkClosureDeepQueue measures one Algorithm 7 chain walk
+// (Server.ChainLength) against a deep uncommitted queue, with and
+// without the reverse conflict index. The indexed walk visits only
+// conflicting entries, so its cost tracks the chain, not the queue.
+func BenchmarkClosureDeepQueue(b *testing.B) {
+	for _, depth := range []int{1000, 10_000} {
+		for _, indexed := range []bool{true, false} {
+			b.Run(fmt.Sprintf("depth=%d/indexed=%v", depth, indexed), func(b *testing.B) {
+				const clients = 100
+				wcfg := manhattan.DefaultConfig()
+				wcfg.Width, wcfg.Height = 10_000, 10_000
+				wcfg.NumWalls = 1000
+				wcfg.NumAvatars = clients
+				w := manhattan.NewWorld(wcfg)
+				init := w.InitialState(0)
+
+				cfg := core.DefaultConfig()
+				cfg.Mode = core.ModeIncomplete
+				cfg.MaxSpeed = wcfg.Speed
+				cfg.DisableConflictIndex = !indexed
+				srv := core.NewServer(cfg, init)
+				for i := 1; i <= clients; i++ {
+					srv.RegisterClient(action.ClientID(i), 0)
+				}
+				for n := 0; n < depth; n++ {
+					i := n%clients + 1
+					cid := action.ClientID(i)
+					mv, err := w.NewMove(action.ID{Client: cid, Seq: uint32(n/clients + 1)},
+						manhattan.AvatarID(i), init)
+					if err != nil {
+						b.Fatal(err)
+					}
+					srv.HandleSubmit(cid, &wire.Submit{Env: action.Envelope{Origin: cid, Act: mv}}, 0)
+				}
+				if srv.QueueLen() != depth {
+					b.Fatalf("queue depth %d, want %d", srv.QueueLen(), depth)
+				}
+				probe, err := w.NewMove(action.ID{Client: 1, Seq: uint32(depth)},
+					manhattan.AvatarID(1), init)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs := probe.ReadSet()
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if srv.ChainLength(rs) == 0 {
+						b.Fatal("empty chain")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTickManyClients measures one steady-state First Bound round —
+// every client submits a move, completions from the previous round
+// install, and one push cycle fans the closure batches out — comparing
+// the sequential scheduler (workers=1) against the auto-sized pool
+// (workers=0). The two produce byte-identical pushes.
+func BenchmarkTickManyClients(b *testing.B) {
+	for _, clients := range []int{256, 1024} {
+		for _, workers := range []int{1, 0} {
+			b.Run(fmt.Sprintf("clients=%d/workers=%d", clients, workers), func(b *testing.B) {
+				wcfg := manhattan.DefaultConfig()
+				wcfg.Width, wcfg.Height = 2_000, 2_000
+				wcfg.NumWalls = 1000
+				wcfg.NumAvatars = clients
+				w := manhattan.NewWorld(wcfg)
+				init := w.InitialState(0)
+
+				cfg := core.DefaultConfig()
+				cfg.Mode = core.ModeFirstBound
+				cfg.MaxSpeed = wcfg.Speed
+				cfg.DefaultRadius = wcfg.EffectRange
+				cfg.PushWorkers = workers
+				srv := core.NewServer(cfg, init)
+				for i := 1; i <= clients; i++ {
+					srv.RegisterClient(action.ClientID(i), 0)
+				}
+				mirror := init.Clone()
+				nextSeq := make([]uint32, clients+1)
+				var pending []*wire.Completion
+				nowMs := 0.0
+
+				round := func() {
+					for _, c := range pending {
+						srv.HandleCompletion(c)
+					}
+					pending = pending[:0]
+					nowMs += 300
+					stamp := nowMs - 150 // mid-window: visible to this round's push
+					for i := 1; i <= clients; i++ {
+						cid := action.ClientID(i)
+						nextSeq[i]++
+						mv, err := w.NewMove(action.ID{Client: cid, Seq: nextSeq[i]},
+							manhattan.AvatarID(i), mirror)
+						if err != nil {
+							b.Fatal(err)
+						}
+						out := srv.HandleSubmit(cid, &wire.Submit{Env: action.Envelope{Origin: cid, Act: mv}}, stamp)
+						if out.Dropped {
+							continue
+						}
+						for _, rep := range out.Replies {
+							batch, ok := rep.Msg.(*wire.Batch)
+							if !ok {
+								continue
+							}
+							for _, env := range batch.Envs {
+								if env.Act.ID() == mv.ID() {
+									res := action.Eval(mv, world.StateView{S: mirror})
+									for _, wr := range res.Writes {
+										mirror.Set(wr.ID, wr.Val)
+									}
+									pending = append(pending, &wire.Completion{Seq: env.Seq, By: cid, Res: res})
+								}
+							}
+						}
+					}
+					srv.Tick(nowMs)
+				}
+				round() // warm the scratch pools and client positions
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					round()
+				}
+			})
 		}
 	}
 }

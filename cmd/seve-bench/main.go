@@ -8,6 +8,7 @@
 //	seve-bench -experiment all -quick    # whole battery at reduced scale
 //
 // Experiments: tablei, fig6, fig7, fig8, fig9, fig10, table2, limit,
+// serverstats (the engine's conflict-index and push-scheduler counters),
 // plus the extensions protocols, zoning, hybrid, ablation-omega,
 // ablation-threshold, ablation-gc (ablations = all three), and all.
 package main
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|protocols|zoning|hybrid|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
+		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|protocols|zoning|hybrid|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and move counts (seconds instead of minutes)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
@@ -49,6 +50,7 @@ func main() {
 		{"fig10", experiments.Fig10},
 		{"table2", experiments.Table2},
 		{"limit", experiments.Limit},
+		{"serverstats", experiments.EngineStats},
 		{"protocols", experiments.Protocols},
 		{"zoning", experiments.Zoning},
 		{"hybrid", experiments.Hybrid},

@@ -106,7 +106,8 @@ func main() {
 	signal.Notify(sigc, os.Interrupt)
 	go func() {
 		<-sigc
-		log.Printf("seve-server: shutting down (installed %d actions)", srv.Installed())
+		st := srv.Metrics()
+		log.Printf("seve-server: shutting down (installed %d actions)\n%s", st.Installed, st)
 		srv.Close()
 		l.Close()
 	}()

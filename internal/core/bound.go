@@ -1,11 +1,14 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"seve/internal/action"
 	"seve/internal/geom"
 	"seve/internal/wire"
+	"seve/internal/world"
 )
 
 // Tick runs the First Bound push cycle (Section III-D): "at regular
@@ -23,6 +26,17 @@ import (
 // enabled. Actions already sent to C — including everything C received
 // in closure replies — are skipped via the sent(a) bookkeeping shared
 // with Algorithm 6.
+//
+// The cycle is a plan/commit scheduler. Planning — the per-client
+// eligibility scan over the window plus the Algorithm 6 closure walk —
+// only reads engine state, so it fans out over a bounded worker pool
+// (Config.PushWorkers). The commit phase then applies every plan in
+// ascending client order: sent() marks, blind-write ids, per-client
+// batch sequence numbers, replies, counters. Because plans for
+// different clients are independent (sent() is per-client and nothing
+// else mutates during planning), the output is byte-identical whatever
+// the pool width — TestTickParallelDeterminism holds the scheduler to
+// that.
 func (s *Server) Tick(nowMs float64) ServerOutput {
 	var out ServerOutput
 	if s.cfg.Mode < ModeFirstBound {
@@ -43,31 +57,123 @@ func (s *Server) Tick(nowMs float64) ServerOutput {
 		cids = append(cids, cid)
 	}
 	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
-	for _, cid := range cids {
-		ci := s.clients[cid]
-		var seeds []int
-		for i, e := range s.queue {
-			if e.stampedMs <= windowStart || e.stampedMs > nowMs {
-				continue
-			}
-			if _, already := e.sent[cid]; already {
-				continue
-			}
-			if !s.pushEligible(e, ci, nowMs) {
-				continue
-			}
-			seeds = append(seeds, i)
+
+	// The push window is shared by every client; collect it once
+	// instead of once per client.
+	window := s.tickWindow[:0]
+	for i, e := range s.queue {
+		if e.stampedMs > windowStart && e.stampedMs <= nowMs {
+			window = append(window, i)
 		}
-		if len(seeds) == 0 {
-			continue
+	}
+	s.tickWindow = window
+	if len(window) == 0 || len(cids) == 0 {
+		return out
+	}
+
+	s.pushTicks++
+	plans := make([]pushPlan, len(cids))
+	workers := s.pushWorkerCount(len(cids))
+	if workers <= 1 {
+		sc := s.scratchFor(0)
+		for i, cid := range cids {
+			plans[i] = s.planPush(cid, window, nowMs, sc)
 		}
-		batch := s.closureBatch(cid, seeds, &out)
-		out.Replies = append(out.Replies, Reply{
-			To:  cid,
-			Msg: s.sequence(cid, &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}),
-		})
+	} else {
+		s.pushParallelTicks++
+		// Grow the scratch pool before fan-out: scratchFor appends to
+		// s.scratch, which must not happen concurrently.
+		s.scratchFor(workers - 1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sc := s.scratchFor(w)
+				for i := w; i < len(cids); i += workers {
+					plans[i] = s.planPush(cids[i], window, nowMs, sc)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	for i, cid := range cids {
+		s.commitPush(cid, &plans[i], &out)
 	}
 	return out
+}
+
+// pushPlan is the read-only result of planning one client's push: the
+// batch positions and blind-write payload computed by the closure walk.
+type pushPlan struct {
+	active    bool
+	positions []int
+	writes    []world.Write
+	stats     walkStats
+}
+
+// pushWorkerCount resolves the pool width for n clients. An explicit
+// Config.PushWorkers is honored (capped at n); 0 selects up to
+// GOMAXPROCS workers but stays sequential for small client sets where
+// fan-out overhead would dominate.
+func (s *Server) pushWorkerCount(n int) int {
+	w := s.cfg.PushWorkers
+	if w == 0 {
+		if n < 16 {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// planPush scans the push window for entries eligible for cid and runs
+// the closure walk over the seeds. Read-only apart from its private
+// scratch, so it is safe on a worker goroutine: the queue, the conflict
+// index, the interner, ζS, and the sent() bitmaps are all frozen for
+// the duration of the planning phase.
+func (s *Server) planPush(cid action.ClientID, window []int, nowMs float64, sc *closureScratch) pushPlan {
+	ci := s.clients[cid]
+	slot := ci.slot
+	seeds := sc.seeds[:0]
+	for _, i := range window {
+		e := s.queue[i]
+		if e.sent.has(slot) {
+			continue
+		}
+		if !s.pushEligible(e, ci, nowMs) {
+			continue
+		}
+		seeds = append(seeds, i)
+	}
+	sc.seeds = seeds
+	if len(seeds) == 0 {
+		return pushPlan{}
+	}
+	positions, writes, st := s.closureWalk(seeds, sc,
+		func(e *entry) bool { return e.sent.has(slot) })
+	return pushPlan{active: true, positions: positions, writes: writes, stats: st}
+}
+
+// commitPush applies one client's plan: marks the batch entries sent,
+// mints the blind-write id, stamps the per-client batch sequence, and
+// emits the reply. Runs on the engine goroutine in ascending client
+// order, which is what makes the scheduler's output independent of the
+// pool width.
+func (s *Server) commitPush(cid action.ClientID, p *pushPlan, out *ServerOutput) {
+	s.noteWalk(p.stats, out)
+	if !p.active {
+		return
+	}
+	batch := s.assembleBatch(s.slotOf(cid), p.positions, p.writes)
+	out.Replies = append(out.Replies, Reply{
+		To:  cid,
+		Msg: s.sequence(cid, &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}),
+	})
 }
 
 // pushEligible decides whether entry e could affect a future action of

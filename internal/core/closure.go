@@ -1,90 +1,148 @@
 package core
 
 import (
-	"sort"
+	"math/bits"
+	"slices"
 
-	"seve/internal/action"
 	"seve/internal/world"
 )
 
-// closureBatch implements Algorithm 6, TransitiveClosure(A): given seed
+// closureWalk implements Algorithm 6, TransitiveClosure(A): given seed
 // indexes into the uncommitted queue (the just-submitted action for a
-// reply; the push-eligible actions for a First Bound push), it walks the
-// queue from newest to oldest accumulating the transitive read set S.
-// Every unsent action whose write set intersects S is prepended to the
-// batch and marked sent(a) ∋ C; already-sent writers subtract their write
-// sets from S (the client has their effects). Finally the blind write
-// W(S, ζS(S)) is prepended, seeding the client with the authoritative
-// values, as of the install point, of everything it must read.
+// reply; the push-eligible actions for a First Bound push), S starts as
+// the union of the seeds' read sets and the queue below the highest
+// seed is visited newest-to-oldest. An entry whose write set intersects
+// S either extends S with its read set and joins the batch, or — when
+// already(e) reports the recipient holds its effects — subtracts its
+// write set from S (the client has them; they need not be seeded by the
+// blind write). It returns the batch's queue positions (seeds plus
+// walk-included entries, in ascending serial order) and the blind-write
+// payload W(S, ζS(S)), the authoritative values of everything the batch
+// must read.
 //
 // One generalization relative to the paper: Algorithm 6 is stated for a
-// single seed (the submitted action a_{n+1}). First Bound pushes reuse it
-// with multiple seeds — the union of their read sets starts S, and the
-// walk skips the seed positions. Running the full closure for pushes (the
-// paper pushes only the seed actions) guarantees that pushed actions are
-// exactly replayable at the client; the extra entries cost only queue
-// scans, which Section V-B1 measures at 0.04 ms per move.
-func (s *Server) closureBatch(c action.ClientID, seeds []int, out *ServerOutput) []action.Envelope {
-	isSeed := make(map[int]bool, len(seeds))
+// single seed (the submitted action a_{n+1}). First Bound pushes reuse
+// it with multiple seeds — the union of their read sets starts S, and
+// the walk skips the seed positions.
+//
+// Two mechanisms replace the pre-index full-queue walk:
+//
+//   - S is an epoch-stamped dense set over interned object indices, so
+//     the chain-set updates are O(|set|) array stamps with no per-step
+//     allocation (the sorted-slice IDSet ops allocated a fresh slice
+//     per union/subtract).
+//   - Unless Config.DisableConflictIndex is set, the walk visits only
+//     candidate positions drawn from the reverse conflict index: when
+//     an object enters S at position p, every live uncommitted writer
+//     of it below p becomes a candidate. Every popped candidate
+//     re-checks WS ∩ S against the live S, so stale candidates (their
+//     object since subtracted) drop out, and candidates are popped
+//     highest-first by scanning the bitmap words top-down — the visit
+//     sequence is exactly the subsequence of the full walk the full
+//     walk would have acted on, and the outputs are byte-identical
+//     (asserted by TestClosureIndexEquivalence).
+//
+// The walk only reads server state; mutations (sent marks, counters,
+// blind-write ids) belong to the caller via assembleBatch/noteWalk.
+// That is what lets the First Bound push scheduler fan walks for
+// different clients out over a worker pool (bound.go).
+func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(*entry) bool) (positions []int, writes []world.Write, st walkStats) {
+	sc.ensure(len(s.queue), s.intern.Len())
+	useIndex := !s.cfg.DisableConflictIndex
+
 	maxSeed := -1
-	var set world.IDSet
-	var included []action.Envelope
+	positions = make([]int, 0, len(seeds)+4)
 	for _, i := range seeds {
-		isSeed[i] = true
 		if i > maxSeed {
 			maxSeed = i
 		}
-		set = set.Union(s.queue[i].rs)
-		s.queue[i].sent[c] = struct{}{}
-		included = append(included, s.queue[i].env)
+		sc.seedPos.Add(uint32(i))
+		positions = append(positions, i)
 	}
+	for _, i := range seeds {
+		for _, o := range s.queue[i].rsd {
+			if sc.set.Add(o) && useIndex {
+				s.addCandidates(sc, o, maxSeed, &st)
+			}
+		}
+	}
+	st.baseline = maxSeed - (len(seeds) - 1)
 
-	for j := maxSeed - 1; j >= 0; j-- {
-		if isSeed[j] {
-			continue
+	if useIndex {
+		for w := (maxSeed - 1) >> 6; w >= 0; w-- {
+			for sc.cand[w] != 0 {
+				b := bits.Len64(sc.cand[w]) - 1
+				sc.cand[w] &^= 1 << uint(b)
+				j := w<<6 | b
+				if sc.seedPos.Contains(uint32(j)) {
+					continue
+				}
+				st.scanned++
+				e := s.queue[j]
+				if !sc.set.ContainsAny(e.wsd) {
+					continue // stale candidate: its object left S
+				}
+				if already(e) {
+					sc.set.RemoveAll(e.wsd)
+					continue
+				}
+				for _, o := range e.rsd {
+					if sc.set.Add(o) {
+						s.addCandidates(sc, o, j, &st)
+					}
+				}
+				positions = append(positions, j)
+			}
 		}
-		out.QueueScanned++
-		s.totalQueueScans++
-		e := s.queue[j]
-		if !e.ws.Intersects(set) {
-			continue
+	} else {
+		for j := maxSeed - 1; j >= 0; j-- {
+			if sc.seedPos.Contains(uint32(j)) {
+				continue
+			}
+			st.scanned++
+			e := s.queue[j]
+			if !sc.set.ContainsAny(e.wsd) {
+				continue
+			}
+			if already(e) {
+				sc.set.RemoveAll(e.wsd)
+				continue
+			}
+			sc.set.AddAll(e.rsd)
+			positions = append(positions, j)
 		}
-		if _, already := e.sent[c]; already {
-			// The client already has a_j's effects; its writes need not
-			// be seeded by the blind write.
-			set = set.Subtract(e.ws)
-			continue
-		}
-		set = set.Union(e.rs)
-		included = append(included, e.env)
-		e.sent[c] = struct{}{}
 	}
 
 	// The client applies the batch in delivery order and an action at
-	// position n reads versions ≤ n−1, so the batch must be in ascending
-	// serial order. With a single seed the walk already yields that (it
-	// is the paper's prepend); with multiple push seeds the walk-included
-	// entries interleave between seeds and an explicit sort is required.
-	sort.Slice(included, func(i, j int) bool { return included[i].Seq < included[j].Seq })
+	// position n reads versions ≤ n−1, so the batch must be in
+	// ascending serial order.
+	slices.Sort(positions)
+	writes = s.blindWrites(sc)
+	return positions, writes, st
+}
 
-	// Prepend W(S, ζS(S)). Objects unknown to ζS are skipped — they do
-	// not exist yet at the install point, and any queued creator of them
-	// is in the batch.
+// blindWrites materializes W(S, ζS(S)): the authoritative values, as of
+// the install point, of every object in the final chain set that exists
+// in ζS. Objects unknown to ζS are skipped — they do not exist yet at
+// the install point, and any queued creator of them is in the batch.
+// Ids are emitted in ascending order, matching the sorted-IDSet
+// iteration of the pre-index implementation.
+func (s *Server) blindWrites(sc *closureScratch) []world.Write {
+	sc.memb = sc.set.AppendMembers(sc.memb[:0])
+	ids := sc.objs[:0]
+	for _, m := range sc.memb {
+		ids = append(ids, s.intern.ID(m))
+	}
+	sc.objs = ids
+	slices.Sort(ids)
 	var writes []world.Write
-	for _, id := range set {
+	for _, id := range ids {
 		if v, ok := s.zs.Get(id); ok {
+			if writes == nil {
+				writes = make([]world.Write, 0, len(ids))
+			}
 			writes = append(writes, world.Write{ID: id, Val: v.Clone()})
 		}
 	}
-	batch := make([]action.Envelope, 0, len(included)+1)
-	if len(writes) > 0 {
-		bw := action.NewBlindWrite(s.nextBlindID(), writes)
-		batch = append(batch, action.Envelope{
-			Seq:    s.installed,
-			Origin: action.OriginServer,
-			Act:    bw,
-		})
-	}
-	batch = append(batch, included...)
-	return batch
+	return writes
 }

@@ -123,6 +123,20 @@ type Config struct {
 	// ModeFirstBound or above.
 	HybridRelay bool
 
+	// PushWorkers bounds the worker pool the First Bound push scheduler
+	// fans per-client closure planning over. 0 picks a width automatically
+	// (up to GOMAXPROCS, sequential for small client sets); 1 forces the
+	// sequential path. The scheduler's output is byte-identical for every
+	// width — planning is read-only and commits happen in client order —
+	// so this is purely a throughput knob.
+	PushWorkers int
+
+	// DisableConflictIndex makes the analysis walks scan the full
+	// uncommitted queue instead of consulting the reverse conflict index.
+	// Exists for the index ablation and equivalence tests; leave false in
+	// real deployments.
+	DisableConflictIndex bool
+
 	// CrossCheck makes the server compare redundant completion reports
 	// for the same action against the accepted result and flag clients
 	// whose reports disagree — the paper's Section II-B observation that
@@ -164,6 +178,9 @@ func (c Config) Validate() error {
 	}
 	if c.Mode >= ModeInfoBound && c.Threshold <= 0 {
 		return fmt.Errorf("core: threshold must be positive, got %v", c.Threshold)
+	}
+	if c.PushWorkers < 0 {
+		return fmt.Errorf("core: push workers must be non-negative, got %d", c.PushWorkers)
 	}
 	if c.HybridRelay && c.Mode < ModeFirstBound {
 		return fmt.Errorf("core: hybrid relay requires the First Bound push path (mode %v)", c.Mode)

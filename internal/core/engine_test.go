@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// runEngineWorkload drives one server through a seeded random workload —
+// conflicting spatial submissions, First Bound push ticks, and full
+// completion drains — and records every server→client message as
+// "recipient:encoded-bytes". Two configurations that claim to be
+// behaviorally identical must produce equal traces.
+func runEngineWorkload(t *testing.T, cfg Config, seed int64) ([]string, *loopback) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const nObjects, nClients, rounds = 60, 24, 10
+	init := initWorld(nObjects)
+	lb := newLoopback(t, cfg, init, nClients)
+
+	var trace []string
+	record := func(out ServerOutput) {
+		for _, r := range out.Replies {
+			trace = append(trace, fmt.Sprintf("%d:%x", r.To, wire.Encode(r.Msg)))
+			lb.toClient[r.To] = append(lb.toClient[r.To], r.Msg)
+		}
+	}
+	// Deterministic pump that mirrors loopback.drain but routes every
+	// server output through record.
+	pump := func() {
+		for {
+			progress := false
+			if len(lb.toServer) > 0 {
+				fm := lb.toServer[0]
+				lb.toServer = lb.toServer[1:]
+				record(lb.srv.HandleMsg(fm.from, fm.msg, lb.nowMs))
+				progress = true
+			}
+			for _, cid := range lb.order {
+				for lb.stepClient(cid) {
+					progress = true
+				}
+			}
+			if !progress && len(lb.toServer) == 0 {
+				return
+			}
+		}
+	}
+
+	// pumpServer processes pending server-bound messages without letting
+	// clients reply, so submissions accumulate in the uncommitted queue
+	// (no completions yet) and the subsequent Tick sees a real window.
+	pumpServer := func() {
+		for len(lb.toServer) > 0 {
+			fm := lb.toServer[0]
+			lb.toServer = lb.toServer[1:]
+			record(lb.srv.HandleMsg(fm.from, fm.msg, lb.nowMs))
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		lb.nowMs += cfg.PushIntervalMs()
+		nSub := 3 + rng.Intn(5)
+		for i := 0; i < nSub; i++ {
+			cid := lb.order[rng.Intn(len(lb.order))]
+			rs := []world.ObjectID{world.ObjectID(1 + rng.Intn(nObjects))}
+			for rng.Intn(2) == 0 {
+				rs = append(rs, world.ObjectID(1+rng.Intn(nObjects)))
+			}
+			ws := []world.ObjectID{rs[0]}
+			if rng.Intn(2) == 0 {
+				ws = append(ws, world.ObjectID(1+rng.Intn(nObjects)))
+			}
+			a := &testAction{
+				// WS ⊆ RS: Tx.Write records written ids as reads too.
+				rs:    world.NewIDSet(append(rs, ws...)...),
+				ws:    world.NewIDSet(ws...),
+				delta: float64(rng.Intn(100)),
+			}
+			spatialAt(a, rng.Float64()*120, rng.Float64()*120, 5)
+			lb.submit(cid, a)
+			// Interleave server processing with submissions half the time
+			// so the queue depth at each analysis varies.
+			if rng.Intn(2) == 0 {
+				pumpServer()
+			}
+		}
+		pumpServer()
+		if cfg.Mode >= ModeFirstBound {
+			record(lb.srv.Tick(lb.nowMs))
+		}
+		pump()
+	}
+	lb.requireNoViolations()
+	lb.checkAgainstOracle(initWorld(nObjects))
+	return trace, lb
+}
+
+func diffTraces(t *testing.T, name string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d messages vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: message %d differs:\n a: %s\n b: %s", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestTickParallelDeterminism holds the push scheduler to its contract:
+// the byte stream of every server reply — closure batches, push batches,
+// ClientSeq stamps, blind-write ids — is identical whether planning runs
+// sequentially or fanned over a worker pool.
+func TestTickParallelDeterminism(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			seq := cfgFor(ModeFirstBound)
+			seq.PushWorkers = 1
+			par := seq
+			par.PushWorkers = workers
+			trSeq, lbSeq := runEngineWorkload(t, seq, seed)
+			trPar, lbPar := runEngineWorkload(t, par, seed)
+			diffTraces(t, fmt.Sprintf("workers=%d seed=%d", workers, seed), trSeq, trPar)
+			if !lbSeq.srv.Authoritative().Equal(lbPar.srv.Authoritative()) {
+				t.Fatalf("workers=%d seed=%d: authoritative states diverged", workers, seed)
+			}
+			if workers > 1 && lbPar.srv.pushParallelTicks == 0 {
+				t.Fatalf("workers=%d: parallel path never exercised", workers)
+			}
+		}
+	}
+}
+
+// TestClosureIndexEquivalence holds the reverse conflict index to its
+// contract: the indexed Algorithm 6/7 walks produce byte-identical
+// output to the full-queue scans they replace, including Information
+// Bound drop decisions.
+func TestClosureIndexEquivalence(t *testing.T) {
+	for _, mode := range []Mode{ModeIncomplete, ModeFirstBound, ModeInfoBound} {
+		for seed := int64(1); seed <= 3; seed++ {
+			indexed := cfgFor(mode)
+			if mode == ModeInfoBound {
+				// Low enough that long spatial chains get dropped, so the
+				// validity walk's early exit is exercised too.
+				indexed.Threshold = 60
+			}
+			full := indexed
+			full.DisableConflictIndex = true
+			trIdx, lbIdx := runEngineWorkload(t, indexed, seed)
+			trFull, lbFull := runEngineWorkload(t, full, seed)
+			diffTraces(t, fmt.Sprintf("mode=%v seed=%d", mode, seed), trIdx, trFull)
+			if lbIdx.srv.TotalDropped() != lbFull.srv.TotalDropped() {
+				t.Fatalf("mode=%v seed=%d: drops %d (indexed) vs %d (full)",
+					mode, seed, lbIdx.srv.TotalDropped(), lbFull.srv.TotalDropped())
+			}
+			if !lbIdx.srv.Authoritative().Equal(lbFull.srv.Authoritative()) {
+				t.Fatalf("mode=%v seed=%d: authoritative states diverged", mode, seed)
+			}
+			// The index must actually be saving work, or the whole
+			// apparatus is dead weight.
+			if st := lbIdx.srv.Metrics(); st.ScanSavedEntries == 0 {
+				t.Fatalf("mode=%v seed=%d: index saved no scans", mode, seed)
+			}
+		}
+	}
+}
+
+// TestQueueCompaction verifies the HandleCompletion memory fix: popping
+// the queue head must eventually re-home the slice instead of pinning
+// the dead prefix of the backing array forever.
+func TestQueueCompaction(t *testing.T) {
+	cfg := cfgFor(ModeIncomplete)
+	init := initWorld(8)
+	lb := newLoopback(t, cfg, init, 2)
+	for i := 0; i < 600; i++ {
+		lb.submit(lb.order[i%2], &testAction{
+			rs:    world.NewIDSet(world.ObjectID(1 + i%8)),
+			ws:    world.NewIDSet(world.ObjectID(1 + i%8)),
+			delta: 1,
+		})
+		lb.drain()
+	}
+	lb.requireNoViolations()
+	st := lb.srv.Metrics()
+	if st.QueueCompactions == 0 {
+		t.Fatal("queue was never compacted")
+	}
+	if st.QueueLen != 0 {
+		t.Fatalf("queue not drained: %d", st.QueueLen)
+	}
+	if st.Installed != uint64(st.TotalSubmitted-st.TotalDropped) {
+		t.Fatalf("installed %d of %d", st.Installed, st.TotalSubmitted)
+	}
+	lb.checkAgainstOracle(initWorld(8))
+}
+
+// TestMetricsSnapshot sanity-checks the counters surfaced to operators.
+func TestMetricsSnapshot(t *testing.T) {
+	cfg := cfgFor(ModeInfoBound)
+	_, lb := runEngineWorkload(t, cfg, 42)
+	st := lb.srv.Metrics()
+	if st.TotalSubmitted == 0 || st.CompletionsTaken == 0 {
+		t.Fatalf("protocol counters empty: %+v", st)
+	}
+	if st.InternedObjects == 0 || st.IndexLookups == 0 {
+		t.Fatalf("index counters empty: %+v", st)
+	}
+	if st.TrackedClients != 24 {
+		t.Fatalf("tracked clients = %d", st.TrackedClients)
+	}
+	if st.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"seve/internal/action"
 	"seve/internal/wire"
-	"seve/internal/world"
 )
 
 // Hybrid P2P/client-server push delegation — the Section VII direction
@@ -87,10 +86,11 @@ func (s *Server) pushGroup(members []action.ClientID, windowStart, nowMs float64
 		}
 		wanted := false
 		for _, cid := range members {
-			if _, already := e.sent[cid]; already {
+			ci := s.clients[cid]
+			if e.sent.has(ci.slot) {
 				continue
 			}
-			if s.pushEligible(e, s.clients[cid], nowMs) {
+			if s.pushEligible(e, ci, nowMs) {
 				wanted = true
 				break
 			}
@@ -127,59 +127,21 @@ func (s *Server) pushGroup(members []action.ClientID, windowStart, nowMs float64
 // them; otherwise the action is included for all (duplicates are
 // idempotent under the multiversion stores).
 func (s *Server) closureShared(members []action.ClientID, seeds []int, out *ServerOutput) []action.Envelope {
-	isSeed := make(map[int]bool, len(seeds))
-	maxSeed := -1
-	var set world.IDSet
-	var included []action.Envelope
-	for _, i := range seeds {
-		isSeed[i] = true
-		if i > maxSeed {
-			maxSeed = i
-		}
-		set = set.Union(s.queue[i].rs)
-		for _, cid := range members {
-			s.queue[i].sent[cid] = struct{}{}
-		}
-		included = append(included, s.queue[i].env)
+	slots := make([]int, len(members))
+	for i, cid := range members {
+		slots[i] = s.clients[cid].slot
 	}
-
-	for j := maxSeed - 1; j >= 0; j-- {
-		if isSeed[j] {
-			continue
-		}
-		out.QueueScanned++
-		s.totalQueueScans++
-		e := s.queue[j]
-		if !e.ws.Intersects(set) {
-			continue
-		}
-		sentToAll := true
-		for _, cid := range members {
-			if _, ok := e.sent[cid]; !ok {
-				sentToAll = false
-				break
+	positions, writes, st := s.closureWalk(seeds, s.scratchFor(0), func(e *entry) bool {
+		for _, slot := range slots {
+			if !e.sent.has(slot) {
+				return false
 			}
 		}
-		if sentToAll {
-			set = set.Subtract(e.ws)
-			continue
-		}
-		set = set.Union(e.rs)
-		included = append(included, e.env)
-		for _, cid := range members {
-			e.sent[cid] = struct{}{}
-		}
-	}
+		return true
+	})
+	s.noteWalk(st, out)
 
-	sort.Slice(included, func(i, j int) bool { return included[i].Seq < included[j].Seq })
-
-	var writes []world.Write
-	for _, id := range set {
-		if v, ok := s.zs.Get(id); ok {
-			writes = append(writes, world.Write{ID: id, Val: v.Clone()})
-		}
-	}
-	batch := make([]action.Envelope, 0, len(included)+1)
+	batch := make([]action.Envelope, 0, len(positions)+1)
 	if len(writes) > 0 {
 		bw := action.NewBlindWrite(s.nextBlindID(), writes)
 		batch = append(batch, action.Envelope{
@@ -188,6 +150,12 @@ func (s *Server) closureShared(members []action.ClientID, seeds []int, out *Serv
 			Act:    bw,
 		})
 	}
-	batch = append(batch, included...)
+	for _, j := range positions {
+		e := s.queue[j]
+		for _, slot := range slots {
+			e.sent.set(slot)
+		}
+		batch = append(batch, e.env)
+	}
 	return batch
 }

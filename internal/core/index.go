@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sort"
+
+	"seve/internal/world"
+)
+
+// This file holds the reverse conflict index behind the Algorithm 6/7
+// walks (closure.go, infobound.go): for every object, the serial
+// positions of the uncommitted queue entries that write it, plus the
+// reusable per-walk scratch state. With the index, the walks visit only
+// entries that can conflict with the chain set instead of scanning the
+// whole uncommitted queue — the difference between O(queue) and
+// O(conflicts) per analysis, which is what the paper's thin-server
+// claim (Section V-B1, 0.04 ms per move) depends on at depth.
+//
+// Key invariant (established by HandleSubmit/HandleCompletion): the
+// uncommitted queue is a contiguous run of serial positions, so
+// queue[i].env.Seq == s.installed + 1 + uint64(i). Writer lists store
+// serial positions (Seqs), which never change as the head of the queue
+// installs; the conversion to a current queue index is one subtraction.
+
+// walkStats aggregates what one analysis walk cost. Walks run on worker
+// goroutines during parallel pushes, so they accumulate into this value
+// and the caller merges it into the server's counters sequentially
+// (noteWalk).
+type walkStats struct {
+	// scanned counts queue entries actually examined (the quantity
+	// charged as ServerOutput.QueueScanned).
+	scanned int
+	// lookups counts writer-list consultations.
+	lookups int
+	// baseline is what a full-queue walk would have examined, for the
+	// scan-savings counter.
+	baseline int
+}
+
+// closureScratch is the reusable per-walk (and, during parallel pushes,
+// per-worker) state. All of it is sized lazily and retained across
+// calls, so steady-state walks allocate nothing beyond their outputs.
+type closureScratch struct {
+	// set is S, the transitive chain set, over dense object indices.
+	set world.ScratchSet
+	// seedPos marks the seed queue positions the walk must skip.
+	seedPos world.ScratchSet
+	// cand is the candidate bitmap over queue positions: bit j set means
+	// position j writes an object that was in S while the walk was above
+	// j. The walk clears every bit it pops, so the bitmap is all-zero
+	// between walks (early exits sweep the remainder).
+	cand []uint64
+	// seeds buffers per-client push seed positions.
+	seeds []int
+	// memb buffers the final chain-set members.
+	memb []uint32
+	// objs buffers the materialized blind-write object ids.
+	objs []world.ObjectID
+}
+
+func (sc *closureScratch) ensure(queueLen, internLen int) {
+	words := (queueLen + 63) / 64
+	if words > len(sc.cand) {
+		sc.cand = append(sc.cand, make([]uint64, words+words/2-len(sc.cand))...)
+	}
+	sc.set.Reset(internLen)
+	sc.seedPos.Reset(queueLen)
+}
+
+// scratchFor returns the scratch for worker w, growing the pool.
+// scratch[0] serves every sequential path.
+func (s *Server) scratchFor(w int) *closureScratch {
+	for len(s.scratch) <= w {
+		s.scratch = append(s.scratch, &closureScratch{})
+	}
+	return s.scratch[w]
+}
+
+// growWriters keeps the writer-list table in step with the interner.
+func (s *Server) growWriters() {
+	for len(s.writers) < s.intern.Len() {
+		s.writers = append(s.writers, nil)
+	}
+}
+
+// indexEntry records e's writes in the reverse conflict index. Called on
+// enqueue, from the (sequential) submission path.
+func (s *Server) indexEntry(e *entry) {
+	seq := e.env.Seq
+	for _, o := range e.wsd {
+		lst := s.writers[o]
+		// Compact the dead prefix (seqs at or below the install point)
+		// when it dominates the list; append is the only place a list
+		// grows, so this amortizes to O(1) per write.
+		if len(lst) > 16 && lst[0] <= s.installed {
+			d := liveFrom(lst, s.installed)
+			if 2*d >= len(lst) {
+				lst = lst[:copy(lst, lst[d:])]
+				s.writerCompactions++
+			}
+		}
+		s.writers[o] = append(lst, seq)
+	}
+}
+
+// pruneWriters trims the writer lists of an entry that was just
+// installed. Objects written only by installed actions release their
+// lists entirely; hot objects compact once the dead prefix dominates.
+// Runs in the sequential completion path — the walks themselves never
+// mutate the index, which keeps them safe on worker goroutines.
+func (s *Server) pruneWriters(e *entry) {
+	for _, o := range e.wsd {
+		lst := s.writers[o]
+		d := liveFrom(lst, s.installed)
+		switch {
+		case d == len(lst):
+			s.writers[o] = lst[:0]
+		case d > 16 && 2*d >= len(lst):
+			s.writers[o] = lst[:copy(lst, lst[d:])]
+			s.writerCompactions++
+		}
+	}
+}
+
+// liveFrom returns the index of the first seq in lst above installed.
+// Lists are ascending, so lst[liveFrom:] are the live writers.
+func liveFrom(lst []uint64, installed uint64) int {
+	return sort.Search(len(lst), func(i int) bool { return lst[i] > installed })
+}
+
+// addCandidates marks as walk candidates every live uncommitted writer
+// of object o at a queue position strictly below bound. Called when o
+// enters the chain set with the walk at position bound; the walk only
+// ever looks down, so writers at or above bound are already handled.
+func (s *Server) addCandidates(sc *closureScratch, o uint32, bound int, st *walkStats) {
+	lst := s.writers[o]
+	st.lookups++
+	base := s.installed + 1 // queue position of seq q is q - base
+	lo := liveFrom(lst, s.installed)
+	hi := sort.Search(len(lst), func(i int) bool { return lst[i] >= base+uint64(bound) })
+	for _, seq := range lst[lo:hi] {
+		j := int(seq - base)
+		sc.cand[j>>6] |= 1 << uint(j&63)
+	}
+}

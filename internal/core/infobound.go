@@ -1,6 +1,11 @@
 package core
 
-import "seve/internal/world"
+import (
+	"math/bits"
+
+	"seve/internal/geom"
+	"seve/internal/world"
+)
 
 // checkValidity implements the conflict-detection half of Algorithm 7
 // (the Information Bound Model): walking the uncommitted queue from
@@ -24,23 +29,15 @@ import "seve/internal/world"
 // Actions without spatial metadata never break a chain (distance zero):
 // the bound is a spatial heuristic and non-spatial actions are assumed
 // globally relevant.
+//
+// Like the closure walk, the scan is driven by the reverse conflict
+// index unless Config.DisableConflictIndex is set: only positions that
+// write an object currently (or previously) in the chain set are
+// examined, and each re-checks WS ∩ S against the live S.
 func (s *Server) checkValidity(e *entry, out *ServerOutput) (invalid bool) {
-	set := e.rs
-	for j := len(s.queue) - 1; j >= 0; j-- {
-		out.QueueScanned++
-		s.totalQueueScans++
-		prev := s.queue[j]
-		if !prev.ws.Intersects(set) {
-			continue
-		}
-		if e.hasPos && prev.hasPos {
-			if e.pos.Dist(prev.pos) > s.cfg.Threshold {
-				return true
-			}
-		}
-		set = set.Subtract(prev.ws).Union(prev.rs)
-	}
-	return false
+	invalid, _, st := s.validityWalk(e.rsd, e.hasPos, e.pos, s.cfg.Threshold, s.scratchFor(0))
+	s.noteWalk(st, out)
+	return invalid
 }
 
 // ChainLength reports, for diagnostics and the Table II experiment, the
@@ -48,15 +45,72 @@ func (s *Server) checkValidity(e *entry, out *ServerOutput) (invalid bool) {
 // hypothetical action with the given read set and position — the quantity
 // Algorithm 7 bounds.
 func (s *Server) ChainLength(rs world.IDSet) int {
-	set := rs
-	n := 0
-	for j := len(s.queue) - 1; j >= 0; j-- {
-		prev := s.queue[j]
-		if !prev.ws.Intersects(set) {
-			continue
+	rsd := s.intern.InternSet(rs, nil)
+	s.growWriters()
+	_, chain, _ := s.validityWalk(rsd, false, geom.Vec{}, -1, s.scratchFor(0))
+	return chain
+}
+
+// validityWalk runs the Algorithm 7 chain walk over the whole
+// uncommitted queue with S seeded from rsd. For every conflicting entry
+// it applies S ← (S − WS) ∪ RS and counts the chain; when threshold is
+// non-negative and a conflicting entry lies farther than threshold from
+// pos, the walk stops and reports the submission invalid.
+func (s *Server) validityWalk(rsd []uint32, hasPos bool, pos geom.Vec, threshold float64, sc *closureScratch) (invalid bool, chain int, st walkStats) {
+	sc.ensure(len(s.queue), s.intern.Len())
+	useIndex := !s.cfg.DisableConflictIndex
+	n := len(s.queue)
+	st.baseline = n
+
+	for _, o := range rsd {
+		if sc.set.Add(o) && useIndex {
+			s.addCandidates(sc, o, n, &st)
 		}
-		n++
-		set = set.Subtract(prev.ws).Union(prev.rs)
 	}
-	return n
+
+	if !useIndex {
+		for j := n - 1; j >= 0; j-- {
+			st.scanned++
+			prev := s.queue[j]
+			if !sc.set.ContainsAny(prev.wsd) {
+				continue
+			}
+			chain++
+			if threshold >= 0 && hasPos && prev.hasPos && pos.Dist(prev.pos) > threshold {
+				return true, chain, st
+			}
+			sc.set.RemoveAll(prev.wsd)
+			sc.set.AddAll(prev.rsd)
+		}
+		return false, chain, st
+	}
+
+	for w := (n - 1) >> 6; w >= 0; w-- {
+		for sc.cand[w] != 0 {
+			b := bits.Len64(sc.cand[w]) - 1
+			sc.cand[w] &^= 1 << uint(b)
+			j := w<<6 | b
+			st.scanned++
+			prev := s.queue[j]
+			if !sc.set.ContainsAny(prev.wsd) {
+				continue // stale candidate: its object left the chain set
+			}
+			chain++
+			if threshold >= 0 && hasPos && prev.hasPos && pos.Dist(prev.pos) > threshold {
+				// Early exit: restore the all-zero candidate-bitmap
+				// invariant for the next walk.
+				for ; w >= 0; w-- {
+					sc.cand[w] = 0
+				}
+				return true, chain, st
+			}
+			sc.set.RemoveAll(prev.wsd)
+			for _, o := range prev.rsd {
+				if sc.set.Add(o) {
+					s.addCandidates(sc, o, j, &st)
+				}
+			}
+		}
+	}
+	return false, chain, st
 }

@@ -5,6 +5,7 @@ import (
 
 	"seve/internal/action"
 	"seve/internal/geom"
+	"seve/internal/metrics"
 	"seve/internal/wire"
 	"seve/internal/world"
 )
@@ -34,6 +35,30 @@ type Server struct {
 	// queue holds the uncommitted actions a_{installed+1} … a_n, in
 	// serial order: queue[i] has Seq == installed+1+i.
 	queue []*entry
+	// queuePopped counts entries popped off the queue head since the
+	// backing array was last compacted. Re-slicing alone would pin the
+	// dead prefix of the array for the life of the server.
+	queuePopped int
+
+	// intern maps sparse ObjectIDs to dense indices for the analysis
+	// walks; writers is the reverse conflict index: writers[o] holds the
+	// serial positions (ascending) of uncommitted queue entries whose
+	// write set contains the object with dense index o.
+	intern  *world.Interner
+	writers [][]uint64
+
+	// scratch pools the per-walk state; scratch[0] serves the sequential
+	// paths and scratch[w] serves push worker w.
+	scratch []*closureScratch
+	// tickWindow buffers the queue positions inside the current push
+	// window across Tick calls.
+	tickWindow []int
+
+	// nextSlot allocates dense client slots for the sent() bitmaps.
+	// Slots are never reused while the server lives; a client keeps its
+	// slot across unregister/re-register (orphanSlots remembers it).
+	nextSlot    int
+	orphanSlots map[action.ClientID]int
 
 	// pendingRes holds completion results that arrived before all their
 	// predecessors ("the server holds it until ζS(i−1) is available",
@@ -56,6 +81,14 @@ type Server struct {
 	droppedByClient  map[action.ClientID]int
 	totalQueueScans  int
 	completionsTaken int
+
+	// Index and scheduler counters (see Metrics).
+	scanSaved         int
+	indexLookups      int
+	queueCompactions  int
+	writerCompactions int
+	pushTicks         int
+	pushParallelTicks int
 
 	// Cross-check state (Config.CrossCheck): accepted results retained
 	// for a window past installation so late redundant reports can still
@@ -83,6 +116,8 @@ type clientInfo struct {
 	hasPos   bool
 	posAtMs  float64
 	interest uint64
+	// slot is the client's dense index into the entry.sent bitmaps.
+	slot int
 	// posC is the Algorithm 2 cursor: the position of the last action
 	// sent to this client (ModeBasic only).
 	posC uint64
@@ -101,14 +136,18 @@ func (s *Server) sequence(cid action.ClientID, b *wire.Batch) *wire.Batch {
 }
 
 // entry is one uncommitted action in the server's global queue, with the
-// metadata the analyses need: cached read/write sets, the set sent(a) of
-// clients the action has been sent to (Algorithm 5), and spatial data.
+// metadata the analyses need: interned (dense) read/write sets, the set
+// sent(a) of clients the action has been sent to (Algorithm 5) as a
+// bitmap over dense client slots, and spatial data.
 type entry struct {
 	env action.Envelope
-	rs  world.IDSet
-	ws  world.IDSet
 
-	sent map[action.ClientID]struct{}
+	// rsd and wsd are the declared read and write sets as dense object
+	// indices (one backing array, interned once at submission).
+	rsd []uint32
+	wsd []uint32
+
+	sent sentVec
 
 	pos       geom.Vec
 	radius    float64
@@ -117,6 +156,23 @@ type entry struct {
 	hasVel    bool
 	class     uint8
 	stampedMs float64
+}
+
+// sentVec is sent(a) as a bitmap over dense client slots. It grows
+// lazily: a slot beyond the current length is simply not sent yet.
+type sentVec []uint64
+
+func (v sentVec) has(slot int) bool {
+	w := slot >> 6
+	return w < len(v) && v[w]&(1<<uint(slot&63)) != 0
+}
+
+func (v *sentVec) set(slot int) {
+	w := slot >> 6
+	for w >= len(*v) {
+		*v = append(*v, 0)
+	}
+	(*v)[w] |= 1 << uint(slot & 63)
 }
 
 // NewServer returns a server engine over the given initial world. The
@@ -133,6 +189,8 @@ func NewServer(cfg Config, init *world.State) *Server {
 		droppedByClient: make(map[action.ClientID]int),
 		recentResults:   make(map[uint64]action.Result),
 		suspects:        make(map[action.ClientID]int),
+		intern:          world.NewInterner(),
+		orphanSlots:     make(map[action.ClientID]int),
 	}
 }
 
@@ -162,13 +220,44 @@ func (s *Server) RegisterClient(id action.ClientID, interestMask uint64) {
 	if _, dup := s.clients[id]; dup {
 		panic(fmt.Sprintf("core: client %d registered twice", id))
 	}
-	s.clients[id] = &clientInfo{interest: interestMask}
+	s.clients[id] = &clientInfo{interest: interestMask, slot: s.claimSlot(id)}
+}
+
+// claimSlot returns the dense sent-bitmap slot for id, reusing the slot
+// from a previous registration or pre-registration submission so the
+// sent() bits recorded under it stay valid.
+func (s *Server) claimSlot(id action.ClientID) int {
+	if slot, ok := s.orphanSlots[id]; ok {
+		delete(s.orphanSlots, id)
+		return slot
+	}
+	slot := s.nextSlot
+	s.nextSlot++
+	return slot
+}
+
+// slotOf returns the sent-bitmap slot for id, assigning one on demand
+// for senders that never registered.
+func (s *Server) slotOf(id action.ClientID) int {
+	if ci := s.clients[id]; ci != nil {
+		return ci.slot
+	}
+	if slot, ok := s.orphanSlots[id]; ok {
+		return slot
+	}
+	slot := s.nextSlot
+	s.nextSlot++
+	s.orphanSlots[id] = slot
+	return slot
 }
 
 // UnregisterClient removes a client (failure or disconnect). Queued
 // actions it originated remain; under FailureTolerant configurations
 // other clients' completions still install them.
 func (s *Server) UnregisterClient(id action.ClientID) {
+	if ci := s.clients[id]; ci != nil {
+		s.orphanSlots[id] = ci.slot
+	}
 	delete(s.clients, id)
 }
 
@@ -233,6 +322,10 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 	e := newEntry(env, nowMs)
 	s.noteClientPosition(from, e, nowMs)
 
+	if s.cfg.Mode >= ModeIncomplete {
+		s.internEntry(e)
+	}
+
 	if s.cfg.Mode >= ModeInfoBound {
 		if invalid := s.checkValidity(e, &out); invalid {
 			s.totalDropped++
@@ -250,7 +343,6 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 	// Algorithm 5 step 3a).
 	s.nextSeq++
 	e.env.Seq = s.nextSeq
-	e.sent[from] = struct{}{} // the origin trivially has its own action
 
 	if s.cfg.Mode == ModeBasic {
 		s.log = append(s.log, e.env)
@@ -258,18 +350,58 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 		return out
 	}
 
+	slot := s.slotOf(from)
+	e.sent.set(slot) // the origin trivially has its own action
 	s.queue = append(s.queue, e)
+	s.indexEntry(e)
 	if s.cfg.RecordHistory {
 		s.log = append(s.log, e.env)
 	}
 	// Compute the reply with Algorithm 6: the transitive closure of
 	// uncommitted actions affecting this one, prefixed by a blind write.
-	batch := s.closureBatch(from, []int{len(s.queue) - 1}, &out)
+	positions, writes, st := s.closureWalk([]int{len(s.queue) - 1}, s.scratchFor(0),
+		func(e *entry) bool { return e.sent.has(slot) })
+	s.noteWalk(st, &out)
+	batch := s.assembleBatch(slot, positions, writes)
 	out.Replies = append(out.Replies, Reply{
 		To:  from,
 		Msg: s.sequence(from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
 	})
 	return out
+}
+
+// noteWalk merges a walk's cost counters into the output and the
+// server's cumulative metrics.
+func (s *Server) noteWalk(st walkStats, out *ServerOutput) {
+	out.QueueScanned += st.scanned
+	s.totalQueueScans += st.scanned
+	s.indexLookups += st.lookups
+	if st.baseline > st.scanned {
+		s.scanSaved += st.baseline - st.scanned
+	}
+}
+
+// assembleBatch marks every batch position as sent to slot and builds
+// the envelope sequence: the blind write (if any) first — minting its
+// id here keeps id assignment in deterministic reply order even when
+// the walks ran on a worker pool — then the entries in ascending serial
+// order.
+func (s *Server) assembleBatch(slot int, positions []int, writes []world.Write) []action.Envelope {
+	batch := make([]action.Envelope, 0, len(positions)+1)
+	if len(writes) > 0 {
+		bw := action.NewBlindWrite(s.nextBlindID(), writes)
+		batch = append(batch, action.Envelope{
+			Seq:    s.installed,
+			Origin: action.OriginServer,
+			Act:    bw,
+		})
+	}
+	for _, j := range positions {
+		e := s.queue[j]
+		e.sent.set(slot)
+		batch = append(batch, e.env)
+	}
+	return batch
 }
 
 // replyBasic implements Algorithm 2 step 2b: "the server returns to C all
@@ -335,9 +467,25 @@ func (s *Server) HandleCompletion(m *wire.Completion) ServerOutput {
 		}
 		s.queue[0] = nil
 		s.queue = s.queue[1:]
+		s.queuePopped++
+		s.pruneWriters(head)
+	}
+	// Re-slicing the head off pins the popped prefix of the backing
+	// array for the life of the server (the nil-ed slots themselves);
+	// copy the live tail to a fresh array once the dead prefix
+	// dominates.
+	if s.queuePopped >= queueCompactMin && s.queuePopped >= len(s.queue) {
+		compacted := make([]*entry, len(s.queue))
+		copy(compacted, s.queue)
+		s.queue = compacted
+		s.queuePopped = 0
+		s.queueCompactions++
 	}
 	return ServerOutput{}
 }
+
+// queueCompactMin is the smallest dead prefix worth a compaction copy.
+const queueCompactMin = 256
 
 // crossCheck audits a late completion against the retained accepted
 // result.
@@ -373,9 +521,6 @@ func (s *Server) noteClientPosition(from action.ClientID, e *entry, nowMs float6
 func newEntry(env action.Envelope, nowMs float64) *entry {
 	e := &entry{
 		env:       env,
-		rs:        env.Act.ReadSet(),
-		ws:        env.Act.WriteSet(),
-		sent:      make(map[action.ClientID]struct{}),
 		stampedMs: nowMs,
 	}
 	if sp, ok := env.Act.(action.Spatial); ok {
@@ -389,6 +534,43 @@ func newEntry(env action.Envelope, nowMs float64) *entry {
 		e.class = cl.InterestClass()
 	}
 	return e
+}
+
+// internEntry caches the entry's declared read and write sets as dense
+// indices (one backing allocation) and keeps the writer-list table in
+// step with the interner. Must run before the entry meets any walk.
+func (s *Server) internEntry(e *entry) {
+	rs, ws := e.env.Act.ReadSet(), e.env.Act.WriteSet()
+	buf := make([]uint32, 0, len(rs)+len(ws))
+	buf = s.intern.InternSet(rs, buf)
+	buf = s.intern.InternSet(ws, buf)
+	e.rsd = buf[:len(rs):len(rs)]
+	e.wsd = buf[len(rs):]
+	s.growWriters()
+}
+
+// Metrics returns a consistent snapshot of the engine's cumulative
+// counters. Callers must hold whatever synchronization guards the other
+// engine entry points (the engine itself is single-goroutine).
+func (s *Server) Metrics() metrics.ServerStats {
+	workers := s.cfg.PushWorkers
+	return metrics.ServerStats{
+		TotalSubmitted:    s.totalSubmitted,
+		TotalDropped:      s.totalDropped,
+		CompletionsTaken:  s.completionsTaken,
+		Installed:         s.installed,
+		QueueLen:          len(s.queue),
+		TotalQueueScans:   s.totalQueueScans,
+		ScanSavedEntries:  s.scanSaved,
+		IndexLookups:      s.indexLookups,
+		QueueCompactions:  s.queueCompactions,
+		WriterCompactions: s.writerCompactions,
+		InternedObjects:   s.intern.Len(),
+		TrackedClients:    len(s.clients),
+		PushTicks:         s.pushTicks,
+		PushParallelTicks: s.pushParallelTicks,
+		PushWorkers:       workers,
+	}
 }
 
 func (s *Server) nextBlindID() action.ID {

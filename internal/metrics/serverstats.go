@@ -1,0 +1,62 @@
+package metrics
+
+import "fmt"
+
+// ServerStats is a snapshot of the server engine's cumulative counters:
+// the protocol totals the paper reports (submissions, drops,
+// completions) plus the analysis-engine internals (conflict-index hit
+// rates, scan savings, compactions, push scheduler activity) that back
+// the DESIGN.md performance claims. Produced by core.Server.Metrics and
+// surfaced by cmd/seve-server on shutdown and cmd/seve-bench.
+type ServerStats struct {
+	// Protocol totals.
+	TotalSubmitted   int
+	TotalDropped     int
+	CompletionsTaken int
+	Installed        uint64
+	QueueLen         int
+
+	// Analysis-walk accounting. TotalQueueScans counts queue entries the
+	// Algorithm 6/7 walks actually examined; ScanSavedEntries counts the
+	// entries a full-queue walk would have examined on top of that (the
+	// conflict index's savings).
+	TotalQueueScans  int
+	ScanSavedEntries int
+	IndexLookups     int
+
+	// Memory-bound maintenance.
+	QueueCompactions  int
+	WriterCompactions int
+	InternedObjects   int
+	TrackedClients    int
+
+	// First Bound push scheduler.
+	PushTicks         int
+	PushParallelTicks int
+	PushWorkers       int
+}
+
+// Table renders the snapshot as a two-column table.
+func (st ServerStats) Table() *Table {
+	t := &Table{Title: "server engine counters", Header: []string{"counter", "value"}}
+	row := func(name string, v interface{}) { t.AddRow(name, fmt.Sprint(v)) }
+	row("submitted", st.TotalSubmitted)
+	row("dropped", st.TotalDropped)
+	row("completions taken", st.CompletionsTaken)
+	row("installed", st.Installed)
+	row("queue length", st.QueueLen)
+	row("queue entries scanned", st.TotalQueueScans)
+	row("scans saved by index", st.ScanSavedEntries)
+	row("index lookups", st.IndexLookups)
+	row("queue compactions", st.QueueCompactions)
+	row("writer compactions", st.WriterCompactions)
+	row("interned objects", st.InternedObjects)
+	row("tracked clients", st.TrackedClients)
+	row("push ticks", st.PushTicks)
+	row("parallel push ticks", st.PushParallelTicks)
+	row("configured push workers", st.PushWorkers)
+	return t
+}
+
+// String renders the snapshot via Table.
+func (st ServerStats) String() string { return st.Table().String() }

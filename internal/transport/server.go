@@ -20,6 +20,7 @@ import (
 	"seve/internal/action"
 	"seve/internal/core"
 	"seve/internal/durable"
+	"seve/internal/metrics"
 	"seve/internal/wire"
 	"seve/internal/world"
 )
@@ -147,6 +148,13 @@ func (s *Server) Installed() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.engine.Installed()
+}
+
+// Metrics snapshots the engine's cumulative counters.
+func (s *Server) Metrics() metrics.ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Metrics()
 }
 
 func (s *Server) nowMs() float64 {

@@ -1,0 +1,154 @@
+package world
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestInternerAssignsDenseStableIndices(t *testing.T) {
+	it := NewInterner()
+	ids := []ObjectID{42, 7, 42, 1 << 40, 7, 3}
+	want := []uint32{0, 1, 0, 2, 1, 3}
+	for i, id := range ids {
+		if got := it.Intern(id); got != want[i] {
+			t.Fatalf("Intern(%d) = %d, want %d", id, got, want[i])
+		}
+	}
+	if it.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", it.Len())
+	}
+	for i := 0; i < it.Len(); i++ {
+		id := it.ID(uint32(i))
+		if got, ok := it.Lookup(id); !ok || got != uint32(i) {
+			t.Fatalf("Lookup(ID(%d)) = %d,%v", i, got, ok)
+		}
+	}
+	if _, ok := it.Lookup(999); ok {
+		t.Fatal("Lookup of never-interned id succeeded")
+	}
+
+	set := NewIDSet(3, 7, 42)
+	dense := it.InternSet(set, nil)
+	if len(dense) != 3 {
+		t.Fatalf("InternSet returned %d indices", len(dense))
+	}
+	for i, d := range dense {
+		if it.ID(d) != set[i] {
+			t.Fatalf("InternSet order broken at %d: ID(%d)=%d, want %d", i, d, it.ID(d), set[i])
+		}
+	}
+}
+
+// TestScratchSetMatchesIDSet is the property test behind the engine
+// rewrite: a random program of Union/Subtract/Intersects steps must give
+// identical results through the epoch-stamped ScratchSet and through the
+// sorted-slice IDSet operations it replaced.
+func TestScratchSetMatchesIDSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	it := NewInterner()
+	var sc ScratchSet
+
+	randSet := func(universe int) IDSet {
+		k := rng.Intn(8)
+		ids := make([]ObjectID, 0, k)
+		for i := 0; i < k; i++ {
+			ids = append(ids, ObjectID(1+rng.Intn(universe)))
+		}
+		return NewIDSet(ids...)
+	}
+	toIDs := func(dense []uint32) IDSet {
+		ids := make([]ObjectID, 0, len(dense))
+		for _, d := range dense {
+			ids = append(ids, it.ID(d))
+		}
+		slices.Sort(ids)
+		return IDSet(ids)
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		universe := 1 + rng.Intn(50)
+		model := randSet(universe) // the reference IDSet value of the set
+		sc.Reset(max(it.Len(), 64))
+		sc.AddAll(it.InternSet(model, nil))
+
+		// A random program of the three walk operations.
+		steps := 1 + rng.Intn(6)
+		for s := 0; s < steps; s++ {
+			operand := randSet(universe)
+			od := it.InternSet(operand, nil)
+			sc.Reset(max(it.Len(), 64)) // capacity may have grown
+			sc.AddAll(it.InternSet(model, nil))
+			switch rng.Intn(3) {
+			case 0:
+				sc.AddAll(od)
+				model = model.Union(operand)
+			case 1:
+				sc.RemoveAll(od)
+				model = model.Subtract(operand)
+			case 2:
+				if got, want := sc.ContainsAny(od), model.Intersects(operand); got != want {
+					t.Fatalf("trial %d: ContainsAny = %v, Intersects = %v (set %v, operand %v)",
+						trial, got, want, model, operand)
+				}
+				continue
+			}
+			got := toIDs(sc.AppendMembers(nil))
+			if !got.Equal(model) {
+				t.Fatalf("trial %d step %d: scratch %v, model %v", trial, s, got, model)
+			}
+			if sc.Len() != len(model) {
+				t.Fatalf("trial %d step %d: Len %d, model %d", trial, s, sc.Len(), len(model))
+			}
+			for id := 1; id <= universe; id++ {
+				d, ok := it.Lookup(ObjectID(id))
+				in := ok && sc.Contains(d)
+				if in != model.Contains(ObjectID(id)) {
+					t.Fatalf("trial %d: membership of %d: scratch %v, model %v", trial, id, in, !in)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchSetReAddAfterRemove guards the duplicate-member hazard: an
+// index added, removed, and re-added within one epoch must appear in the
+// member list exactly once.
+func TestScratchSetReAddAfterRemove(t *testing.T) {
+	var sc ScratchSet
+	sc.Reset(8)
+	if !sc.Add(3) {
+		t.Fatal("first Add reported present")
+	}
+	sc.Remove(3)
+	if sc.Contains(3) {
+		t.Fatal("Contains after Remove")
+	}
+	if !sc.Add(3) {
+		t.Fatal("re-Add reported present")
+	}
+	if got := sc.AppendMembers(nil); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("members = %v, want [3]", got)
+	}
+	if sc.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", sc.Len())
+	}
+}
+
+// TestScratchSetEpochIsolation checks that Reset fully empties the set
+// without touching memory, across enough epochs to catch stamp reuse.
+func TestScratchSetEpochIsolation(t *testing.T) {
+	var sc ScratchSet
+	for epoch := 0; epoch < 100; epoch++ {
+		sc.Reset(16)
+		for i := uint32(0); i < 16; i++ {
+			if sc.Contains(i) {
+				t.Fatalf("epoch %d: stale member %d after Reset", epoch, i)
+			}
+		}
+		sc.Add(uint32(epoch % 16))
+		if sc.Len() != 1 {
+			t.Fatalf("epoch %d: Len %d", epoch, sc.Len())
+		}
+	}
+}

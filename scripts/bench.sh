@@ -1,0 +1,42 @@
+#!/bin/sh
+# Benchmark battery for the indexed closure engine: the per-submission
+# hot path (BenchmarkServerSubmit), the Fig6/Fig7 end-to-end experiment
+# benches, and the engine microbenches added with the conflict-index PR
+# (BenchmarkClosureDeepQueue, BenchmarkTickManyClients).
+#
+# Writes the raw `go test -bench` output and a JSON summary to
+# BENCH_PR1.json at the repo root. BenchmarkServerSubmit grows the
+# uncommitted queue monotonically (no completions), so it runs with a
+# pinned iteration count: letting benchtime ramp b.N would measure a
+# queue three orders of magnitude deeper than the seed baseline did.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServerSubmit$' -benchmem -benchtime 10000x . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkClosureDeepQueue|BenchmarkTickManyClients' \
+    -benchmem -benchtime 50x . | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkFig6|BenchmarkFig7' -benchmem . | tee -a "$raw"
+
+# Fold the benchmark lines into JSON: {"benchmarks": [{name, iterations,
+# ns_per_op, bytes_per_op, allocs_per_op}, ...]}.
+awk '
+BEGIN { print "{"; printf "  \"benchmarks\": [" ; n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  ]"; print "}" }
+' "$raw" > "$out"
+echo "wrote $out"

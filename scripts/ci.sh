@@ -1,0 +1,8 @@
+#!/bin/sh
+# CI gate: vet + the full test suite under the race detector.
+# The engine's push scheduler fans closure planning over goroutines, so
+# every change must pass -race, not just plain `go test`.
+set -eu
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race ./...
