@@ -355,6 +355,171 @@ func BenchmarkClosureDeepQueue(b *testing.B) {
 	}
 }
 
+// --- Delivery path benchmarks: pooled encoding + incremental reconcile ---
+
+// benchBatch builds a push batch of nEnvs blind-write envelopes, the
+// shape the First Bound scheduler fans out every tick.
+func benchBatch(nEnvs int) *wire.Batch {
+	envs := make([]action.Envelope, nEnvs)
+	for i := range envs {
+		bw := action.NewBlindWrite(action.ID{Client: action.OriginServer, Seq: uint32(i + 1)},
+			[]world.Write{
+				{ID: world.ObjectID(2*i + 1), Val: world.Value{1, 2, 3, 4}},
+				{ID: world.ObjectID(2*i + 2), Val: world.Value{5, 6, 7, 8}},
+			})
+		envs[i] = action.Envelope{Seq: uint64(i + 1), Origin: action.OriginServer, Act: bw}
+	}
+	return &wire.Batch{Envs: envs, Push: true, InstalledUpTo: 7, ClientSeq: 9}
+}
+
+// BenchmarkEncodeBatch compares the allocating encoder against the
+// pooled append-style path for one 32-envelope push batch.
+func BenchmarkEncodeBatch(b *testing.B) {
+	batch := benchBatch(32)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(wire.Encode(batch)) == 0 {
+				b.Fatal("empty encoding")
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		buf := wire.GetBuf(batch.WireSize())
+		defer func() { wire.PutBuf(buf) }()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wire.EncodeTo(buf, batch)
+			if len(buf) == 0 {
+				b.Fatal("empty encoding")
+			}
+		}
+	})
+}
+
+// BenchmarkPushFanOut encodes one 32-envelope batch for 64 recipients —
+// the per-tick fan-out — comparing per-recipient encoding against the
+// encode-once frame cache the transport dispatch uses. Sibling batches
+// share the envelope slice and differ only in the 21-byte header.
+func BenchmarkPushFanOut(b *testing.B) {
+	const recipients = 64
+	shared := benchBatch(32).Envs
+	batches := make([]*wire.Batch, recipients)
+	for i := range batches {
+		batches[i] = &wire.Batch{Envs: shared, Push: true, InstalledUpTo: 7, ClientSeq: uint64(i + 1)}
+	}
+	b.Run("per-recipient", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range batches {
+				if len(wire.Encode(m)) == 0 {
+					b.Fatal("empty encoding")
+				}
+			}
+		}
+	})
+	b.Run("encode-once", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var cache wire.EncodeCache
+			for _, m := range batches {
+				f := wire.NewFrameCached(&cache, m)
+				if f.Len() == 0 {
+					b.Fatal("empty frame")
+				}
+				f.Release()
+			}
+			cache.Reset()
+		}
+	})
+}
+
+// reconcileAction is a local action for the client reconciliation
+// benchmark: reads rs, writes sum+delta into ws (same dependence shape
+// as the core package's protocol-test action).
+type reconcileAction struct {
+	id     action.ID
+	rs, ws world.IDSet
+	delta  float64
+}
+
+func (a *reconcileAction) ID() action.ID         { return a.id }
+func (a *reconcileAction) Kind() action.Kind     { return 2000 }
+func (a *reconcileAction) ReadSet() world.IDSet  { return a.rs }
+func (a *reconcileAction) WriteSet() world.IDSet { return a.ws }
+func (a *reconcileAction) MarshalBody() []byte   { return make([]byte, 8) }
+
+func (a *reconcileAction) Apply(tx *world.Tx) bool {
+	sum := 0.0
+	for _, id := range a.rs {
+		v, ok := tx.Read(id)
+		if !ok {
+			return false
+		}
+		sum += v[0]
+	}
+	for _, id := range a.ws {
+		tx.Write(id, world.Value{sum + a.delta})
+	}
+	return true
+}
+
+// BenchmarkClientReconcileDeepQueue measures one Algorithm 3 run against
+// a 64-deep in-flight queue: an Information Bound drop arrives for the
+// oldest action, the client rolls back and re-applies the remaining 63,
+// and a fresh submission refills the queue. Compares the incremental
+// divergence-set path against the full-union rollback it replaces.
+func BenchmarkClientReconcileDeepQueue(b *testing.B) {
+	for _, incremental := range []bool{true, false} {
+		b.Run(fmt.Sprintf("incremental=%v", incremental), func(b *testing.B) {
+			const nObjects, depth = 128, 64
+			init := world.NewState()
+			for i := 1; i <= nObjects; i++ {
+				init.Set(world.ObjectID(i), world.Value{float64(i)})
+			}
+			cfg := core.DefaultConfig()
+			cfg.DisableIncrementalReconcile = !incremental
+			cl := core.NewClient(1, cfg, init)
+
+			nth := 0
+			submit := func() action.ID {
+				nth++
+				// Offsets 41 and 83 keep the three ids distinct mod 128.
+				a := &reconcileAction{
+					id: cl.NextActionID(),
+					rs: world.NewIDSet(
+						world.ObjectID(1+nth%nObjects),
+						world.ObjectID(1+(nth+41)%nObjects),
+						world.ObjectID(1+(nth+83)%nObjects)),
+					delta: float64(nth),
+				}
+				a.ws = world.NewIDSet(a.rs[0], a.rs[1])
+				cl.Submit(a)
+				return a.id
+			}
+			var ids []action.ID
+			for i := 0; i < depth; i++ {
+				ids = append(ids, submit())
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := cl.HandleDrop(&wire.Drop{ActID: ids[0]})
+				if len(out.DroppedLocal) != 1 {
+					b.Fatalf("drop not applied: %+v", out)
+				}
+				ids = append(ids[:0], ids[1:]...)
+				ids = append(ids, submit())
+			}
+			b.StopTimer()
+			if got := cl.Reconciliations(); got < b.N {
+				b.Fatalf("reconciliations %d < iterations %d", got, b.N)
+			}
+		})
+	}
+}
+
 // BenchmarkTickManyClients measures one steady-state First Bound round —
 // every client submits a move, completions from the previous round
 // install, and one push cycle fans the closure batches out — comparing

@@ -9,8 +9,10 @@
 //
 // Experiments: tablei, fig6, fig7, fig8, fig9, fig10, table2, limit,
 // serverstats (the engine's conflict-index and push-scheduler counters),
-// plus the extensions protocols, zoning, hybrid, ablation-omega,
-// ablation-threshold, ablation-gc (ablations = all three), and all.
+// clientstats (the client fleet's reconciliation and divergence
+// counters), plus the extensions protocols, zoning, hybrid,
+// ablation-omega, ablation-threshold, ablation-gc (ablations = all
+// three), and all.
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|protocols|zoning|hybrid|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
+		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|clientstats|protocols|zoning|hybrid|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and move counts (seconds instead of minutes)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
@@ -51,6 +53,7 @@ func main() {
 		{"table2", experiments.Table2},
 		{"limit", experiments.Limit},
 		{"serverstats", experiments.EngineStats},
+		{"clientstats", experiments.ClientEngineStats},
 		{"protocols", experiments.Protocols},
 		{"zoning", experiments.Zoning},
 		{"hybrid", experiments.Hybrid},

@@ -68,6 +68,16 @@ type Action interface {
 	MarshalBody() []byte
 }
 
+// BodyAppender is optionally implemented by actions that can serialize
+// their parameters into a caller-supplied buffer. The wire codec prefers
+// it over MarshalBody: encoding then appends straight into the pooled
+// frame buffer instead of allocating an intermediate body slice per
+// envelope.
+type BodyAppender interface {
+	// AppendBody appends the MarshalBody encoding to buf and returns it.
+	AppendBody(buf []byte) []byte
+}
+
 // Spatial is implemented by actions with a bounded area of influence —
 // "a sphere centered at the point p̄A and radius rA" (Section III-D). The
 // First Bound and Information Bound models require it; actions without it
@@ -126,11 +136,36 @@ func (r Result) Clone() Result {
 	return c
 }
 
+// CloneInto deep-copies r into dst, reusing dst's Writes slice and value
+// buffers where capacity allows. The client engine's re-apply loop keeps
+// one Result per queued action and refreshes it in place on every
+// reconciliation instead of allocating a fresh clone.
+func (r Result) CloneInto(dst *Result) {
+	dst.OK = r.OK
+	if cap(dst.Writes) < len(r.Writes) {
+		grown := make([]world.Write, len(r.Writes))
+		copy(grown, dst.Writes[:cap(dst.Writes)])
+		dst.Writes = grown
+	}
+	dst.Writes = dst.Writes[:len(r.Writes)]
+	for i, w := range r.Writes {
+		dst.Writes[i].ID = w.ID
+		dst.Writes[i].Val = append(dst.Writes[i].Val[:0], w.Val...)
+	}
+}
+
 // Eval runs a against a view through a fresh transaction and packages the
 // outcome as a Result. If the action aborts, any writes it buffered
 // before detecting the conflict are discarded.
 func Eval(a Action, view world.View) Result {
-	tx := world.NewTx(view)
+	return EvalTx(a, world.NewTx(view))
+}
+
+// EvalTx is Eval against a caller-supplied transaction, letting hot loops
+// reuse one Reset scratch Tx across evaluations. The returned Result
+// aliases tx's write log: it is valid only until the next Reset, so the
+// caller must CloneInto anything it keeps.
+func EvalTx(a Action, tx *world.Tx) Result {
 	ok := a.Apply(tx)
 	if !ok {
 		return Result{OK: false}

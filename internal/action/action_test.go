@@ -199,3 +199,56 @@ func TestIDString(t *testing.T) {
 		t.Fatalf("String = %q", id.String())
 	}
 }
+
+// TestResultCloneInto checks deep-copy semantics with buffer reuse: the
+// destination must equal the source yet share no memory with it.
+func TestResultCloneInto(t *testing.T) {
+	src := Result{OK: true, Writes: []world.Write{
+		{ID: 1, Val: world.Value{1, 2}},
+		{ID: 2, Val: world.Value{3}},
+	}}
+	var dst Result
+	src.CloneInto(&dst)
+	if !dst.Equal(src) {
+		t.Fatalf("CloneInto produced %+v", dst)
+	}
+	src.Writes[0].Val[0] = 99
+	if dst.Writes[0].Val[0] != 1 {
+		t.Fatal("CloneInto aliased source values")
+	}
+	src.Writes[0].Val[0] = 1
+
+	// Refresh into the same destination with fewer, larger writes: the
+	// buffers must be reused, not reallocated, and lengths must shrink.
+	prevCap := cap(dst.Writes)
+	small := Result{OK: false, Writes: []world.Write{{ID: 9, Val: world.Value{5, 6, 7}}}}
+	small.CloneInto(&dst)
+	if dst.OK || len(dst.Writes) != 1 || !dst.Writes[0].Val.Equal(world.Value{5, 6, 7}) {
+		t.Fatalf("refresh = %+v", dst)
+	}
+	if cap(dst.Writes) != prevCap {
+		t.Fatalf("CloneInto reallocated Writes: cap %d -> %d", prevCap, cap(dst.Writes))
+	}
+}
+
+// TestEvalTxReuse checks the scratch-transaction evaluation loop: one Tx
+// Reset per action, results cloned out between runs.
+func TestEvalTxReuse(t *testing.T) {
+	s := world.NewState()
+	s.Set(1, world.Value{0})
+	tx := world.NewTx(world.StateView{S: s})
+	var kept []Result
+	for i := 0; i < 3; i++ {
+		tx.Reset(world.StateView{S: s})
+		res := EvalTx(NewBlindWrite(ID{Seq: uint32(i)},
+			[]world.Write{{ID: 1, Val: world.Value{float64(i)}}}), tx)
+		var c Result
+		res.CloneInto(&c)
+		kept = append(kept, c)
+	}
+	for i, r := range kept {
+		if !r.OK || r.Writes[0].Val[0] != float64(i) {
+			t.Fatalf("kept[%d] = %+v (scratch reuse corrupted results)", i, r)
+		}
+	}
+}

@@ -59,7 +59,11 @@ func (b *BlindWrite) Apply(tx *world.Tx) bool {
 // MarshalBody encodes the write records: count, then per record the
 // object id, attribute count and attributes.
 func (b *BlindWrite) MarshalBody() []byte {
-	buf := make([]byte, 0, 4+len(b.writes)*16)
+	return b.AppendBody(make([]byte, 0, 4+len(b.writes)*16))
+}
+
+// AppendBody appends the MarshalBody encoding to buf.
+func (b *BlindWrite) AppendBody(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.writes)))
 	for _, w := range b.writes {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.ID))
@@ -78,7 +82,15 @@ func UnmarshalBlindWrite(id ID, body []byte) (*BlindWrite, error) {
 	}
 	n := binary.LittleEndian.Uint32(body)
 	body = body[4:]
-	writes := make([]world.Write, 0, n)
+	// Cap the allocation hint by what the body could actually hold (each
+	// record is at least 10 bytes): n is untrusted input, and a forged
+	// count must not pre-allocate gigabytes before the length checks in
+	// the loop reject it.
+	capHint := int(n)
+	if max := len(body) / 10; capHint > max {
+		capHint = max
+	}
+	writes := make([]world.Write, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		if len(body) < 10 {
 			return nil, fmt.Errorf("blind write truncated at record %d", i)

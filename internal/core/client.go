@@ -4,9 +4,15 @@ import (
 	"fmt"
 
 	"seve/internal/action"
+	"seve/internal/metrics"
 	"seve/internal/wire"
 	"seve/internal/world"
 )
+
+// DefaultMaxPendingBatches bounds the out-of-order batch buffer when
+// Config.MaxPendingBatches is zero. Gaps under hybrid relay are a few
+// batches deep; thousands means the missing predecessor is never coming.
+const DefaultMaxPendingBatches = 4096
 
 // Client is the client-side protocol engine: Algorithm 1 in ModeBasic and
 // Algorithm 4 in the incomplete-world modes, with Algorithm 3 as the
@@ -36,20 +42,45 @@ type Client struct {
 	// Batch-order restoration: batches from the server are numbered per
 	// recipient; relayed copies take a two-hop path and can arrive out of
 	// order relative to direct replies, which would violate the
-	// closures' sent() assumptions. pendingBatches buffers gaps.
+	// closures' sent() assumptions. pendingBatches buffers gaps, capped
+	// at the configured MaxPendingBatches.
 	nextBatchSeq   uint64
 	pendingBatches map[uint64]*wire.Batch
+
+	// Incremental reconciliation state. intern maps the sparse ObjectIDs
+	// this client has touched to dense indices; wsq maintains WS(Q) as a
+	// multiset over them (each queued action Incs its declared write set
+	// on enqueue, Decs on resolution); div is the divergence set — every
+	// object where ζCO may differ from ζCS's latest version, maintained
+	// as an undo log by the optimistic/stable write paths so Algorithm 3
+	// rolls back only those objects instead of the full WS(Q) union.
+	intern          *world.Interner
+	wsq             world.CountedSet
+	div             world.ScratchSet
+	divScratch      []uint32
+	resolvedScratch []uint32
+
+	// scratchTx is the reusable transaction for the reconcile re-apply
+	// loop. It must never back a Result that escapes the engine
+	// (completions and commits alias their transaction's write log), so
+	// only reconcile uses it.
+	scratchTx *world.Tx
 
 	// stats
 	reconciliations int
 	appliedRemote   int
 	appliedBlind    int
+	droppedBatches  int
+	reconcileCopies int
 	prunedBelow     uint64
 }
 
 type pendingAction struct {
 	act        action.Action
 	optimistic action.Result
+	// wsd is the action's declared write set, interned at enqueue time,
+	// backing the wsq multiset updates.
+	wsd []uint32
 }
 
 // NewClient returns a client engine whose both world versions start as
@@ -58,14 +89,18 @@ type pendingAction struct {
 func NewClient(id action.ClientID, cfg Config, init *world.State) *Client {
 	cs := world.NewMVStore()
 	cs.Seed(init)
-	return &Client{
+	c := &Client{
 		id:             id,
 		cfg:            cfg,
 		co:             init.Clone(),
 		cs:             cs,
 		nextBatchSeq:   1,
 		pendingBatches: make(map[uint64]*wire.Batch),
+		intern:         world.NewInterner(),
 	}
+	c.div.Reset(0)
+	c.scratchTx = world.NewTx(world.StateView{S: c.co})
+	return c
 }
 
 // ID returns the client's identity.
@@ -101,6 +136,33 @@ func (c *Client) AppliedRemote() int { return c.appliedRemote }
 // applied to the stable state.
 func (c *Client) AppliedBlind() int { return c.appliedBlind }
 
+// Metrics snapshots the client engine's counters.
+func (c *Client) Metrics() metrics.ClientStats {
+	return metrics.ClientStats{
+		Reconciliations: c.reconciliations,
+		AppliedRemote:   c.appliedRemote,
+		AppliedBlind:    c.appliedBlind,
+		QueueLen:        len(c.queue),
+		BufferedBatches: len(c.pendingBatches),
+		DroppedBatches:  c.droppedBatches,
+		ReconcileCopies: c.reconcileCopies,
+		DivergedObjects: c.div.Len(),
+		InternedObjects: c.intern.Len(),
+		StableVersions:  c.cs.Versions(),
+		PrunedBelow:     c.prunedBelow,
+	}
+}
+
+// markDiverged records that ζCO(id) may no longer equal the latest
+// ζCS(id). Called on every optimistic write (co moved ahead) and every
+// stable install (cs moved ahead); the remote-apply path removes ids it
+// copies through to co.
+func (c *Client) markDiverged(id world.ObjectID) {
+	idx := c.intern.Intern(id)
+	c.div.Grow(c.intern.Len())
+	c.div.Add(idx)
+}
+
 // Submit performs step 2 of Algorithms 1/4: the action is executed on
 // ζCO producing its optimistic evaluation v, the pair ⟨a,v⟩ is appended
 // to Q, and a Submit message for the server is returned.
@@ -110,17 +172,45 @@ func (c *Client) AppliedBlind() int { return c.appliedBlind }
 // provisional effect immediately.
 func (c *Client) Submit(a action.Action) (*wire.Submit, action.Result) {
 	v := c.applyOptimistic(a)
-	c.queue = append(c.queue, pendingAction{act: a, optimistic: v.Clone()})
+	wsd := c.intern.InternSet(a.WriteSet(), nil)
+	c.wsq.Grow(c.intern.Len())
+	c.div.Grow(c.intern.Len())
+	for _, o := range wsd {
+		c.wsq.Inc(o)
+	}
+	c.queue = append(c.queue, pendingAction{act: a, optimistic: v.Clone(), wsd: wsd})
 	return &wire.Submit{Env: action.Envelope{Origin: c.id, Act: a}}, v
 }
 
 // applyOptimistic evaluates a against ζCO and applies its writes.
 func (c *Client) applyOptimistic(a action.Action) action.Result {
 	res := action.Eval(a, world.StateView{S: c.co})
-	for _, w := range res.Writes {
-		c.co.Set(w.ID, w.Val)
-	}
+	c.applyOptimisticWrites(res)
 	return res
+}
+
+// applyOptimisticWrites installs a result's writes into ζCO, marking
+// each object diverged from the stable version. ζCO is owned outright by
+// this engine and nothing retains Get results across calls, so the
+// writes go through the in-place path.
+func (c *Client) applyOptimisticWrites(res action.Result) {
+	for _, w := range res.Writes {
+		c.co.SetInPlace(w.ID, w.Val)
+		c.markDiverged(w.ID)
+	}
+}
+
+// unqueue removes entry i from Q, releasing its write set from the WS(Q)
+// multiset and zeroing the vacated tail slot so the backing array does
+// not pin the removed action and its cloned result (the same pinning bug
+// the PR 1 server-queue compaction fixed).
+func (c *Client) unqueue(i int) {
+	for _, o := range c.queue[i].wsd {
+		c.wsq.Dec(o)
+	}
+	copy(c.queue[i:], c.queue[i+1:])
+	c.queue[len(c.queue)-1] = pendingAction{}
+	c.queue = c.queue[:len(c.queue)-1]
 }
 
 // HandleBatch performs steps 4–5 of Algorithms 1/4 for every envelope in
@@ -135,6 +225,17 @@ func (c *Client) HandleBatch(b *wire.Batch) ClientOutput {
 		return out
 	}
 	if b.ClientSeq != c.nextBatchSeq {
+		max := c.cfg.MaxPendingBatches
+		if max == 0 {
+			max = DefaultMaxPendingBatches
+		}
+		if _, dup := c.pendingBatches[b.ClientSeq]; !dup && max > 0 && len(c.pendingBatches) >= max {
+			c.droppedBatches++
+			out.Violations = append(out.Violations, fmt.Sprintf(
+				"client %d: pending-batch buffer full (%d buffered, next expected %d); dropping batch %d",
+				c.id, len(c.pendingBatches), c.nextBatchSeq, b.ClientSeq))
+			return out
+		}
 		c.pendingBatches[b.ClientSeq] = b
 		return out
 	}
@@ -195,10 +296,20 @@ func (c *Client) handleRemote(env action.Envelope, out *ClientOutput) {
 	}
 	out.Applied = append(out.Applied, env.Act)
 
-	wsQ := c.queueWriteSet()
 	for _, w := range res.Writes {
-		if !wsQ.Contains(w.ID) {
-			c.co.Set(w.ID, w.Val)
+		// applyStable interned every written id.
+		idx, _ := c.intern.Lookup(w.ID)
+		if c.wsq.Contains(idx) {
+			continue
+		}
+		c.co.SetInPlace(w.ID, w.Val)
+		// The object leaves the divergence set only if this write is the
+		// stable store's newest version for it — under the Incomplete
+		// World Model a closure can deliver an envelope older than
+		// already-applied ones, and then ζCO just took a non-latest
+		// value, which stays diverged.
+		if _, seq, ok := c.cs.Latest(w.ID); ok && seq == env.Seq {
+			c.div.Remove(idx)
 		}
 	}
 
@@ -229,7 +340,7 @@ func (c *Client) handleOwn(env action.Envelope, out *ClientOutput) {
 
 	u := c.applyStable(env, out)
 	head := c.queue[0]
-	c.queue = c.queue[1:]
+	c.unqueue(0)
 
 	reconciled := false
 	if !u.Equal(head.optimistic) {
@@ -252,7 +363,11 @@ func (c *Client) handleOwn(env action.Envelope, out *ClientOutput) {
 }
 
 // applyStable evaluates env against ζCS as of its serial position and
-// installs its writes at that position.
+// installs its writes at that position. Each installed object is marked
+// diverged: the stable version moved, so it may no longer match ζCO.
+//
+// The transaction is deliberately fresh per call — the returned Result
+// aliases its write log and escapes in completion messages.
 func (c *Client) applyStable(env action.Envelope, out *ClientOutput) action.Result {
 	at := env.Seq
 	if at > 0 {
@@ -281,6 +396,7 @@ func (c *Client) applyStable(env action.Envelope, out *ClientOutput) action.Resu
 		res.Writes = tx.Writes()
 		for _, w := range res.Writes {
 			c.cs.WriteAt(w.ID, env.Seq, w.Val)
+			c.markDiverged(w.ID)
 		}
 	}
 	return res
@@ -288,8 +404,10 @@ func (c *Client) applyStable(env action.Envelope, out *ClientOutput) action.Resu
 
 // HandleRelay applies a hybrid push batch and schedules peer-to-peer
 // forwards of the same batch to the other targets (Section VII hybrid
-// mode). The relay client is always among the targets; it does not
-// forward to itself.
+// mode). The forwarded copies share the inner batch's envelope slice —
+// the encode-once fan-out case wire.EncodeCache serves — and differ only
+// in the per-recipient sequence header. The relay client is always among
+// the targets; it does not forward to itself.
 func (c *Client) HandleRelay(m *wire.Relay) ClientOutput {
 	// Forward first — peers must not wait on this client's own ordering.
 	var out ClientOutput
@@ -297,15 +415,15 @@ func (c *Client) HandleRelay(m *wire.Relay) ClientOutput {
 		if t == c.id {
 			continue
 		}
-		copy := &wire.Batch{
+		fwd := &wire.Batch{
 			Envs:          m.Inner.Envs,
 			Push:          true,
 			InstalledUpTo: m.Inner.InstalledUpTo,
 		}
 		if i < len(m.TargetSeqs) {
-			copy.ClientSeq = m.TargetSeqs[i]
+			fwd.ClientSeq = m.TargetSeqs[i]
 		}
-		out.ToPeers = append(out.ToPeers, Reply{To: t, Msg: copy})
+		out.ToPeers = append(out.ToPeers, Reply{To: t, Msg: fwd})
 	}
 	inner := c.HandleBatch(m.Inner)
 	out.ToServer = append(out.ToServer, inner.ToServer...)
@@ -325,7 +443,7 @@ func (c *Client) HandleDrop(d *wire.Drop) ClientOutput {
 	for i := range c.queue {
 		if c.queue[i].act.ID() == d.ActID {
 			ws := c.queue[i].act.WriteSet()
-			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			c.unqueue(i)
 			c.reconcile(ws)
 			out.DroppedLocal = append(out.DroppedLocal, d.ActID)
 			return out
@@ -366,17 +484,73 @@ func (c *Client) HandleMsg(msg wire.Msg) ClientOutput {
 // was just resolved (committed with a different result, or dropped):
 // its optimistic writes are exactly the divergent ones, and they are no
 // longer covered by WS(Q) once it leaves the queue. resolvedWS carries it.
+//
+// The default path rolls back only the members of the tracked
+// divergence set that fall inside WS(Q) ∪ resolvedWS, then re-applies
+// the queue through one scratch transaction, refreshing each optimistic
+// result in place. The divergence invariant (DESIGN.md §8) makes this
+// exactly equivalent to the full-union rollback: every object of the
+// rollback set outside the divergence set already has ζCO = ζCS, so the
+// copies skipped are precisely the no-ops. Config.
+// DisableIncrementalReconcile selects the literal full-union rollback
+// instead; TestReconcileEquivalence pins the two paths to identical
+// observable behaviour.
 func (c *Client) reconcile(resolvedWS world.IDSet) {
 	c.reconciliations++
-	ws := c.queueWriteSet().Union(resolvedWS)
-	c.co.CopyFrom(c.cs, ws)
+	if c.cfg.DisableIncrementalReconcile {
+		ws := c.queueWriteSet().Union(resolvedWS)
+		c.co.CopyFrom(c.cs, ws)
+		for i := range c.queue {
+			c.queue[i].optimistic = c.applyOptimistic(c.queue[i].act).Clone()
+		}
+		return
+	}
+
+	// Roll back exactly the objects tracked as diverged within the
+	// rollback set WS(Q) ∪ resolvedWS: copy the stable version's latest
+	// value over ζCO, deleting objects ζCS no longer has — CopyFrom
+	// semantics, restricted to where a copy would change anything. The
+	// rest of the rollback set is untouched because, by the divergence
+	// invariant, ζCO already equals ζCS there; divergence outside the
+	// rollback set stays tracked for a later reconciliation.
+	c.resolvedScratch = c.intern.InternSet(resolvedWS, c.resolvedScratch[:0])
+	c.div.Grow(c.intern.Len())
+	c.wsq.Grow(c.intern.Len())
+	c.divScratch = c.div.AppendMembers(c.divScratch[:0])
+	for _, idx := range c.divScratch {
+		inSet := c.wsq.Contains(idx)
+		for _, r := range c.resolvedScratch {
+			if inSet {
+				break
+			}
+			inSet = r == idx
+		}
+		if !inSet {
+			continue
+		}
+		id := c.intern.ID(idx)
+		if v, ok := c.cs.Get(id); ok {
+			c.co.SetInPlace(id, v)
+		} else {
+			c.co.Delete(id)
+		}
+		c.div.Remove(idx)
+		c.reconcileCopies++
+	}
+
+	// Re-apply the still-pending queue through the scratch transaction,
+	// refreshing each optimistic result into its existing buffers.
 	for i := range c.queue {
-		c.queue[i].optimistic = c.applyOptimistic(c.queue[i].act).Clone()
+		c.scratchTx.Reset(world.StateView{S: c.co})
+		res := action.EvalTx(c.queue[i].act, c.scratchTx)
+		c.applyOptimisticWrites(res)
+		res.CloneInto(&c.queue[i].optimistic)
 	}
 }
 
 // queueWriteSet returns WS(Q), the union of the declared write sets of
-// the pending actions.
+// the pending actions. Only the full-rollback reconcile path still needs
+// it; membership tests use the wsq multiset.
 func (c *Client) queueWriteSet() world.IDSet {
 	var ws world.IDSet
 	for _, p := range c.queue {

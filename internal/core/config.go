@@ -137,6 +137,20 @@ type Config struct {
 	// real deployments.
 	DisableConflictIndex bool
 
+	// MaxPendingBatches caps the client's out-of-order batch buffer: a
+	// relayed batch whose predecessor never arrives would otherwise make
+	// the client buffer every later batch forever. 0 means
+	// DefaultMaxPendingBatches; negative means unbounded (tests only).
+	// Overflow drops the arriving batch and reports a violation.
+	MaxPendingBatches int
+
+	// DisableIncrementalReconcile makes Algorithm 3 roll back the full
+	// WS(Q) ∪ resolved write set from ζCS and re-clone every optimistic
+	// result, instead of copying only the tracked divergence set through
+	// scratch buffers. Exists for the reconciliation ablation and
+	// equivalence tests; leave false in real deployments.
+	DisableIncrementalReconcile bool
+
 	// CrossCheck makes the server compare redundant completion reports
 	// for the same action against the accepted result and flag clients
 	// whose reports disagree — the paper's Section II-B observation that

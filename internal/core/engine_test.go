@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -22,9 +23,23 @@ func runEngineWorkload(t *testing.T, cfg Config, seed int64) ([]string, *loopbac
 	lb := newLoopback(t, cfg, init, nClients)
 
 	var trace []string
+	// Every reply is encoded twice: the reference per-recipient Encode
+	// that the trace diff uses, and the pooled encode-once frame path the
+	// transport uses. Any divergence between them fails immediately, so
+	// the trace equality theorems of this file extend to the pooled
+	// encoder over the full workload.
+	var cache wire.EncodeCache
+	t.Cleanup(cache.Reset)
 	record := func(out ServerOutput) {
 		for _, r := range out.Replies {
-			trace = append(trace, fmt.Sprintf("%d:%x", r.To, wire.Encode(r.Msg)))
+			enc := wire.Encode(r.Msg)
+			f := wire.NewFrameCached(&cache, r.Msg)
+			if fb := f.Bytes(); fb[4] != byte(r.Msg.Type()) || !bytes.Equal(fb[5:], enc) {
+				t.Fatalf("pooled frame for %T to client %d diverges from per-recipient encoding",
+					r.Msg, r.To)
+			}
+			f.Release()
+			trace = append(trace, fmt.Sprintf("%d:%x", r.To, enc))
 			lb.toClient[r.To] = append(lb.toClient[r.To], r.Msg)
 		}
 	}

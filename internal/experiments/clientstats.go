@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seve/internal/metrics"
+)
+
+// ClientEngineStats runs the Table I workload on the full SEVE stack and
+// reports the client fleet's aggregated engine counters — the
+// reconciliation, divergence-tracking, and batch-buffering internals the
+// incremental Algorithm 3 path exposes through core.Client.Metrics. The
+// companion of EngineStats, which reports the server side.
+func ClientEngineStats(opt Options) (*metrics.Table, error) {
+	clients := pick(opt, 40, 16)
+	rc := DefaultRunConfig(ArchSEVE, clients)
+	rc.MovesPerClient = pick(opt, 60, 20)
+	// Crowd the avatars so concurrent moves actually conflict and the
+	// reconciliation counters report a non-trivial workload.
+	rc.CrowdFraction = 1
+	rc.Verify = true
+	res, err := Run(rc)
+	if err != nil {
+		return nil, fmt.Errorf("clientstats: %w", err)
+	}
+	t := res.ClientStats.Table()
+	t.Title = fmt.Sprintf("Client engine counters: %d clients × %d moves (aggregated fleet)",
+		clients, rc.MovesPerClient)
+	opt.log("clientstats clients=%d reconciliations=%d remote=%d copies=%d",
+		clients, res.ClientStats.Reconciliations, res.ClientStats.AppliedRemote,
+		res.ClientStats.ReconcileCopies)
+	return t, nil
+}

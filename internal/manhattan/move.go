@@ -152,7 +152,11 @@ func (m *MoveAction) blocked(next geom.Vec, others []geom.Vec) bool {
 // registered decoder (static geometry ships with the client binary, not
 // per action).
 func (m *MoveAction) MarshalBody() []byte {
-	buf := make([]byte, 0, 48+8*m.rs.Len())
+	return m.AppendBody(make([]byte, 0, 48+8*m.rs.Len()))
+}
+
+// AppendBody appends the MarshalBody encoding to buf.
+func (m *MoveAction) AppendBody(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.avatar))
 	buf = appendFloat(buf, m.origin.X)
 	buf = appendFloat(buf, m.origin.Y)

@@ -1,0 +1,71 @@
+package metrics
+
+import "fmt"
+
+// ClientStats is a snapshot of a client engine's cumulative counters:
+// the Algorithm 1/3/4 protocol totals (reconciliations, remote and
+// blind applications) plus the delivery-path internals added with the
+// incremental reconciliation work (divergence-set rollback copies,
+// buffered out-of-order batches, overflow drops). Produced by
+// core.Client.Metrics and surfaced by cmd/seve-bench -experiment
+// clientstats; Merge aggregates a fleet.
+type ClientStats struct {
+	// Protocol totals.
+	Reconciliations int
+	AppliedRemote   int
+	AppliedBlind    int
+	QueueLen        int
+
+	// Batch-order restoration.
+	BufferedBatches int
+	DroppedBatches  int
+
+	// Incremental reconciliation (Algorithm 3) internals.
+	ReconcileCopies int
+	DivergedObjects int
+	InternedObjects int
+
+	// Stable-store footprint.
+	StableVersions int
+	PrunedBelow    uint64
+}
+
+// Merge accumulates o into st. Gauges (queue length, buffered batches,
+// diverged/interned objects, stable versions) sum across clients;
+// PrunedBelow keeps the furthest point.
+func (st *ClientStats) Merge(o ClientStats) {
+	st.Reconciliations += o.Reconciliations
+	st.AppliedRemote += o.AppliedRemote
+	st.AppliedBlind += o.AppliedBlind
+	st.QueueLen += o.QueueLen
+	st.BufferedBatches += o.BufferedBatches
+	st.DroppedBatches += o.DroppedBatches
+	st.ReconcileCopies += o.ReconcileCopies
+	st.DivergedObjects += o.DivergedObjects
+	st.InternedObjects += o.InternedObjects
+	st.StableVersions += o.StableVersions
+	if o.PrunedBelow > st.PrunedBelow {
+		st.PrunedBelow = o.PrunedBelow
+	}
+}
+
+// Table renders the snapshot as a two-column table.
+func (st ClientStats) Table() *Table {
+	t := &Table{Title: "client engine counters", Header: []string{"counter", "value"}}
+	row := func(name string, v interface{}) { t.AddRow(name, fmt.Sprint(v)) }
+	row("reconciliations", st.Reconciliations)
+	row("applied remote", st.AppliedRemote)
+	row("applied blind", st.AppliedBlind)
+	row("queue length", st.QueueLen)
+	row("buffered batches", st.BufferedBatches)
+	row("dropped batches (overflow)", st.DroppedBatches)
+	row("reconcile rollback copies", st.ReconcileCopies)
+	row("diverged objects", st.DivergedObjects)
+	row("interned objects", st.InternedObjects)
+	row("stable versions", st.StableVersions)
+	row("pruned below", st.PrunedBelow)
+	return t
+}
+
+// String renders the snapshot via Table.
+func (st ClientStats) String() string { return st.Table().String() }

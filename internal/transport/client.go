@@ -122,8 +122,16 @@ func (c *Client) Run() error {
 		c.mu.Lock()
 		out := c.engine.HandleMsg(msg)
 		c.mu.Unlock()
-		for _, m := range out.ToServer {
-			if err := wire.WriteFrame(c.conn, m); err != nil {
+		if len(out.ToServer) > 0 {
+			// One batch can resolve many actions; coalesce the resulting
+			// completion frames into a single pooled write.
+			buf := wire.GetBuf(64)
+			for _, m := range out.ToServer {
+				buf = wire.AppendFrame(buf, m)
+			}
+			_, err := c.conn.Write(buf)
+			wire.PutBuf(buf)
+			if err != nil {
 				return fmt.Errorf("transport: completion write: %w", err)
 			}
 		}

@@ -51,7 +51,7 @@ type Server struct {
 	done   chan struct{}
 
 	mu      sync.Mutex
-	writers map[action.ClientID]chan wire.Msg
+	writers map[action.ClientID]chan *wire.Frame
 	nextID  action.ClientID
 	started time.Time
 	closed  bool
@@ -81,7 +81,7 @@ func NewServer(cfg ServerConfig) *Server {
 		engine:  core.NewServer(cfg.Core, cfg.Init),
 		events:  make(chan serverEvent, 1024),
 		done:    make(chan struct{}),
-		writers: make(map[action.ClientID]chan wire.Msg),
+		writers: make(map[action.ClientID]chan *wire.Frame),
 		started: time.Now(),
 	}
 	if cfg.Durable != nil {
@@ -209,19 +209,31 @@ func (s *Server) handleEvent(ev serverEvent) {
 	}
 }
 
+// dispatch encodes every reply once into a pooled frame and hands it to
+// the recipient's writer. Sibling push batches share their envelope
+// section through the per-call EncodeCache, so a fan-out of n recipients
+// serializes the (large) envelope bytes exactly once plus n small
+// headers. Each frame carries one reference, owned by the writer channel
+// until its pump writes and releases it.
 func (s *Server) dispatch(out core.ServerOutput) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var cache wire.EncodeCache
+	defer cache.Reset()
 	for _, rep := range out.Replies {
-		if ch, ok := s.writers[rep.To]; ok {
-			select {
-			case ch <- rep.Msg:
-			default:
-				// A client that cannot drain its queue is effectively
-				// dead; dropping here instead of blocking keeps one slow
-				// client from stalling the world.
-				s.cfg.Logf("transport: client %d write queue full; dropping message", rep.To)
-			}
+		ch, ok := s.writers[rep.To]
+		if !ok {
+			continue
+		}
+		f := wire.NewFrameCached(&cache, rep.Msg)
+		select {
+		case ch <- f:
+		default:
+			// A client that cannot drain its queue is effectively
+			// dead; dropping here instead of blocking keeps one slow
+			// client from stalling the world.
+			f.Release()
+			s.cfg.Logf("transport: client %d write queue full; dropping message", rep.To)
 		}
 	}
 }
@@ -250,7 +262,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	id := <-join
 
-	writeQ := make(chan wire.Msg, 256)
+	writeQ := make(chan *wire.Frame, 256)
 	s.mu.Lock()
 	s.writers[id] = writeQ
 	initWrites := stateWrites(s.cfg.Init)
@@ -262,14 +274,46 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	s.cfg.Logf("transport: client %d joined from %s", id, conn.RemoteAddr())
 
-	// Writer pump.
+	// Writer pump: coalesce whatever has queued since the last write
+	// into one pooled buffer and hand the kernel a single Write —
+	// per-tick fan-out becomes one syscall per connection instead of one
+	// per frame. Frames are released as they are copied out; anything
+	// still queued at exit is released so its buffers return to the pool.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer func() {
+			for {
+				select {
+				case f := <-writeQ:
+					f.Release()
+				default:
+					return
+				}
+			}
+		}()
+		// Cap one coalesced write; a pathological backlog flushes in
+		// several writes rather than growing an unpoolable buffer.
+		const coalesceBytes = 256 << 10
 		for {
 			select {
-			case m := <-writeQ:
-				if err := wire.WriteFrame(conn, m); err != nil {
+			case f := <-writeQ:
+				buf := wire.GetBuf(f.Len())
+				buf = append(buf, f.Bytes()...)
+				f.Release()
+			drain:
+				for len(buf) < coalesceBytes {
+					select {
+					case f := <-writeQ:
+						buf = append(buf, f.Bytes()...)
+						f.Release()
+					default:
+						break drain
+					}
+				}
+				_, err := conn.Write(buf)
+				wire.PutBuf(buf)
+				if err != nil {
 					return
 				}
 			case <-s.done:

@@ -11,19 +11,20 @@ import (
 // allocating unboundedly.
 const MaxFrameSize = 16 << 20
 
+// frameHeaderSize is the 4-byte little-endian payload length plus the
+// 1-byte message type that prefix every frame.
+const frameHeaderSize = 5
+
 // WriteFrame writes one length-prefixed message to w: a 4-byte little-
 // endian payload length, a 1-byte message type, then the encoded payload.
-// This is the on-the-wire format of the real TCP deployment.
+// This is the on-the-wire format of the real TCP deployment. The frame
+// is staged in a pooled buffer and issued as a single write.
 func WriteFrame(w io.Writer, msg Msg) error {
-	payload := Encode(msg)
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = byte(msg.Type())
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing frame header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: writing frame payload: %w", err)
+	buf := AppendFrame(GetBuf(minBufCap), msg)
+	_, err := w.Write(buf)
+	PutBuf(buf)
+	if err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
 	}
 	return nil
 }

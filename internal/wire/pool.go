@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"seve/internal/action"
+)
+
+// This file is the allocation-free delivery path: a shared buffer pool,
+// reference-counted encoded frames, and an encode-once cache for the
+// envelope section shared by sibling push batches. Ownership rules are
+// documented in DESIGN.md §8.
+
+const (
+	// minBufCap sizes fresh pool buffers; most protocol messages fit.
+	minBufCap = 512
+	// maxPooledCap keeps pathological frames (near MaxFrameSize) from
+	// pinning their backing arrays in the pool forever.
+	maxPooledCap = 1 << 20
+)
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, minBufCap)
+		return &b
+	},
+}
+
+// GetBuf returns an empty buffer with capacity at least n from the
+// shared pool. Return it with PutBuf when done.
+func GetBuf(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+	}
+	return b
+}
+
+// PutBuf returns b's backing array to the pool. The caller must not use
+// b (or any slice aliasing it) afterwards. Oversized buffers are dropped
+// on the floor for the GC instead of pinning the pool.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// Frame is one encoded wire frame — the 5-byte length/type header plus
+// payload — backed by a pooled buffer and shared across writer
+// goroutines by reference counting. Frames are immutable after creation.
+// The creator holds one reference; every additional holder must Retain
+// before the frame is handed to it and Release exactly once when done.
+// When the count reaches zero the frame (and its buffer) returns to the
+// pool; touching it after the final Release is a use-after-free bug.
+type Frame struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// NewFrame encodes msg as one complete frame with reference count 1.
+func NewFrame(msg Msg) *Frame { return newFrame(msg, nil) }
+
+// NewFrameCached is NewFrame through an EncodeCache: sibling batches
+// that share an envelope section (First Bound push fan-out, hybrid relay
+// forwards) serialize that section once and memcpy it thereafter.
+func NewFrameCached(c *EncodeCache, msg Msg) *Frame { return newFrame(msg, c) }
+
+func newFrame(msg Msg, c *EncodeCache) *Frame {
+	f := framePool.Get().(*Frame)
+	buf := f.b
+	if cap(buf) == 0 {
+		buf = GetBuf(minBufCap)
+	}
+	buf = append(buf[:0], 0, 0, 0, 0, byte(msg.Type()))
+	buf = appendMsgCached(buf, msg, c)
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-frameHeaderSize))
+	f.b = buf
+	f.refs.Store(1)
+	return f
+}
+
+// Bytes returns the full encoded frame (header + payload). The slice is
+// valid only while the caller holds a reference.
+func (f *Frame) Bytes() []byte { return f.b }
+
+// Len returns the total frame length in bytes.
+func (f *Frame) Len() int { return len(f.b) }
+
+// Retain adds a reference and returns f for chaining.
+func (f *Frame) Retain() *Frame {
+	f.refs.Add(1)
+	return f
+}
+
+// Release drops one reference; the last release returns the frame to the
+// pool. Releasing more times than Retain+creation panics — an over-
+// release means some writer could still be reading recycled bytes.
+func (f *Frame) Release() {
+	switch n := f.refs.Add(-1); {
+	case n == 0:
+		if cap(f.b) > maxPooledCap {
+			f.b = nil
+		}
+		framePool.Put(f)
+	case n < 0:
+		panic("wire: frame over-released")
+	}
+}
+
+// AppendFrame appends msg as one complete frame (header + payload) to
+// buf — the coalescing building block: a connection's writer appends
+// every queued message to one buffer and hands the kernel a single
+// write.
+func AppendFrame(buf []byte, msg Msg) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, byte(msg.Type()))
+	buf = AppendMsg(buf, msg)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-frameHeaderSize))
+	return buf
+}
+
+// EncodeCache memoizes the envelope section of the last Batch (or Relay
+// inner) it encoded, keyed by the identity of the Envs slice. Sibling
+// batches built for a push fan-out share one Envs backing array and
+// differ only in the 21-byte per-recipient header, so the envelope
+// bytes — the bulk of the frame — are encoded exactly once per tick and
+// every further recipient costs a memcpy.
+//
+// The cache trusts that envelopes are immutable while it lives (the
+// engine stamps them once, before fan-out). It is single-goroutine; the
+// transport keeps one per dispatch loop and Resets it when done.
+type EncodeCache struct {
+	key  *action.Envelope // identity of the cached Envs slice
+	n    int
+	tail []byte
+	hits uint64
+}
+
+func (c *EncodeCache) envTail(envs []action.Envelope) []byte {
+	if c.key == &envs[0] && c.n == len(envs) {
+		c.hits++
+		return c.tail
+	}
+	if c.tail == nil {
+		c.tail = GetBuf(minBufCap)
+	}
+	c.tail = c.tail[:0]
+	for _, e := range envs {
+		c.tail = appendEnvelope(c.tail, e)
+	}
+	c.key, c.n = &envs[0], len(envs)
+	return c.tail
+}
+
+// Hits reports how many encodes were served from the cached section.
+func (c *EncodeCache) Hits() uint64 { return c.hits }
+
+// Reset forgets the cached section and returns its buffer to the pool.
+func (c *EncodeCache) Reset() {
+	if c.tail != nil {
+		PutBuf(c.tail)
+		c.tail = nil
+	}
+	c.key, c.n = nil, 0
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+// sampleMsgs returns one instance of every message type, including a
+// batch mixing a registered application action with a blind write.
+func sampleMsgs() []Msg {
+	bw := action.NewBlindWrite(action.ID{Client: action.OriginServer, Seq: 1},
+		[]world.Write{{ID: 5, Val: world.Value{1, 2}}, {ID: 6, Val: nil}})
+	ta := &testAct{id: action.ID{Client: 2, Seq: 4}, A: 3.25, B: -1}
+	return []Msg{
+		&Submit{Env: env(0, 2, ta)},
+		&Batch{
+			Envs:          []action.Envelope{env(10, action.OriginServer, bw), env(11, 2, ta)},
+			Push:          true,
+			InstalledUpTo: 9,
+			ClientSeq:     4,
+		},
+		&Completion{Seq: 77, By: 4, Res: action.Result{OK: true,
+			Writes: []world.Write{{ID: 1, Val: world.Value{9.25}}}}},
+		&Drop{ActID: action.ID{Client: 6, Seq: 3}},
+		&Hello{InterestMask: 0b1010},
+		&LockGrant{Seq: 12, ActID: action.ID{Client: 1, Seq: 2}},
+		&Relay{
+			Targets:    []action.ClientID{3, 8},
+			TargetSeqs: []uint64{5, 9},
+			Inner:      &Batch{Envs: []action.Envelope{env(12, 2, ta)}, Push: true},
+		},
+		&Welcome{You: 9, Init: []world.Write{{ID: 1, Val: world.Value{5}}}},
+	}
+}
+
+// TestAppendMsgMatchesEncode pins the append-style APIs to Encode: the
+// same bytes, appended after any prefix, with EncodeTo reusing the
+// buffer it is given.
+func TestAppendMsgMatchesEncode(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	for _, m := range sampleMsgs() {
+		want := Encode(m)
+		if got := AppendMsg(append([]byte(nil), prefix...), m); !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("%T: AppendMsg diverges from Encode", m)
+		}
+		buf := make([]byte, 3, 256)
+		out := EncodeTo(buf, m)
+		if !bytes.Equal(out, want) {
+			t.Errorf("%T: EncodeTo diverges from Encode", m)
+		}
+		if len(want) <= 256 && &out[0] != &buf[:1][0] {
+			t.Errorf("%T: EncodeTo did not reuse the supplied buffer", m)
+		}
+	}
+}
+
+// TestFrameMatchesWriteFrame pins the three framing paths — Frame,
+// AppendFrame, WriteFrame — to identical bytes.
+func TestFrameMatchesWriteFrame(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		var w bytes.Buffer
+		if err := WriteFrame(&w, m); err != nil {
+			t.Fatal(err)
+		}
+		if got := AppendFrame(nil, m); !bytes.Equal(got, w.Bytes()) {
+			t.Errorf("%T: AppendFrame diverges from WriteFrame", m)
+		}
+		f := NewFrame(m)
+		if !bytes.Equal(f.Bytes(), w.Bytes()) {
+			t.Errorf("%T: Frame diverges from WriteFrame", m)
+		}
+		if f.Len() != frameHeaderSize+m.WireSize() {
+			t.Errorf("%T: frame len %d, want header+WireSize %d",
+				m, f.Len(), frameHeaderSize+m.WireSize())
+		}
+		f.Release()
+	}
+}
+
+// TestEncodeCacheFanOut is the stream-equivalence proof for encode-once
+// fan-out: sibling batches sharing one Envs slice, differing only in the
+// per-recipient header, must encode through the cache to exactly the
+// bytes the per-recipient encoder produces — while serializing the
+// envelope section once.
+func TestEncodeCacheFanOut(t *testing.T) {
+	bw := action.NewBlindWrite(action.ID{Client: action.OriginServer, Seq: 2},
+		[]world.Write{{ID: 7, Val: world.Value{4}}})
+	shared := []action.Envelope{
+		env(20, action.OriginServer, bw),
+		env(21, 1, &testAct{id: action.ID{Client: 1, Seq: 9}, A: 0.5}),
+		env(22, 3, &testAct{id: action.ID{Client: 3, Seq: 2}, B: 8}),
+	}
+	const recipients = 16
+	var cache EncodeCache
+	defer cache.Reset()
+	for i := 0; i < recipients; i++ {
+		sib := &Batch{
+			Envs:          shared,
+			Push:          i%2 == 0,
+			InstalledUpTo: uint64(30 + i),
+			ClientSeq:     uint64(i + 1),
+		}
+		want := append([]byte{0, 0, 0, 0, byte(TypeBatch)}, Encode(sib)...)
+		putLen(want)
+		f := NewFrameCached(&cache, sib)
+		if !bytes.Equal(f.Bytes(), want) {
+			t.Fatalf("recipient %d: cached frame diverges from per-recipient encoding", i)
+		}
+		f.Release()
+	}
+	if cache.Hits() != recipients-1 {
+		t.Fatalf("cache hits = %d, want %d (envelope section encoded once)",
+			cache.Hits(), recipients-1)
+	}
+
+	// Relay forwards share the inner Envs too.
+	r := &Relay{Targets: []action.ClientID{1, 2}, TargetSeqs: []uint64{7, 8},
+		Inner: &Batch{Envs: shared, Push: true, ClientSeq: 7}}
+	want := Encode(r)
+	f := NewFrameCached(&cache, r)
+	if !bytes.Equal(f.Bytes()[frameHeaderSize:], want) {
+		t.Fatal("cached relay diverges from Encode")
+	}
+	f.Release()
+	if cache.Hits() != recipients {
+		t.Fatalf("relay did not hit the cached envelope section (hits=%d)", cache.Hits())
+	}
+
+	// A different Envs slice must miss and re-encode, not serve stale bytes.
+	other := []action.Envelope{env(40, 1, &testAct{id: action.ID{Client: 1, Seq: 10}})}
+	ob := &Batch{Envs: other, ClientSeq: 9}
+	f = NewFrameCached(&cache, ob)
+	if !bytes.Equal(f.Bytes()[frameHeaderSize:], Encode(ob)) {
+		t.Fatal("cache served stale envelope section for a different batch")
+	}
+	f.Release()
+}
+
+func putLen(frame []byte) {
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-frameHeaderSize))
+}
+
+// TestFrameRefcount exercises the sharing contract: the frame's bytes
+// stay valid until the last holder releases, and the final release
+// recycles the frame.
+func TestFrameRefcount(t *testing.T) {
+	m := &Drop{ActID: action.ID{Client: 1, Seq: 1}}
+	f := NewFrame(m)
+	want := append([]byte(nil), f.Bytes()...)
+	f.Retain()
+	f.Release()
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatal("frame bytes changed while a reference was held")
+	}
+	f.Release()
+
+	f2 := NewFrame(&Hello{InterestMask: 1})
+	if !bytes.Equal(f2.Bytes(), append([]byte{8, 0, 0, 0, byte(TypeHello)},
+		Encode(&Hello{InterestMask: 1})...)) {
+		t.Fatal("recycled frame encoded wrong bytes")
+	}
+	f2.Release()
+}
+
+func TestFrameOverReleasePanics(t *testing.T) {
+	f := NewFrame(&Hello{})
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+// TestGetPutBufRecycles checks the pool hands back usable buffers and
+// drops oversized ones.
+func TestGetPutBufRecycles(t *testing.T) {
+	b := GetBuf(64)
+	if len(b) != 0 || cap(b) < 64 {
+		t.Fatalf("GetBuf(64) = len %d cap %d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBuf(b)
+	huge := make([]byte, 0, maxPooledCap+1)
+	PutBuf(huge) // must not pin; just exercising the size gate
+	if b2 := GetBuf(16); len(b2) != 0 {
+		t.Fatalf("pooled buffer returned dirty: len %d", len(b2))
+	}
+}

@@ -258,9 +258,18 @@ func appendEnvelope(buf []byte, e action.Envelope) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Client))
 	buf = binary.LittleEndian.AppendUint32(buf, id.Seq)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(e.Act.Kind()))
-	body := e.Act.MarshalBody()
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
-	return append(buf, body...)
+	// Reserve the body length and backfill it after appending the body,
+	// so BodyAppender actions serialize straight into buf with no
+	// intermediate slice.
+	lenOff := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	if ba, ok := e.Act.(action.BodyAppender); ok {
+		buf = ba.AppendBody(buf)
+	} else {
+		buf = append(buf, e.Act.MarshalBody()...)
+	}
+	binary.LittleEndian.PutUint32(buf[lenOff:], uint32(len(buf)-lenOff-4))
+	return buf
 }
 
 func decodeEnvelope(buf []byte) (action.Envelope, int, error) {
@@ -308,7 +317,14 @@ func decodeWrites(buf []byte) ([]world.Write, int, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	off := 4
-	ws := make([]world.Write, 0, n)
+	// The count is untrusted: cap the allocation hint by what the buffer
+	// could actually hold (≥10 bytes per record) so a forged count cannot
+	// pre-allocate unboundedly before the loop's length checks reject it.
+	capHint := n
+	if max := (len(buf) - off) / 10; capHint > max {
+		capHint = max
+	}
+	ws := make([]world.Write, 0, capHint)
 	for i := 0; i < n; i++ {
 		if len(buf) < off+10 {
 			return nil, 0, fmt.Errorf("wire: write record %d truncated", i)
@@ -329,27 +345,35 @@ func decodeWrites(buf []byte) ([]world.Write, int, error) {
 	return ws, off, nil
 }
 
-// Encode serializes msg (without the TCP frame header).
+// Encode serializes msg (without the TCP frame header) into a fresh
+// buffer. Hot paths should prefer AppendMsg/EncodeTo with a pooled or
+// reused buffer; Encode remains for one-shot callers and tests.
 func Encode(msg Msg) []byte {
+	return AppendMsg(nil, msg)
+}
+
+// EncodeTo serializes msg into buf's backing array, overwriting its
+// contents, and returns the encoded payload (which may be a grown
+// slice). It is the buffer-reusing form of Encode.
+func EncodeTo(buf []byte, msg Msg) []byte {
+	return AppendMsg(buf[:0], msg)
+}
+
+// AppendMsg appends msg's encoding (without the TCP frame header) to buf
+// and returns the extended slice.
+func AppendMsg(buf []byte, msg Msg) []byte {
+	return appendMsgCached(buf, msg, nil)
+}
+
+// appendMsgCached is AppendMsg with an optional encode-once cache for
+// the envelope section of Batch and Relay messages.
+func appendMsgCached(buf []byte, msg Msg, c *EncodeCache) []byte {
 	switch m := msg.(type) {
 	case *Submit:
-		return appendEnvelope(nil, m.Env)
+		return appendEnvelope(buf, m.Env)
 	case *Batch:
-		buf := make([]byte, 0, m.WireSize())
-		flag := byte(0)
-		if m.Push {
-			flag = 1
-		}
-		buf = append(buf, flag)
-		buf = binary.LittleEndian.AppendUint64(buf, m.InstalledUpTo)
-		buf = binary.LittleEndian.AppendUint64(buf, m.ClientSeq)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Envs)))
-		for _, e := range m.Envs {
-			buf = appendEnvelope(buf, e)
-		}
-		return buf
+		return appendBatch(buf, m, c)
 	case *Completion:
-		buf := make([]byte, 0, m.WireSize())
 		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.By))
 		ok := byte(0)
@@ -359,18 +383,16 @@ func Encode(msg Msg) []byte {
 		buf = append(buf, ok)
 		return appendWrites(buf, m.Res.Writes)
 	case *Drop:
-		buf := make([]byte, 0, 8)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ActID.Client))
-		buf = binary.LittleEndian.AppendUint32(buf, m.ActID.Seq)
-		return buf
+		return binary.LittleEndian.AppendUint32(buf, m.ActID.Seq)
 	case *Hello:
-		return binary.LittleEndian.AppendUint64(nil, m.InterestMask)
+		return binary.LittleEndian.AppendUint64(buf, m.InterestMask)
 	case *LockGrant:
-		buf := binary.LittleEndian.AppendUint64(nil, m.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ActID.Client))
 		return binary.LittleEndian.AppendUint32(buf, m.ActID.Seq)
 	case *Relay:
-		buf := binary.LittleEndian.AppendUint32(nil, uint32(len(m.Targets)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Targets)))
 		for i, t := range m.Targets {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
 			var seq uint64
@@ -379,13 +401,35 @@ func Encode(msg Msg) []byte {
 			}
 			buf = binary.LittleEndian.AppendUint64(buf, seq)
 		}
-		return append(buf, Encode(m.Inner)...)
+		return appendBatch(buf, m.Inner, c)
 	case *Welcome:
-		buf := binary.LittleEndian.AppendUint32(nil, uint32(m.You))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.You))
 		return appendWrites(buf, m.Init)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", msg))
 	}
+}
+
+// appendBatch appends a Batch payload: the 21-byte per-recipient header
+// (push flag, installedUpTo, clientSeq, count) followed by the envelope
+// section, which sibling batches share and a non-nil cache serializes
+// only once.
+func appendBatch(buf []byte, m *Batch, c *EncodeCache) []byte {
+	flag := byte(0)
+	if m.Push {
+		flag = 1
+	}
+	buf = append(buf, flag)
+	buf = binary.LittleEndian.AppendUint64(buf, m.InstalledUpTo)
+	buf = binary.LittleEndian.AppendUint64(buf, m.ClientSeq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Envs)))
+	if c != nil && len(m.Envs) > 0 {
+		return append(buf, c.envTail(m.Envs)...)
+	}
+	for _, e := range m.Envs {
+		buf = appendEnvelope(buf, e)
+	}
+	return buf
 }
 
 // Decode reconstructs a message of the given type from its encoded form.

@@ -3,7 +3,9 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"io"
+	"math"
 	"testing"
 
 	"seve/internal/action"
@@ -25,17 +27,22 @@ func (a *testAct) WriteSet() world.IDSet   { return world.NewIDSet(1) }
 func (a *testAct) Apply(tx *world.Tx) bool { return true }
 
 func (a *testAct) MarshalBody() []byte {
+	// Raw float bits: exact for every value, so Encode∘Decode is a
+	// fixpoint under fuzzing (a scaled-integer codec is not).
 	buf := make([]byte, 16)
-	binary.LittleEndian.PutUint64(buf, uint64(int64(a.A*1000)))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(a.B*1000)))
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(a.A))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(a.B))
 	return buf
 }
 
 func init() {
 	RegisterKind(kindTest, func(id action.ID, body []byte) (action.Action, error) {
+		if len(body) < 16 {
+			return nil, fmt.Errorf("test action body truncated: %d bytes", len(body))
+		}
 		a := &testAct{id: id}
-		a.A = float64(int64(binary.LittleEndian.Uint64(body))) / 1000
-		a.B = float64(int64(binary.LittleEndian.Uint64(body[8:]))) / 1000
+		a.A = math.Float64frombits(binary.LittleEndian.Uint64(body))
+		a.B = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
 		return a, nil
 	})
 }

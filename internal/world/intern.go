@@ -78,16 +78,24 @@ type ScratchSet struct {
 
 // Reset empties the set and ensures capacity for dense indices < n.
 func (s *ScratchSet) Reset(n int) {
-	if n > len(s.stamp) {
-		grown := make([]uint64, n+n/2)
-		copy(grown, s.stamp)
-		s.stamp = grown
-		grownA := make([]uint64, len(grown))
-		copy(grownA, s.added)
-		s.added = grownA
-	}
+	s.Grow(n)
 	s.epoch++
 	s.members = s.members[:0]
+}
+
+// Grow ensures capacity for dense indices < n without clearing the
+// membership. Long-lived sets (the client's divergence set) call it as
+// the interner grows, between Resets.
+func (s *ScratchSet) Grow(n int) {
+	if n <= len(s.stamp) {
+		return
+	}
+	grown := make([]uint64, n+n/2)
+	copy(grown, s.stamp)
+	s.stamp = grown
+	grownA := make([]uint64, len(grown))
+	copy(grownA, s.added)
+	s.added = grownA
 }
 
 // Add inserts i, reporting whether it was absent.
@@ -161,3 +169,53 @@ func (s *ScratchSet) AppendMembers(dst []uint32) []uint32 {
 	}
 	return dst
 }
+
+// CountedSet is a multiset over dense indices: Inc and Dec adjust an
+// index's multiplicity and Contains tests whether it is positive. The
+// client engine maintains WS(Q) — the union of the declared write sets
+// of all queued actions — with one: each action Incs its write set on
+// enqueue and Decs it on resolution, replacing the O(k²) sorted-slice
+// Union rebuild that Algorithm 3 membership tests used to pay per
+// remote envelope.
+type CountedSet struct {
+	count    []uint32
+	distinct int
+}
+
+// Grow ensures capacity for dense indices < n.
+func (c *CountedSet) Grow(n int) {
+	if n <= len(c.count) {
+		return
+	}
+	grown := make([]uint32, n+n/2)
+	copy(grown, c.count)
+	c.count = grown
+}
+
+// Inc raises the multiplicity of i by one.
+func (c *CountedSet) Inc(i uint32) {
+	if c.count[i] == 0 {
+		c.distinct++
+	}
+	c.count[i]++
+}
+
+// Dec lowers the multiplicity of i by one. Decrementing an absent index
+// panics: it means enqueue/resolve bookkeeping got out of sync.
+func (c *CountedSet) Dec(i uint32) {
+	if c.count[i] == 0 {
+		panic("world: CountedSet.Dec of absent index")
+	}
+	c.count[i]--
+	if c.count[i] == 0 {
+		c.distinct--
+	}
+}
+
+// Contains reports whether i has positive multiplicity.
+func (c *CountedSet) Contains(i uint32) bool {
+	return int(i) < len(c.count) && c.count[i] > 0
+}
+
+// Distinct reports how many indices have positive multiplicity.
+func (c *CountedSet) Distinct() int { return c.distinct }

@@ -152,3 +152,53 @@ func TestScratchSetEpochIsolation(t *testing.T) {
 		}
 	}
 }
+
+// TestScratchSetGrow checks Grow preserves membership across capacity
+// growth, unlike Reset.
+func TestScratchSetGrow(t *testing.T) {
+	var sc ScratchSet
+	sc.Reset(4)
+	sc.Add(1)
+	sc.Add(3)
+	sc.Remove(3)
+	sc.Grow(1000)
+	if !sc.Contains(1) || sc.Contains(3) || sc.Contains(999) {
+		t.Fatal("Grow changed membership")
+	}
+	sc.Add(999)
+	if got := sc.AppendMembers(nil); len(got) != 2 || got[0] != 1 || got[1] != 999 {
+		t.Fatalf("members after Grow = %v, want [1 999]", got)
+	}
+}
+
+func TestCountedSet(t *testing.T) {
+	var cs CountedSet
+	cs.Grow(8)
+	cs.Inc(2)
+	cs.Inc(2)
+	cs.Inc(5)
+	if !cs.Contains(2) || !cs.Contains(5) || cs.Contains(3) || cs.Contains(100) {
+		t.Fatal("membership wrong after Inc")
+	}
+	if cs.Distinct() != 2 {
+		t.Fatalf("Distinct = %d, want 2", cs.Distinct())
+	}
+	cs.Dec(2)
+	if !cs.Contains(2) {
+		t.Fatal("multiplicity 1 should still be a member")
+	}
+	cs.Dec(2)
+	if cs.Contains(2) || cs.Distinct() != 1 {
+		t.Fatalf("Contains(2)=%v Distinct=%d after final Dec", cs.Contains(2), cs.Distinct())
+	}
+	cs.Grow(1000)
+	if !cs.Contains(5) {
+		t.Fatal("Grow dropped membership")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dec of absent index did not panic")
+		}
+	}()
+	cs.Dec(2)
+}

@@ -32,6 +32,19 @@ func (s *State) Set(id ObjectID, v Value) {
 	s.objs[id] = v.Clone()
 }
 
+// SetInPlace stores a copy of v as the value of id, overwriting the
+// stored buffer in place when the length matches so steady-state updates
+// allocate nothing. Only for states owned outright by their engine:
+// values previously returned by Get change under any reader that held
+// on to them. Semantically identical to Set.
+func (s *State) SetInPlace(id ObjectID, v Value) {
+	if old, ok := s.objs[id]; ok && len(old) == len(v) {
+		copy(old, v)
+		return
+	}
+	s.objs[id] = v.Clone()
+}
+
 // Delete removes the object, if present.
 func (s *State) Delete(id ObjectID) {
 	delete(s.objs, id)

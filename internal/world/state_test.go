@@ -36,6 +36,37 @@ func TestStateSetCopies(t *testing.T) {
 	}
 }
 
+func TestStateSetInPlace(t *testing.T) {
+	s := NewState()
+	s.Set(1, Value{1, 2})
+	buf, _ := s.Get(1)
+
+	// Same length: the stored buffer is reused and the caller's slice is
+	// copied, not aliased.
+	v := Value{3, 4}
+	s.SetInPlace(1, v)
+	v[0] = 99
+	got, _ := s.Get(1)
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("in-place overwrite got %v", got)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("same-length SetInPlace did not reuse the stored buffer")
+	}
+
+	// Length change and fresh id fall back to a cloned store.
+	s.SetInPlace(1, Value{5})
+	if got, _ := s.Get(1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("length-changing SetInPlace got %v", got)
+	}
+	w := Value{6}
+	s.SetInPlace(2, w)
+	w[0] = 99
+	if got, _ := s.Get(2); got[0] != 6 {
+		t.Fatal("fresh-id SetInPlace aliased caller's slice")
+	}
+}
+
 func TestStateClone(t *testing.T) {
 	s := NewState()
 	s.Set(1, Value{1})

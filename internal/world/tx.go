@@ -61,6 +61,21 @@ func NewTx(view View) *Tx {
 	}
 }
 
+// Reset re-arms tx for a fresh run against view, keeping its maps, write
+// log and value buffers for reuse. Any Result or Writes slice taken from
+// the previous run aliases those buffers, so the caller must have deep-
+// copied what it intends to keep (Result.CloneInto) before resetting.
+// The client engine's Algorithm 3 re-apply loop runs every queued action
+// through one such scratch transaction instead of allocating a Tx — and
+// two maps and a value clone per write — for each.
+func (tx *Tx) Reset(view View) {
+	tx.view = view
+	clear(tx.readSet)
+	clear(tx.writeMap)
+	tx.writeLog = tx.writeLog[:0]
+	tx.missed = tx.missed[:0]
+}
+
 // Read returns the value of id, preferring the transaction's own buffered
 // write. The read is recorded. A read of an unknown object returns
 // (nil, false) and is recorded as missed — the signal an action uses to
@@ -79,14 +94,25 @@ func (tx *Tx) Read(id ObjectID) (Value, bool) {
 }
 
 // Write buffers v as the new value of id. Per the paper's convention
-// RS(a) ⊇ WS(a), a write also records a read.
+// RS(a) ⊇ WS(a), a write also records a read. The buffered value is a
+// copy of v, stored into a buffer recovered from a previous run when the
+// transaction has been Reset.
 func (tx *Tx) Write(id ObjectID, v Value) {
 	tx.readSet[id] = struct{}{}
 	if i, ok := tx.writeMap[id]; ok {
-		tx.writeLog[i].Val = v.Clone()
+		tx.writeLog[i].Val = append(tx.writeLog[i].Val[:0], v...)
 		return
 	}
 	tx.writeMap[id] = len(tx.writeLog)
+	if n := len(tx.writeLog); n < cap(tx.writeLog) {
+		// Reslice into a record left over from before the last Reset and
+		// overwrite it in place, reusing its value buffer.
+		tx.writeLog = tx.writeLog[:n+1]
+		w := &tx.writeLog[n]
+		w.ID = id
+		w.Val = append(w.Val[:0], v...)
+		return
+	}
 	tx.writeLog = append(tx.writeLog, Write{ID: id, Val: v.Clone()})
 }
 

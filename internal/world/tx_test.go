@@ -109,3 +109,48 @@ func TestLatestView(t *testing.T) {
 		t.Fatalf("LatestView read = %v, %v", v, ok)
 	}
 }
+
+// TestTxReset checks a Reset transaction starts clean and reuses its
+// write-log value buffers without corrupting earlier runs' semantics.
+func TestTxReset(t *testing.T) {
+	s := NewState()
+	s.Set(1, Value{10})
+	s.Set(2, Value{20})
+	tx := NewTx(StateView{S: s})
+	tx.Read(1)
+	tx.Write(2, Value{21})
+	tx.Write(2, Value{22}) // overwrite path
+	if v, _ := tx.Read(2); v[0] != 22 {
+		t.Fatalf("read-your-writes = %v", v)
+	}
+	tx.Read(99) // missed
+
+	firstLog := tx.Writes()
+	if len(firstLog) != 1 || firstLog[0].Val[0] != 22 {
+		t.Fatalf("writes before reset = %v", firstLog)
+	}
+
+	tx.Reset(StateView{S: s})
+	if len(tx.Writes()) != 0 || len(tx.Missed()) != 0 || len(tx.ReadSet()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if v, ok := tx.Read(2); !ok || v[0] != 20 {
+		t.Fatalf("buffered write survived Reset: %v", v)
+	}
+	tx.Write(1, Value{11, 12})
+	ws := tx.Writes()
+	if len(ws) != 1 || ws[0].ID != 1 || !ws[0].Val.Equal(Value{11, 12}) {
+		t.Fatalf("writes after reset = %v", ws)
+	}
+	// The recycled record must not alias the state's stored values.
+	if v, _ := s.Get(1); v[0] != 10 {
+		t.Fatalf("state mutated by scratch tx: %v", v)
+	}
+
+	// A third run shrinking the value exercises buffer truncation.
+	tx.Reset(StateView{S: s})
+	tx.Write(1, Value{7})
+	if ws := tx.Writes(); len(ws[0].Val) != 1 || ws[0].Val[0] != 7 {
+		t.Fatalf("reused buffer kept stale length: %v", ws[0].Val)
+	}
+}

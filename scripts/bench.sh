@@ -1,23 +1,28 @@
 #!/bin/sh
-# Benchmark battery for the indexed closure engine: the per-submission
-# hot path (BenchmarkServerSubmit), the Fig6/Fig7 end-to-end experiment
-# benches, and the engine microbenches added with the conflict-index PR
-# (BenchmarkClosureDeepQueue, BenchmarkTickManyClients).
+# Benchmark battery for the protocol engines: the per-submission hot
+# path (BenchmarkServerSubmit), the Fig6/Fig7 end-to-end experiment
+# benches, the conflict-index microbenches (BenchmarkClosureDeepQueue,
+# BenchmarkTickManyClients), and the delivery-path microbenches added
+# with the pooled-encoding PR (BenchmarkEncodeBatch, BenchmarkPushFanOut,
+# BenchmarkClientReconcileDeepQueue — each with its pre-PR baseline as a
+# sub-benchmark).
 #
 # Writes the raw `go test -bench` output and a JSON summary to
-# BENCH_PR1.json at the repo root. BenchmarkServerSubmit grows the
+# BENCH_PR2.json at the repo root. BenchmarkServerSubmit grows the
 # uncommitted queue monotonically (no completions), so it runs with a
 # pinned iteration count: letting benchtime ramp b.N would measure a
 # queue three orders of magnitude deeper than the seed baseline did.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkServerSubmit$' -benchmem -benchtime 10000x . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkClosureDeepQueue|BenchmarkTickManyClients' \
     -benchmem -benchtime 50x . | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkEncodeBatch|BenchmarkPushFanOut|BenchmarkClientReconcileDeepQueue' \
+    -benchmem . | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkFig6|BenchmarkFig7' -benchmem . | tee -a "$raw"
 
 # Fold the benchmark lines into JSON: {"benchmarks": [{name, iterations,

@@ -1,8 +1,11 @@
 #!/bin/sh
-# CI gate: vet + the full test suite under the race detector.
-# The engine's push scheduler fans closure planning over goroutines, so
-# every change must pass -race, not just plain `go test`.
+# CI gate: vet, the full test suite under the race detector, and a short
+# fuzz smoke of the wire codec. The engine's push scheduler fans closure
+# planning over goroutines, so every change must pass -race, not just
+# plain `go test`; the fuzz pass keeps Decode honest against hostile
+# frames beyond the checked-in corpus.
 set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
 go test -race ./...
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/wire
