@@ -1,0 +1,122 @@
+// Command seve-vet is the engine's domain-specific static analyzer. It
+// enforces the four contracts the test suite can only spot-check: action
+// read/write-set confinement (rwset), pooled buffer and frame ownership
+// (pooldiscipline), no by-value copies of address-identity state
+// (nocopy), and no map-iteration nondeterminism on byte-identical
+// output paths (detorder). See DESIGN.md §9.
+//
+// Usage:
+//
+//	go run ./cmd/seve-vet ./...
+//	go run ./cmd/seve-vet -c rwset,detorder ./internal/core
+//
+// Packages are named by directory pattern; the trailing "..." wildcard
+// matches the go tool's. In-package and external test files are
+// analyzed alongside the code they test. Exit status is 1 when any
+// finding survives the //seve:vet-ignore directives, 2 on usage or
+// load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"seve/internal/vet"
+)
+
+func main() {
+	checkerFlag := flag.String("c", "", "comma-separated checker subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: seve-vet [-c checkers] [packages]\ncheckers: %s\n",
+			strings.Join(vet.CheckerNames(), ", "))
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seve-vet:", err)
+		os.Exit(2)
+	}
+
+	checkers, err := selectCheckers(*checkerFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seve-vet:", err)
+		os.Exit(2)
+	}
+
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seve-vet:", err)
+		os.Exit(2)
+	}
+
+	findings, err := vet.RunDirs(loader, dirs, checkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seve-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectCheckers resolves the -c flag; empty means all.
+func selectCheckers(names string) ([]vet.Checker, error) {
+	if names == "" {
+		return nil, nil
+	}
+	byName := make(map[string]vet.Checker)
+	for _, c := range vet.AllCheckers() {
+		byName[c.Name()] = c
+	}
+	var out []vet.Checker
+	for _, n := range strings.Split(names, ",") {
+		c, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown checker %q (known: %s)", n, strings.Join(vet.CheckerNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// expandPatterns turns go-style package patterns into directories.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			root := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if root == "" {
+				root = "."
+			}
+			sub, err := vet.ListPackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				add(d)
+			}
+			continue
+		}
+		add(filepath.Clean(p))
+	}
+	return dirs, nil
+}

@@ -1,0 +1,229 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// nocopyChecker flags by-value copies of types whose identity is their
+// address: world.ScratchSet (a copy forks the epoch stamp, silently
+// resurrecting stale membership), world.CountedSet (a copy forks the
+// multiset counts the incremental reconciler depends on), any struct
+// transitively containing a sync or sync/atomic primitive, and any
+// type whose declaration carries a //seve:nocopy marker comment.
+//
+// go vet's copylocks only sees types with a Lock method; the engine's
+// scratch state has no locks — copying it is legal Go that corrupts
+// the epoch-stamp invariant — so the domain list here is what actually
+// protects Algorithm 6/7's scratch reuse.
+//
+// Copies are flagged where they happen: by-value parameters, results
+// and receivers; assignments from an existing value (composite
+// literals, including zero values, are initialization and stay legal);
+// range-clause element copies; call arguments; and composite-literal
+// elements built from existing values.
+type nocopyChecker struct{}
+
+func (nocopyChecker) Name() string { return "nocopy" }
+
+const nocopyMarker = "//seve:nocopy"
+
+type nocopyScan struct {
+	u      *Unit
+	memo   map[types.Type]string
+	marked map[types.Object]bool
+}
+
+func (nocopyChecker) Check(u *Unit, report func(pos token.Pos, format string, args ...any)) {
+	sc := &nocopyScan{u: u, memo: make(map[types.Type]string), marked: collectNocopyMarks(u)}
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				sc.checkSignature(fd, report)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sc.checkNode(n, report)
+			return true
+		})
+	}
+}
+
+// collectNocopyMarks gathers type declarations annotated //seve:nocopy
+// in the unit and every loaded dependency package.
+func collectNocopyMarks(u *Unit) map[types.Object]bool {
+	marked := make(map[types.Object]bool)
+	scan := func(files []*ast.File, info *types.Info) {
+		for _, f := range files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasMarker(gd.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+						if obj := info.Defs[ts.Name]; obj != nil {
+							marked[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	scan(u.Files, u.Info)
+	u.Loader.EachLoaded(scan)
+	return marked
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, nocopyMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// reason returns why t must not be copied, or "" when it is copyable.
+// Memoized with an in-progress sentinel so recursive types terminate.
+func (sc *nocopyScan) reason(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if r, ok := sc.memo[t]; ok {
+		return r
+	}
+	sc.memo[t] = ""
+	r := sc.reasonUncached(t)
+	sc.memo[t] = r
+	return r
+}
+
+func (sc *nocopyScan) reasonUncached(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if isWorldType(t, "ScratchSet") {
+			return "world.ScratchSet (epoch-stamped scratch state)"
+		}
+		if isWorldType(t, "CountedSet") {
+			return "world.CountedSet (refcounted multiset)"
+		}
+		if pkg := obj.Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+			if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+				return pkg.Path() + "." + obj.Name()
+			}
+		}
+		if sc.marked[obj] {
+			return obj.Name() + " (marked //seve:nocopy)"
+		}
+		if r := sc.reason(t.Underlying()); r != "" {
+			return obj.Name() + " containing " + r
+		}
+		return ""
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if r := sc.reason(t.Field(i).Type()); r != "" {
+				return r
+			}
+		}
+	case *types.Array:
+		return sc.reason(t.Elem())
+	}
+	return ""
+}
+
+// checkSignature flags by-value parameters, results and receivers.
+func (sc *nocopyScan) checkSignature(fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := sc.u.Info.TypeOf(field.Type)
+			if r := sc.reason(t); r != "" {
+				report(field.Type.Pos(), "%s passes %s by value; use a pointer", kind, r)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// copySource reports whether e reads an existing value (whose copy
+// forks live state), as opposed to a literal or freshly built value.
+func copySource(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copySource(e.X)
+	}
+	return false
+}
+
+func (sc *nocopyScan) checkNode(n ast.Node, report func(pos token.Pos, format string, args ...any)) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i, r := range n.Rhs {
+			if !copySource(r) {
+				continue
+			}
+			if lid, ok := n.Lhs[i].(*ast.Ident); ok && lid.Name == "_" {
+				continue
+			}
+			if reason := sc.reason(sc.u.Info.TypeOf(r)); reason != "" {
+				report(r.Pos(), "assignment copies %s by value", reason)
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Value != nil {
+			if reason := sc.reason(sc.u.Info.TypeOf(n.Value)); reason != "" {
+				report(n.Value.Pos(), "range clause copies %s by value per iteration; iterate by index or pointer", reason)
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := sc.u.Info.Types[n.Fun]; ok && tv.IsType() {
+			return // conversion, not a call
+		}
+		for _, arg := range n.Args {
+			if !copySource(arg) {
+				continue
+			}
+			if tv, ok := sc.u.Info.Types[arg]; ok && tv.IsType() {
+				continue // new(T)/make: the type argument is not a value
+			}
+			if reason := sc.reason(sc.u.Info.TypeOf(arg)); reason != "" {
+				report(arg.Pos(), "argument copies %s by value", reason)
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if !copySource(v) {
+				continue
+			}
+			if reason := sc.reason(sc.u.Info.TypeOf(v)); reason != "" {
+				report(v.Pos(), "composite literal copies %s by value", reason)
+			}
+		}
+	}
+}

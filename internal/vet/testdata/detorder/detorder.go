@@ -1,0 +1,70 @@
+// Corpus for the detorder checker. Lines with a `// want` comment must
+// be flagged with a message matching the regexp; everything else must
+// stay clean.
+package dettest
+
+import (
+	"sort"
+
+	"seve/internal/wire"
+)
+
+type outbox struct {
+	Seq  uint64
+	Envs []int
+}
+
+// encodeUnordered serializes straight out of map iteration — the byte
+// stream differs run to run.
+func encodeUnordered(m map[int]wire.Msg, buf []byte) []byte {
+	for _, msg := range m { // want `map iteration order feeds wire encoding \(AppendFrame\)`
+		buf = wire.AppendFrame(buf, msg)
+	}
+	return buf
+}
+
+// stampUnordered assigns serial order in map order.
+func stampUnordered(m map[int]*outbox, next uint64) {
+	for _, o := range m { // want `serial order assignment \(Seq\)`
+		o.Seq = next
+		next++
+	}
+}
+
+// emitUnordered appends to an output stream in map order.
+func emitUnordered(m map[int]int, o *outbox) {
+	for k := range m { // want `output emission \(Envs\)`
+		o.Envs = append(o.Envs, k)
+	}
+}
+
+// collectThenSort is the sanctioned idiom: the map range only collects,
+// the ordered loop does the encoding. Clean.
+func collectThenSort(m map[int]wire.Msg, buf []byte) []byte {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		buf = wire.AppendFrame(buf, m[k])
+	}
+	return buf
+}
+
+// countOnly ranges a map for an order-insensitive fold. Clean.
+func countOnly(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceEncode ranges a slice, which iterates deterministically. Clean.
+func sliceEncode(msgs []wire.Msg, buf []byte) []byte {
+	for _, m := range msgs {
+		buf = wire.AppendFrame(buf, m)
+	}
+	return buf
+}

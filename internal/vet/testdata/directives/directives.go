@@ -1,0 +1,22 @@
+// Corpus for the //seve:vet-ignore directive machinery, exercised by
+// TestDirectives rather than want comments: a valid directive
+// suppresses, an unknown checker or missing reason is itself a finding,
+// and the underlying finding then survives.
+package dirtest
+
+import "seve/internal/wire"
+
+func suppressed() {
+	//seve:vet-ignore pooldiscipline deliberate leak to prove suppression works
+	wire.GetBuf(8)
+}
+
+func unknownChecker() {
+	//seve:vet-ignore nosuchchecker some reason
+	wire.GetBuf(8)
+}
+
+func missingReason() {
+	//seve:vet-ignore pooldiscipline
+	wire.GetBuf(8)
+}

@@ -1,0 +1,90 @@
+// Corpus for the nocopy checker. Lines with a `// want` comment must be
+// flagged with a message matching the regexp; everything else must stay
+// clean.
+package nctest
+
+import (
+	"sync"
+
+	"seve/internal/world"
+)
+
+// guarded transitively contains a sync primitive.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// pair contains guarded one level deeper.
+type pair struct {
+	a guarded
+	b int
+}
+
+//seve:nocopy
+type handle struct {
+	id uint64
+}
+
+func byValueParam(s world.ScratchSet) int { // want `parameter passes world\.ScratchSet`
+	return 0
+}
+
+func pointerParam(s *world.ScratchSet) {} // clean
+
+func byValueResult() world.CountedSet { // want `result passes world\.CountedSet`
+	var c world.CountedSet // clean: zero-value declaration, not a copy
+	return c
+}
+
+func copyAssign(a *world.CountedSet) {
+	b := *a // want `assignment copies world\.CountedSet`
+	_ = b
+}
+
+func copyStruct(w *pair) {
+	g := w.a // want `assignment copies guarded containing sync\.Mutex`
+	_ = g.n
+}
+
+func pointerCopy(w *pair) {
+	p := &w.a // clean: pointer copy
+	_ = p.n
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range clause copies guarded containing sync\.Mutex`
+		total += g.n
+	}
+	return total
+}
+
+func rangeIndex(gs []guarded) int {
+	total := 0
+	for i := range gs { // clean: iterate by index
+		total += gs[i].n
+	}
+	return total
+}
+
+func consume(v any) {}
+
+func passArg(g *guarded) {
+	consume(*g) // want `argument copies guarded containing sync\.Mutex`
+	consume(g)  // clean: pointer argument
+}
+
+func buildPair(g *guarded) pair { // want `result passes pair containing guarded containing sync\.Mutex`
+	return pair{a: *g, b: 1} // want `composite literal copies guarded containing sync\.Mutex`
+}
+
+func copyMarked(h *handle) {
+	dup := *h // want `assignment copies handle \(marked //seve:nocopy\)`
+	_ = dup
+}
+
+func freshMarked() *handle {
+	h := handle{id: 7} // clean: composite literal initialization
+	return &h
+}

@@ -1,0 +1,128 @@
+// Corpus for the pooldiscipline checker. Lines with a `// want` comment
+// must be flagged with a message matching the regexp; everything else
+// must stay clean.
+package pooltest
+
+import "seve/internal/wire"
+
+// leakOnReturn acquires a buffer and returns without PutBuf.
+func leakOnReturn() []byte {
+	buf := wire.GetBuf(64) // want `not returned with PutBuf on every path`
+	buf = append(buf, 1)
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// conditionalLeak releases on one branch only.
+func conditionalLeak(flush bool) {
+	buf := wire.GetBuf(16) // want `not returned with PutBuf on every path`
+	buf = append(buf, 7)
+	if flush {
+		wire.PutBuf(buf)
+	}
+}
+
+// balanced is the canonical clean shape.
+func balanced() {
+	buf := wire.GetBuf(16)
+	buf = append(buf, 1, 2, 3)
+	wire.PutBuf(buf)
+}
+
+// deferredClose releases through a deferred closure — clean.
+func deferredClose() []int {
+	buf := wire.GetBuf(32)
+	defer func() { wire.PutBuf(buf) }()
+	buf = append(buf, 9)
+	return []int{len(buf)}
+}
+
+// derived tracks the buffer through an append-style call — the
+// WriteFrame shape — and stays clean.
+func derived(msg wire.Msg) int {
+	buf := wire.AppendFrame(wire.GetBuf(64), msg)
+	n := len(buf)
+	wire.PutBuf(buf)
+	return n
+}
+
+// useAfterPut touches the buffer after it went back to the pool.
+func useAfterPut() byte {
+	buf := wire.GetBuf(8)
+	buf = append(buf, 42)
+	wire.PutBuf(buf)
+	return buf[0] // want `use of pooled buffer "buf" after PutBuf`
+}
+
+// doublePut returns the same buffer twice.
+func doublePut() {
+	buf := wire.GetBuf(8)
+	wire.PutBuf(buf)
+	wire.PutBuf(buf) // want `returned to the pool twice`
+}
+
+// discard drops the acquisition on the floor.
+func discard() {
+	wire.GetBuf(8) // want `result of GetBuf is discarded`
+}
+
+// handOff transfers ownership through a channel — clean; the receiver
+// releases it.
+func handOff(ch chan []byte) {
+	buf := wire.GetBuf(16)
+	ch <- buf
+}
+
+// frameLeak drops the creation reference.
+func frameLeak() int {
+	f := wire.NewFrame(&wire.Hello{InterestMask: 1}) // want `frame "f" is not released on every path`
+	return f.Len()
+}
+
+// frameBalanced is the dispatch shape: retain for a channel hand-off,
+// release on the full-queue branch, release the creation reference at
+// the end. Clean.
+func frameBalanced(ch chan *wire.Frame) {
+	f := wire.NewFrame(&wire.Hello{})
+	f.Retain()
+	select {
+	case ch <- f:
+	default:
+		f.Release()
+	}
+	f.Release()
+}
+
+// overRelease drops more references than it owns.
+func overRelease() {
+	f := wire.NewFrame(&wire.Hello{})
+	f.Release()
+	f.Release() // want `released after its final reference`
+}
+
+// retainAfterFree revives a frame the pool may already own.
+func retainAfterFree() {
+	f := wire.NewFrame(&wire.Hello{})
+	f.Release()
+	f.Retain() // want `retained after its final Release`
+}
+
+// perIteration leaks one frame per loop iteration.
+func perIteration(msgs []wire.Msg) int {
+	total := 0
+	for _, m := range msgs {
+		f := wire.NewFrame(m) // want `frame "f" is not released on every path`
+		total += f.Len()
+	}
+	return total
+}
+
+// stash moves ownership into a struct — a later owner releases. Clean.
+type stash struct {
+	f *wire.Frame
+}
+
+func (s *stash) fill() {
+	s.f = wire.NewFrame(&wire.Hello{})
+}

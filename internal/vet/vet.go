@@ -1,0 +1,197 @@
+// Package vet implements seve-vet, the engine's domain-specific static
+// analyzer. Four checkers turn the engine's informal contracts into
+// compile-time gates:
+//
+//   - rwset: an action's Apply/Eval body must confine its Tx accesses to
+//     object ids traceable to the declared ReadSet()/WriteSet(). The
+//     runtime enforces this only in strict mode (action.CheckAccess);
+//     undeclared accesses silently break the Algorithm 6/7 closure
+//     analysis, so in-tree actions are gated statically.
+//   - pooldiscipline: wire.GetBuf must be balanced by PutBuf on every
+//     return path, Frame references must be released or handed off, and
+//     a pooled buffer must not be touched after it is Put. Violations
+//     are use-after-free bugs that only surface under load.
+//   - nocopy: epoch-stamped scratch sets (world.ScratchSet), the
+//     world.CountedSet multiset and any struct carrying a sync primitive
+//     must not be copied by value — a copy silently forks the epoch or
+//     refcount state beyond what go vet's copylocks catches.
+//   - detorder: ranging over a map while feeding wire encoding, serial
+//     order assignment or push planning injects map-iteration
+//     nondeterminism into paths whose byte-identity the engine proves
+//     (TestTickParallelDeterminism, TestEncodeCacheFanOut).
+//
+// Audited exceptions are allowed with a directive on the offending line
+// or the line above it:
+//
+//	//seve:vet-ignore <checker> <reason>
+//
+// The reason is mandatory: an unexplained suppression is itself flagged.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos     token.Position
+	Checker string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Checker, f.Message)
+}
+
+// Checker is one domain rule run over every analysis unit.
+type Checker interface {
+	Name() string
+	Check(u *Unit, report func(pos token.Pos, format string, args ...any))
+}
+
+// AllCheckers returns the four production checkers.
+func AllCheckers() []Checker {
+	return []Checker{rwsetChecker{}, poolChecker{}, nocopyChecker{}, detorderChecker{}}
+}
+
+// CheckerNames lists the valid checker names.
+func CheckerNames() []string {
+	var names []string
+	for _, c := range AllCheckers() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+// ignoreDirective is one parsed //seve:vet-ignore comment.
+type ignoreDirective struct {
+	checker string
+	file    string
+	line    int
+}
+
+const directivePrefix = "//seve:vet-ignore"
+
+// parseDirectives scans a unit's comments for ignore directives.
+// Malformed directives (missing checker or reason, unknown checker) are
+// reported as findings of the pseudo-checker "directive" so they cannot
+// rot silently.
+func parseDirectives(u *Unit, known map[string]bool, report func(pos token.Pos, format string, args ...any)) []ignoreDirective {
+	var dirs []ignoreDirective
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c.Pos(), "malformed directive: want //seve:vet-ignore <checker> <reason>")
+					continue
+				}
+				if !known[fields[0]] {
+					report(c.Pos(), "directive names unknown checker %q (known: %s)",
+						fields[0], strings.Join(CheckerNames(), ", "))
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				dirs = append(dirs, ignoreDirective{checker: fields[0], file: pos.Filename, line: pos.Line})
+			}
+		}
+	}
+	return dirs
+}
+
+// suppressed reports whether a finding is covered by a directive: same
+// checker, same file, and the directive sits on the finding's line or
+// the line directly above it.
+func suppressed(f Finding, dirs []ignoreDirective) bool {
+	for _, d := range dirs {
+		if d.checker == f.Checker && d.file == f.Pos.Filename &&
+			(d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunDirs loads every directory and runs the given checkers, returning
+// surviving findings sorted by position. A nil checker list runs all of
+// them.
+func RunDirs(l *Loader, dirs []string, checkers []Checker) ([]Finding, error) {
+	if checkers == nil {
+		checkers = AllCheckers()
+	}
+	known := make(map[string]bool)
+	for _, c := range AllCheckers() {
+		known[c.Name()] = true
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		units, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			findings = append(findings, checkUnit(u, checkers, known)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Checker < b.Checker
+	})
+	return findings, nil
+}
+
+// checkUnit runs checkers over one unit and filters out suppressed
+// findings.
+func checkUnit(u *Unit, checkers []Checker, known map[string]bool) []Finding {
+	var raw []Finding
+	collect := func(name string) func(pos token.Pos, format string, args ...any) {
+		return func(pos token.Pos, format string, args ...any) {
+			raw = append(raw, Finding{
+				Pos:     u.Fset.Position(pos),
+				Checker: name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+	}
+	dirs := parseDirectives(u, known, collect("directive"))
+	for _, c := range checkers {
+		c.Check(u, collect(c.Name()))
+	}
+	var out []Finding
+	for _, f := range raw {
+		if f.Checker != "directive" && suppressed(f, dirs) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// funcBodies visits every function or method body in the unit, handing
+// the visitor the declaration for receiver/name context.
+func funcBodies(u *Unit, visit func(fd *ast.FuncDecl)) {
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}

@@ -33,18 +33,38 @@ var bufPool = sync.Pool{
 func GetBuf(n int) []byte {
 	bp := bufPool.Get().(*[]byte)
 	b := (*bp)[:0]
+	if cap(b) > 0 {
+		// This buffer is live again: forget it as the most recent put so
+		// its next (legitimate) PutBuf does not trip the double-put check.
+		lastPut.CompareAndSwap(&b[:1][0], nil)
+	}
 	if cap(b) < n {
 		b = make([]byte, 0, n)
 	}
 	return b
 }
 
+// lastPut remembers the first backing byte of the buffer most recently
+// returned to the pool. Holding that pointer keeps the allocation alive,
+// so observing the same pointer on the next PutBuf cannot be an
+// address-reuse coincidence — it is the same buffer returned twice in a
+// row, the cheap-to-catch core of every double-put bug. The check is one
+// atomic swap; GetBuf clears the sentinel when it hands the remembered
+// buffer back out, so put→get→put of one buffer stays legal. At most one
+// pooled buffer (≤ maxPooledCap) is pinned at a time.
+var lastPut atomic.Pointer[byte]
+
 // PutBuf returns b's backing array to the pool. The caller must not use
-// b (or any slice aliasing it) afterwards. Oversized buffers are dropped
-// on the floor for the GC instead of pinning the pool.
+// b (or any slice aliasing it) afterwards; returning the same buffer
+// twice in a row panics. Oversized buffers are dropped on the floor for
+// the GC instead of pinning the pool.
 func PutBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledCap {
 		return
+	}
+	p := &b[:1][0]
+	if lastPut.Swap(p) == p {
+		panic("wire: buffer returned to the pool twice")
 	}
 	b = b[:0]
 	bufPool.Put(&b)
@@ -93,23 +113,40 @@ func (f *Frame) Bytes() []byte { return f.b }
 // Len returns the total frame length in bytes.
 func (f *Frame) Len() int { return len(f.b) }
 
-// Retain adds a reference and returns f for chaining.
+// frameFreed marks a frame whose final reference was released and which
+// now belongs to the pool. Parked far below zero so that racing or stale
+// Retain/Release calls land in unmistakably-freed territory instead of
+// resurrecting a refcount the pool may already have handed to a new
+// owner; newFrame stores 1 over it on reuse.
+const frameFreed = int32(-1 << 30)
+
+// Retain adds a reference and returns f for chaining. Retaining a frame
+// after its final release panics: the frame may already be carrying a
+// different message for a different owner.
 func (f *Frame) Retain() *Frame {
-	f.refs.Add(1)
+	if n := f.refs.Add(1); n <= 1 {
+		panic("wire: frame retained after its final release")
+	}
 	return f
 }
 
 // Release drops one reference; the last release returns the frame to the
 // pool. Releasing more times than Retain+creation panics — an over-
-// release means some writer could still be reading recycled bytes.
+// release means some writer could still be reading recycled bytes — and
+// the freed sentinel distinguishes a release of a frame the pool already
+// owns from a plain unbalanced release.
 func (f *Frame) Release() {
 	switch n := f.refs.Add(-1); {
 	case n == 0:
 		if cap(f.b) > maxPooledCap {
 			f.b = nil
 		}
+		f.refs.Store(frameFreed)
 		framePool.Put(f)
 	case n < 0:
+		if n <= frameFreed {
+			panic("wire: frame released after it returned to the pool")
+		}
 		panic("wire: frame over-released")
 	}
 }

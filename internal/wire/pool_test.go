@@ -174,6 +174,7 @@ func TestFrameOverReleasePanics(t *testing.T) {
 			t.Fatal("over-release did not panic")
 		}
 	}()
+	//seve:vet-ignore pooldiscipline deliberate over-release; this test locks in the panic
 	f.Release()
 }
 
@@ -188,7 +189,42 @@ func TestGetPutBufRecycles(t *testing.T) {
 	PutBuf(b)
 	huge := make([]byte, 0, maxPooledCap+1)
 	PutBuf(huge) // must not pin; just exercising the size gate
-	if b2 := GetBuf(16); len(b2) != 0 {
+	b2 := GetBuf(16)
+	if len(b2) != 0 {
 		t.Fatalf("pooled buffer returned dirty: len %d", len(b2))
 	}
+	PutBuf(b2)
+}
+
+// TestPutBufTwicePanics locks in the double-put diagnostic: returning
+// the same buffer twice in a row must panic instead of letting two
+// goroutines share one pooled backing array. The put→get→put round trip
+// beforehand proves legitimate reuse does not trip the check.
+func TestPutBufTwicePanics(t *testing.T) {
+	b := GetBuf(16)
+	b = append(b, 1)
+	PutBuf(b)
+	b = GetBuf(16) // hands the same buffer back and clears the sentinel
+	PutBuf(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double PutBuf did not panic")
+		}
+	}()
+	//seve:vet-ignore pooldiscipline deliberate double put; this test locks in the panic
+	PutBuf(b)
+}
+
+// TestRetainAfterReleasePanics locks in the freed-frame sentinel:
+// retaining a frame the pool already owns must panic, not resurrect it.
+func TestRetainAfterReleasePanics(t *testing.T) {
+	f := NewFrame(&Hello{})
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain after final release did not panic")
+		}
+	}()
+	//seve:vet-ignore pooldiscipline deliberate retain after free; this test locks in the panic
+	f.Retain()
 }

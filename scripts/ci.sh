@@ -1,11 +1,17 @@
 #!/bin/sh
-# CI gate: vet, the full test suite under the race detector, and a short
-# fuzz smoke of the wire codec. The engine's push scheduler fans closure
+# CI gate: vet (generic + domain-specific), the full test suite under
+# the race detector and again with shuffled test order, and a short fuzz
+# smoke of the wire codec. The engine's push scheduler fans closure
 # planning over goroutines, so every change must pass -race, not just
-# plain `go test`; the fuzz pass keeps Decode honest against hostile
+# plain `go test`; -shuffle=on keeps tests honest about shared state
+# (the wire pool is process-global); seve-vet enforces the action
+# read/write-set, pool-ownership, nocopy and determinism contracts
+# (DESIGN.md §9); the fuzz pass keeps Decode honest against hostile
 # frames beyond the checked-in corpus.
 set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
+go run ./cmd/seve-vet ./...
 go test -race ./...
+go test -shuffle=on ./...
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/wire
