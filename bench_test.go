@@ -15,6 +15,7 @@ import (
 	"seve/internal/experiments"
 	"seve/internal/geom"
 	"seve/internal/manhattan"
+	"seve/internal/shard"
 	"seve/internal/wire"
 	"seve/internal/world"
 )
@@ -596,5 +597,158 @@ func BenchmarkTickManyClients(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- sharded serializer: epoch rounds through shard.Router ---
+
+// shardBenchAction is the disjoint-group workload unit shared with the
+// shardscale experiment: read and write the group's hub plus the
+// client's own object, so actions conflict densely inside a group and
+// never across groups, and each group's spatial position pins it to one
+// shard lane.
+type shardBenchAction struct {
+	id       action.ID
+	hub, own world.ObjectID
+	pos      geom.Vec
+}
+
+const kindShardBench action.Kind = 1600
+
+func (a *shardBenchAction) ID() action.ID         { return a.id }
+func (a *shardBenchAction) Kind() action.Kind     { return kindShardBench }
+func (a *shardBenchAction) ReadSet() world.IDSet  { return world.IDSet{a.hub, a.own} }
+func (a *shardBenchAction) WriteSet() world.IDSet { return world.IDSet{a.hub, a.own} }
+func (a *shardBenchAction) MarshalBody() []byte   { return nil }
+func (a *shardBenchAction) Influence() geom.Circle {
+	return geom.Circle{Center: a.pos, R: 5}
+}
+
+func (a *shardBenchAction) Apply(tx *world.Tx) bool {
+	h, ok := tx.Read(a.hub)
+	if !ok {
+		return false
+	}
+	o, ok := tx.Read(a.own)
+	if !ok {
+		return false
+	}
+	tx.Write(a.hub, world.Value{h[0] + 1})
+	tx.Write(a.own, world.Value{o[0] + h[0]})
+	return true
+}
+
+// benchShardedRounds drives shard.NewEngine(cfg) through synchronized
+// rounds — every client submits once, the epoch flushes, completions
+// arrive next round — reporting per-round cost (one round = clients
+// submissions plus a flush, plus a push tick when tick is set).
+func benchShardedRounds(b *testing.B, shards int, mode core.Mode, tick bool) {
+	const groups, perGroup = 16, 16
+	clients := groups * perGroup
+
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Threshold = 1e12
+	cfg.Shards = shards
+	cfg.ShardCellSize = 100
+
+	init := world.NewState()
+	hubOf := func(g int) world.ObjectID { return world.ObjectID(g*(perGroup+1) + 1) }
+	ownOf := func(g, i int) world.ObjectID { return world.ObjectID(g*(perGroup+1) + 2 + i) }
+	for g := 0; g < groups; g++ {
+		init.Set(hubOf(g), world.Value{0})
+		for i := 0; i < perGroup; i++ {
+			init.Set(ownOf(g, i), world.Value{0})
+		}
+	}
+	eng := shard.NewEngine(cfg, init)
+	if c, ok := eng.(interface{ Close() }); ok {
+		defer c.Close()
+	}
+	for c := 1; c <= clients; c++ {
+		eng.RegisterClient(action.ClientID(c), 0)
+	}
+
+	mirror := init.Clone()
+	nextSeq := make([]uint32, clients+1)
+	var pending []*wire.Completion
+	nowMs := 0.0
+
+	round := func() {
+		for _, c := range pending {
+			eng.HandleMsg(c.By, c, nowMs)
+		}
+		pending = pending[:0]
+		nowMs += 300
+
+		acts := make(map[action.ID]*shardBenchAction, clients)
+		outs := make([]core.ServerOutput, 0, clients+2)
+		for c := 1; c <= clients; c++ {
+			cid := action.ClientID(c)
+			g := (c - 1) / perGroup
+			nextSeq[c]++
+			a := &shardBenchAction{
+				id:  action.ID{Client: cid, Seq: nextSeq[c]},
+				hub: hubOf(g), own: ownOf(g, (c-1)%perGroup),
+				pos: geom.Vec{X: float64(g)*300 + 50, Y: float64(g)*300 + 50},
+			}
+			acts[a.id] = a
+			outs = append(outs, eng.HandleMsg(cid, &wire.Submit{Env: action.Envelope{Origin: cid, Act: a}}, nowMs))
+		}
+		if f, ok := eng.(core.Flusher); ok {
+			outs = append(outs, f.Flush())
+		}
+		if tick {
+			outs = append(outs, eng.Tick(nowMs))
+		}
+		for _, out := range outs {
+			for _, rep := range out.Replies {
+				batch, ok := rep.Msg.(*wire.Batch)
+				if !ok {
+					continue
+				}
+				for _, env := range batch.Envs {
+					a, mine := acts[env.Act.ID()]
+					if !mine || env.Origin != rep.To {
+						continue
+					}
+					res := action.Eval(a, world.StateView{S: mirror})
+					for _, wr := range res.Writes {
+						mirror.Set(wr.ID, wr.Val)
+					}
+					pending = append(pending, &wire.Completion{Seq: env.Seq, By: rep.To, Res: res})
+					delete(acts, env.Act.ID())
+				}
+			}
+		}
+	}
+	round() // warm scratch pools, lanes, and client positions
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+}
+
+// BenchmarkShardedSubmit is the submission path per epoch round: 256
+// clients in 16 disjoint groups, conflict-dense closures, shard counts
+// against the single lane.
+func BenchmarkShardedSubmit(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedRounds(b, shards, core.ModeIncomplete, false)
+		})
+	}
+}
+
+// BenchmarkShardedTick adds the First Bound push cycle: every round
+// ends in a Tick, whose epoch-flush barrier and push fan-out both run
+// through the router.
+func BenchmarkShardedTick(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedRounds(b, shards, core.ModeFirstBound, true)
+		})
 	}
 }

@@ -34,6 +34,7 @@ func main() {
 		mode    = flag.String("mode", "infobound", "protocol level: basic|incomplete|firstbound|infobound")
 		rtt     = flag.Float64("rtt", 100, "assumed client RTT in ms (bound models)")
 		data    = flag.String("data", "", "directory for the durability journal and checkpoints (empty = in-memory only)")
+		shards  = flag.Int("shards", 0, "shard lanes for the sharded serializer (0 or 1 = single-lane engine)")
 		verbose = flag.Bool("v", false, "log client joins and drops")
 	)
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 	manhattan.RegisterWire(w)
 
 	cfg := core.DefaultConfig()
+	cfg.Shards = *shards
 	cfg.RTTMs = *rtt
 	cfg.MaxSpeed = wcfg.Speed
 	cfg.DefaultRadius = wcfg.EffectRange
@@ -99,8 +101,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("seve-server: %v", err)
 	}
-	log.Printf("seve-server: %s world %gx%g, %d walls, mode %s, listening on %s",
-		mapName(*seed), *size, *size, *walls, cfg.Mode, l.Addr())
+	lanes := "single-lane"
+	if *shards > 1 {
+		lanes = fmt.Sprintf("%d shard lanes", *shards)
+	}
+	log.Printf("seve-server: %s world %gx%g, %d walls, mode %s (%s), listening on %s",
+		mapName(*seed), *size, *size, *walls, cfg.Mode, lanes, l.Addr())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
@@ -108,6 +114,9 @@ func main() {
 		<-sigc
 		st := srv.Metrics()
 		log.Printf("seve-server: shutting down (installed %d actions)\n%s", st.Installed, st)
+		if rs := srv.RouterMetrics(); rs.Shards > 1 {
+			log.Printf("seve-server: shard router\n%s", rs)
+		}
 		srv.Close()
 		l.Close()
 	}()

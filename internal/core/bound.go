@@ -72,7 +72,7 @@ func (s *Server) Tick(nowMs float64) ServerOutput {
 	}
 
 	s.pushTicks++
-	plans := make([]pushPlan, len(cids))
+	plans := make([]ReplyPlan, len(cids))
 	workers := s.pushWorkerCount(len(cids))
 	if workers <= 1 {
 		sc := s.scratchFor(0)
@@ -104,14 +104,26 @@ func (s *Server) Tick(nowMs float64) ServerOutput {
 	return out
 }
 
-// pushPlan is the read-only result of planning one client's push: the
-// batch positions and blind-write payload computed by the closure walk.
-type pushPlan struct {
+// ReplyPlan is the read-only result of planning one batch — a
+// submission reply (PlanReply) or one client's First Bound push
+// (planPush): the batch positions and blind-write payload computed by
+// the closure walk. Plans hold no references into mutable engine state,
+// which is what lets both schedulers compute them on worker goroutines
+// and commit them sequentially.
+type ReplyPlan struct {
 	active    bool
 	positions []int
 	writes    []world.Write
-	stats     walkStats
+	// envs is the pre-assembled envelope sequence (planEnvs): slot 0
+	// reserved for the blind write, positions' envelopes after it.
+	envs  []action.Envelope
+	stats walkStats
 }
+
+// Positions returns the queue positions the planned batch will carry,
+// in ascending serial order. The shard lanes feed them into their sent()
+// overlays; callers must not mutate the slice.
+func (p *ReplyPlan) Positions() []int { return p.positions }
 
 // pushWorkerCount resolves the pool width for n clients. An explicit
 // Config.PushWorkers is honored (capped at n); 0 selects up to
@@ -136,7 +148,7 @@ func (s *Server) pushWorkerCount(n int) int {
 // scratch, so it is safe on a worker goroutine: the queue, the conflict
 // index, the interner, ζS, and the sent() bitmaps are all frozen for
 // the duration of the planning phase.
-func (s *Server) planPush(cid action.ClientID, window []int, nowMs float64, sc *closureScratch) pushPlan {
+func (s *Server) planPush(cid action.ClientID, window []int, nowMs float64, sc *closureScratch) ReplyPlan {
 	ci := s.clients[cid]
 	slot := ci.slot
 	seeds := sc.seeds[:0]
@@ -152,11 +164,12 @@ func (s *Server) planPush(cid action.ClientID, window []int, nowMs float64, sc *
 	}
 	sc.seeds = seeds
 	if len(seeds) == 0 {
-		return pushPlan{}
+		return ReplyPlan{}
 	}
 	positions, writes, st := s.closureWalk(seeds, sc,
-		func(e *entry) bool { return e.sent.has(slot) })
-	return pushPlan{active: true, positions: positions, writes: writes, stats: st}
+		func(_ int, e *entry) bool { return e.sent.has(slot) })
+	return ReplyPlan{active: true, positions: positions, writes: writes,
+		envs: s.planEnvs(positions), stats: st}
 }
 
 // commitPush applies one client's plan: marks the batch entries sent,
@@ -164,12 +177,12 @@ func (s *Server) planPush(cid action.ClientID, window []int, nowMs float64, sc *
 // emits the reply. Runs on the engine goroutine in ascending client
 // order, which is what makes the scheduler's output independent of the
 // pool width.
-func (s *Server) commitPush(cid action.ClientID, p *pushPlan, out *ServerOutput) {
+func (s *Server) commitPush(cid action.ClientID, p *ReplyPlan, out *ServerOutput) {
 	s.noteWalk(p.stats, out)
 	if !p.active {
 		return
 	}
-	batch := s.assembleBatch(s.slotOf(cid), p.positions, p.writes)
+	batch := s.commitBatch(s.slotOf(cid), p)
 	out.Replies = append(out.Replies, Reply{
 		To:  cid,
 		Msg: s.sequence(cid, &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}),

@@ -43,10 +43,10 @@ import (
 //     (asserted by TestClosureIndexEquivalence).
 //
 // The walk only reads server state; mutations (sent marks, counters,
-// blind-write ids) belong to the caller via assembleBatch/noteWalk.
+// blind-write ids) belong to the caller via commitBatch/noteWalk.
 // That is what lets the First Bound push scheduler fan walks for
 // different clients out over a worker pool (bound.go).
-func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(*entry) bool) (positions []int, writes []world.Write, st walkStats) {
+func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(int, *entry) bool) (positions []int, writes []world.Write, st walkStats) {
 	sc.ensure(len(s.queue), s.intern.Len())
 	useIndex := !s.cfg.DisableConflictIndex
 
@@ -82,7 +82,7 @@ func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(*entr
 				if !sc.set.ContainsAny(e.wsd) {
 					continue // stale candidate: its object left S
 				}
-				if already(e) {
+				if already(j, e) {
 					sc.set.RemoveAll(e.wsd)
 					continue
 				}
@@ -104,7 +104,7 @@ func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(*entr
 			if !sc.set.ContainsAny(e.wsd) {
 				continue
 			}
-			if already(e) {
+			if already(j, e) {
 				sc.set.RemoveAll(e.wsd)
 				continue
 			}

@@ -151,6 +151,26 @@ type Config struct {
 	// equivalence tests; leave false in real deployments.
 	DisableIncrementalReconcile bool
 
+	// Shards selects the spatially partitioned sharded serializer
+	// (package shard): N lanes own disjoint regions of the object space,
+	// submissions are routed to the lane owning their read/write-set
+	// footprint, and lane analysis fans out over one goroutine per
+	// shard while the merged (epoch, shardLane, localSeq) order is
+	// stamped sequentially. 0 or 1 means the single-lane *Server.
+	// Honored by shard.NewEngine; NewServer itself is always one lane.
+	Shards int
+
+	// DisableSharding forces the single-lane engine even when Shards is
+	// set. Exists for the sharding ablation and the differential
+	// equivalence tests (TestShardedEquivalence); leave false in real
+	// deployments.
+	DisableSharding bool
+
+	// ShardCellSize is the edge length of the spatial ownership grid the
+	// shard router partitions the world into. 0 picks a default from the
+	// influence reach (2s·(1+ω)·RTT + 2·DefaultRadius).
+	ShardCellSize float64
+
 	// CrossCheck makes the server compare redundant completion reports
 	// for the same action against the accepted result and flag clients
 	// whose reports disagree — the paper's Section II-B observation that
@@ -195,6 +215,12 @@ func (c Config) Validate() error {
 	}
 	if c.PushWorkers < 0 {
 		return fmt.Errorf("core: push workers must be non-negative, got %d", c.PushWorkers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: shards must be non-negative, got %d", c.Shards)
+	}
+	if c.ShardCellSize < 0 {
+		return fmt.Errorf("core: shard cell size must be non-negative, got %v", c.ShardCellSize)
 	}
 	if c.HybridRelay && c.Mode < ModeFirstBound {
 		return fmt.Errorf("core: hybrid relay requires the First Bound push path (mode %v)", c.Mode)

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"seve/internal/action"
+	"seve/internal/metrics"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Engine is the server-side protocol engine contract: everything a
+// transport adapter (the TCP loop in package transport, the simulator in
+// package experiments, the test loopbacks) needs to drive a serializer.
+// *Server is the canonical single-lane implementation; shard.Router
+// implements the same contract over N spatially partitioned lanes with a
+// deterministic cross-shard merge.
+//
+// Engines are sequential state machines: callers must serialize all
+// calls (one engine goroutine, or an external mutex). Any internal
+// parallelism — the First Bound push pool, the shard lane workers — is
+// the engine's own business and never escapes a call.
+type Engine interface {
+	// RegisterClient announces a client; interestMask selects interest
+	// classes for Section IV-A filtering (0 subscribes to all).
+	RegisterClient(id action.ClientID, interestMask uint64)
+	// UnregisterClient removes a client (failure or disconnect).
+	UnregisterClient(id action.ClientID)
+	// HandleMsg dispatches one client message and returns the replies it
+	// produced. Engines that batch internally (the shard router) may
+	// return the replies from a later call instead; transports must
+	// dispatch every output they are handed, whenever they are handed it.
+	HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) ServerOutput
+	// Tick runs the First Bound push cycle (a no-op below ModeFirstBound).
+	Tick(nowMs float64) ServerOutput
+	// Installed returns the serial position up to which ζS is complete.
+	Installed() uint64
+	// Authoritative returns ζS.
+	Authoritative() *world.State
+	// History returns the stamped envelopes in serial order (requires
+	// ModeBasic or Config.RecordHistory).
+	History() []action.Envelope
+	// QueueLen reports the number of uncommitted actions.
+	QueueLen() int
+	// Metrics snapshots the engine's cumulative counters.
+	Metrics() metrics.ServerStats
+	// SetInstallHook registers fn to observe every installation into ζS
+	// in serial order (the durability feed). Pass nil to remove.
+	SetInstallHook(fn func(seq uint64, res action.Result))
+}
+
+// Flusher is implemented by engines that buffer submissions internally
+// (the shard router's epoch batching). Transports should call Flush
+// whenever their event queue drains so buffered replies are not held
+// hostage to the next message or tick, and must dispatch the output.
+type Flusher interface {
+	Flush() ServerOutput
+}
+
+// Engine conformance is part of the package contract.
+var _ Engine = (*Server)(nil)

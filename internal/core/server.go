@@ -311,9 +311,47 @@ func (s *Server) HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) Se
 
 // HandleSubmit processes a newly submitted action: Algorithm 2 step 2 in
 // ModeBasic, Algorithm 5 step 3 plus the Algorithm 7 validity check in
-// the higher modes.
+// the higher modes. It is the single-lane composition of the sharding
+// SPI: a sequential stamp, an (elsewhere parallelizable) reply plan, and
+// a sequential commit.
 func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float64) ServerOutput {
 	var out ServerOutput
+	p := s.StampSubmit(from, m, nowMs, &out)
+	if p == nil {
+		return out
+	}
+	plan := s.PlanReply(p, 0, nil)
+	s.CommitReply(p, &plan, &out)
+	return out
+}
+
+// Pending is a stamped, enqueued submission whose closure reply has not
+// been planned yet — the handle the shard router carries between the
+// sequential stamp phase and the per-lane plan phase.
+type Pending struct {
+	e    *entry
+	from action.ClientID
+	slot int
+	// pos is the queue index at stamp time. It stays valid until the
+	// next completion installs the queue head, which cannot happen
+	// between a stamp and its commit (both run on the engine's
+	// sequential entry points).
+	pos int
+}
+
+// Seq returns the stamped global serial position.
+func (p *Pending) Seq() uint64 { return p.e.env.Seq }
+
+// From returns the submitting client.
+func (p *Pending) From() action.ClientID { return p.from }
+
+// StampSubmit runs the sequential half of submission processing:
+// Algorithm 7 validity, serial-position stamping, enqueue, and conflict
+// indexing. It returns nil when no reply plan is owed — the action was
+// dropped (Drop reply appended to out) or ModeBasic answered inline.
+// Callers owe every non-nil Pending a PlanReply/CommitReply pair, with
+// all commits applied in stamp order.
+func (s *Server) StampSubmit(from action.ClientID, m *wire.Submit, nowMs float64, out *ServerOutput) *Pending {
 	s.totalSubmitted++
 
 	env := m.Env
@@ -327,7 +365,7 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 	}
 
 	if s.cfg.Mode >= ModeInfoBound {
-		if invalid := s.checkValidity(e, &out); invalid {
+		if invalid := s.checkValidity(e, out); invalid {
 			s.totalDropped++
 			s.droppedByClient[from]++
 			out.Dropped = true
@@ -335,7 +373,7 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 				To:  from,
 				Msg: &wire.Drop{ActID: env.Act.ID()},
 			})
-			return out
+			return nil
 		}
 	}
 
@@ -346,8 +384,8 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 
 	if s.cfg.Mode == ModeBasic {
 		s.log = append(s.log, e.env)
-		s.replyBasic(from, &out)
-		return out
+		s.replyBasic(from, out)
+		return nil
 	}
 
 	slot := s.slotOf(from)
@@ -357,17 +395,81 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 	if s.cfg.RecordHistory {
 		s.log = append(s.log, e.env)
 	}
-	// Compute the reply with Algorithm 6: the transitive closure of
-	// uncommitted actions affecting this one, prefixed by a blind write.
-	positions, writes, st := s.closureWalk([]int{len(s.queue) - 1}, s.scratchFor(0),
-		func(e *entry) bool { return e.sent.has(slot) })
-	s.noteWalk(st, &out)
-	batch := s.assembleBatch(slot, positions, writes)
+	return &Pending{e: e, from: from, slot: slot, pos: len(s.queue) - 1}
+}
+
+// PlanReply computes the Algorithm 6 closure reply for p: the transitive
+// closure of uncommitted actions affecting it, prefixed by a blind
+// write. Planning is read-only apart from worker w's private scratch, so
+// distinct pendings may plan concurrently on distinct workers over a
+// frozen queue (grow the scratch pool with GrowScratch first).
+//
+// overlay, when non-nil, reports queue positions that an earlier plan in
+// the same batch already included in a batch for p's client — those
+// entries count as sent even though their sent() bits are only applied
+// when that earlier plan commits. The shard lanes use it to keep
+// plan-phase results identical to fully sequential processing.
+func (s *Server) PlanReply(p *Pending, w int, overlay func(pos int) bool) ReplyPlan {
+	already := func(j int, e *entry) bool { return e.sent.has(p.slot) }
+	if overlay != nil {
+		already = func(j int, e *entry) bool { return e.sent.has(p.slot) || overlay(j) }
+	}
+	positions, writes, st := s.closureWalk([]int{p.pos}, s.scratchFor(w), already)
+	return ReplyPlan{active: true, positions: positions, writes: writes,
+		envs: s.planEnvs(positions), stats: st}
+}
+
+// planEnvs copies the batch positions' envelopes on the planning worker
+// — the O(batch) part of assembly — leaving envs[0] reserved for the
+// blind write commitBatch may mint. Pure reads over the frozen queue.
+func (s *Server) planEnvs(positions []int) []action.Envelope {
+	envs := make([]action.Envelope, len(positions)+1)
+	for k, j := range positions {
+		envs[k+1] = s.queue[j].env
+	}
+	return envs
+}
+
+// commitBatch finishes a planned batch on the sequential path: marks
+// every position sent to slot and mints the blind-write id — the two
+// steps whose order across batches is observable — returning the final
+// envelope sequence.
+func (s *Server) commitBatch(slot int, plan *ReplyPlan) []action.Envelope {
+	for _, j := range plan.positions {
+		s.queue[j].sent.set(slot)
+	}
+	if len(plan.writes) == 0 {
+		return plan.envs[1:]
+	}
+	plan.envs[0] = action.Envelope{
+		Seq:    s.installed,
+		Origin: action.OriginServer,
+		Act:    action.NewBlindWrite(s.nextBlindID(), plan.writes),
+	}
+	return plan.envs
+}
+
+// CommitReply applies a submission's reply plan: sent() marks, the
+// blind-write id, the per-client batch sequence, and the Batch reply.
+// Commits must run on the engine's sequential entry points in stamp
+// order — that, not the planning schedule, is what fixes ids and batch
+// numbering.
+func (s *Server) CommitReply(p *Pending, plan *ReplyPlan, out *ServerOutput) {
+	s.noteWalk(plan.stats, out)
+	batch := s.commitBatch(p.slot, plan)
 	out.Replies = append(out.Replies, Reply{
-		To:  from,
-		Msg: s.sequence(from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
+		To:  p.from,
+		Msg: s.sequence(p.from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
 	})
-	return out
+}
+
+// GrowScratch ensures the per-worker scratch pool can serve workers
+// 0..n-1. Concurrent planners must not grow the pool themselves; the
+// shard router calls this once before fanning a flush out.
+func (s *Server) GrowScratch(n int) {
+	if n > 0 {
+		s.scratchFor(n - 1)
+	}
 }
 
 // noteWalk merges a walk's cost counters into the output and the
@@ -379,29 +481,6 @@ func (s *Server) noteWalk(st walkStats, out *ServerOutput) {
 	if st.baseline > st.scanned {
 		s.scanSaved += st.baseline - st.scanned
 	}
-}
-
-// assembleBatch marks every batch position as sent to slot and builds
-// the envelope sequence: the blind write (if any) first — minting its
-// id here keeps id assignment in deterministic reply order even when
-// the walks ran on a worker pool — then the entries in ascending serial
-// order.
-func (s *Server) assembleBatch(slot int, positions []int, writes []world.Write) []action.Envelope {
-	batch := make([]action.Envelope, 0, len(positions)+1)
-	if len(writes) > 0 {
-		bw := action.NewBlindWrite(s.nextBlindID(), writes)
-		batch = append(batch, action.Envelope{
-			Seq:    s.installed,
-			Origin: action.OriginServer,
-			Act:    bw,
-		})
-	}
-	for _, j := range positions {
-		e := s.queue[j]
-		e.sent.set(slot)
-		batch = append(batch, e.env)
-	}
-	return batch
 }
 
 // replyBasic implements Algorithm 2 step 2b: "the server returns to C all

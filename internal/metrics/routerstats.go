@@ -1,0 +1,90 @@
+package metrics
+
+import "fmt"
+
+// LaneStats is one shard lane's share of the router's work.
+type LaneStats struct {
+	// Actions counts submissions routed to (and stamped through) this
+	// lane.
+	Actions int
+	// OwnedObjects counts objects whose ownership the spatial partition
+	// assigned to this lane.
+	OwnedObjects int
+}
+
+// RouterStats is a snapshot of the shard router's cumulative counters:
+// how submissions were routed across the spatial-partition lanes, how
+// often epochs flushed and why, and how much reply planning actually ran
+// on the shard workers. Produced by shard.Router.RouterMetrics and
+// surfaced by cmd/seve-bench -experiment shardscale.
+type RouterStats struct {
+	// Shards is the configured lane count.
+	Shards int
+
+	// Routing totals. LocalActions were owned by a single lane;
+	// CrossShardActions spanned partitions and were stamped on the
+	// global sequencer lane (each one closes an epoch).
+	LocalActions      int
+	CrossShardActions int
+
+	// Epoch accounting: total epochs flushed, and flush triggers by
+	// cause — a cross-shard action arriving, a client switching lanes
+	// mid-epoch, the epoch size cap, a non-submission message needing
+	// settled state, and explicit Flush calls from the transport.
+	Epochs            int
+	CrossShardFlushes int
+	LaneSwitchFlushes int
+	SizeFlushes       int
+	BarrierFlushes    int
+	ExternalFlushes   int
+
+	// ParallelPlans counts replies planned on shard worker goroutines
+	// (epochs with a single active lane plan inline).
+	ParallelPlans int
+
+	// Phase timings, cumulative nanoseconds of engine compute. StampNs
+	// and CommitNs are the sequential phases; PlanNs sums every lane's
+	// planning time while PlanCritNs sums only each epoch's slowest lane
+	// — the plan phase's critical path. On a machine with at least
+	// Shards cores the wall clock of a flush approaches
+	// stamp + critical-path plan + commit; the ratio
+	// (Stamp+Plan+Commit)/(Stamp+PlanCrit+Commit) is therefore the
+	// router's achievable speedup over the single lane on this workload,
+	// hardware permitting.
+	StampNs    int64
+	PlanNs     int64
+	PlanCritNs int64
+	CommitNs   int64
+
+	// PerLane breaks the routed work down by lane.
+	PerLane []LaneStats
+}
+
+// Table renders the snapshot as a two-column table with one row block
+// per lane.
+func (st RouterStats) Table() *Table {
+	t := &Table{Title: "shard router counters", Header: []string{"counter", "value"}}
+	row := func(name string, v interface{}) { t.AddRow(name, fmt.Sprint(v)) }
+	row("shards", st.Shards)
+	row("local actions", st.LocalActions)
+	row("cross-shard actions", st.CrossShardActions)
+	row("epochs", st.Epochs)
+	row("flushes: cross-shard", st.CrossShardFlushes)
+	row("flushes: lane switch", st.LaneSwitchFlushes)
+	row("flushes: size cap", st.SizeFlushes)
+	row("flushes: barrier msg", st.BarrierFlushes)
+	row("flushes: external", st.ExternalFlushes)
+	row("parallel plans", st.ParallelPlans)
+	row("stamp ms", fmt.Sprintf("%.2f", float64(st.StampNs)/1e6))
+	row("plan ms (all lanes)", fmt.Sprintf("%.2f", float64(st.PlanNs)/1e6))
+	row("plan ms (critical path)", fmt.Sprintf("%.2f", float64(st.PlanCritNs)/1e6))
+	row("commit ms", fmt.Sprintf("%.2f", float64(st.CommitNs)/1e6))
+	for i, ls := range st.PerLane {
+		row(fmt.Sprintf("lane %d actions", i), ls.Actions)
+		row(fmt.Sprintf("lane %d owned objects", i), ls.OwnedObjects)
+	}
+	return t
+}
+
+// String renders the snapshot via Table.
+func (st RouterStats) String() string { return st.Table().String() }

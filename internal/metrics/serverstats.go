@@ -34,6 +34,12 @@ type ServerStats struct {
 	PushTicks         int
 	PushParallelTicks int
 	PushWorkers       int
+
+	// Transport delivery. WriteQueueDrops counts replies discarded
+	// because the recipient's write queue was full (a client too slow to
+	// drain its connection). Maintained by the transport layer, not the
+	// engine; zero under the simulator.
+	WriteQueueDrops int
 }
 
 // Table renders the snapshot as a two-column table.
@@ -55,6 +61,7 @@ func (st ServerStats) Table() *Table {
 	row("push ticks", st.PushTicks)
 	row("parallel push ticks", st.PushParallelTicks)
 	row("configured push workers", st.PushWorkers)
+	row("write queue drops", st.WriteQueueDrops)
 	return t
 }
 

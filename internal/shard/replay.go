@@ -1,0 +1,28 @@
+package shard
+
+import "seve/internal/core"
+
+// Replay drives eng through a recorded effective order and returns the
+// concatenated outputs, one per log entry. Replaying a router's
+// EffectiveLog through a single-lane core.Server must reproduce, byte
+// for byte, the router's installed history and every reply it emitted —
+// the differential contract TestShardedEquivalence pins. Exported so
+// external harnesses (benchmarks, fuzzing drivers) can reuse it.
+func Replay(eng core.Engine, log []LogEntry) []core.ServerOutput {
+	outs := make([]core.ServerOutput, 0, len(log))
+	for _, le := range log {
+		switch {
+		case le.Join:
+			eng.RegisterClient(le.From, le.Mask)
+			outs = append(outs, core.ServerOutput{})
+		case le.Leave:
+			eng.UnregisterClient(le.From)
+			outs = append(outs, core.ServerOutput{})
+		case le.Tick:
+			outs = append(outs, eng.Tick(le.NowMs))
+		default:
+			outs = append(outs, eng.HandleMsg(le.From, le.Msg, le.NowMs))
+		}
+	}
+	return outs
+}

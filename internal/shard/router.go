@@ -1,0 +1,479 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/metrics"
+	"seve/internal/spatial"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// maxEpochSubs caps how many submissions one epoch buffers before the
+// router flushes on its own. Larger epochs amortize the fan-out better;
+// smaller ones bound reply latency when the transport never goes idle.
+const maxEpochSubs = 128
+
+// Router is the sharded serializer engine. It fronts a single
+// core.Server — the shared queue, authoritative state ζS, and conflict
+// index — and shards the per-submission pipeline across N lanes as
+// described in the package comment. All entry points must be called from
+// one goroutine (the core.Engine contract); the lane workers are
+// internal and synchronize through the flush fan-out only.
+type Router struct {
+	cfg   core.Config
+	inner *core.Server
+	own   *ownership
+	n     int
+
+	// Current epoch: per-lane submission buffers, the total buffered
+	// count, and each client's lane affinity within the epoch.
+	lanes  [][]pendingSub
+	bufN   int
+	laneOf map[action.ClientID]int
+
+	// Lane workers: one persistent goroutine per shard, fed a planReq
+	// per flush. Stopped by Close.
+	reqs []chan planReq
+	wg   sync.WaitGroup
+
+	// jobs is the flush scratch, reused across epochs.
+	jobs []job
+
+	// planNs is the per-lane plan-duration scratch for one flush;
+	// workers write distinct slots, joined by the flush WaitGroup.
+	planNs []int64
+
+	// pendingOut holds replies produced by flushes inside Register/
+	// Unregister, whose interface signatures cannot return output; the
+	// next output-bearing call delivers them first, preserving order.
+	pendingOut core.ServerOutput
+
+	stats metrics.RouterStats
+
+	// effLog records the effective order (Config.RecordHistory only):
+	// the exact sequence of registrations, stamps, completions, and
+	// ticks as applied to the shared engine. Replaying it through a
+	// single-lane engine must reproduce every byte the router emitted —
+	// the differential harness's ground truth.
+	effLog []LogEntry
+}
+
+type pendingSub struct {
+	from  action.ClientID
+	msg   *wire.Submit
+	nowMs float64
+}
+
+// job is one epoch submission moving through the flush phases: stamped
+// sequentially (phase A), planned on its lane's worker (phase B),
+// committed sequentially (phase C). Outputs accumulate per job so the
+// final reply stream concatenates in merge order regardless of which
+// phase produced which message.
+type job struct {
+	lane int
+	p    *core.Pending
+	plan core.ReplyPlan
+	out  core.ServerOutput
+}
+
+type planReq struct {
+	jobs []job
+	idxs []int
+	// durs receives the lane's planning duration at the lane's index.
+	durs []int64
+	wg   *sync.WaitGroup
+}
+
+// LogEntry is one step of the router's effective order.
+type LogEntry struct {
+	From  action.ClientID
+	Msg   wire.Msg // nil for registrations, unregistrations, and ticks
+	NowMs float64
+	Join  bool
+	Mask  uint64
+	Leave bool
+	Tick  bool
+}
+
+// New returns a sharded router over cfg.Shards lanes. The configuration
+// must be valid, with Shards > 1 and Mode ≥ ModeIncomplete (use
+// NewEngine for the general fallback).
+func New(cfg core.Config, init *world.State) *Router {
+	if cfg.Shards <= 1 {
+		panic("shard: router requires Shards > 1")
+	}
+	if cfg.Mode == core.ModeBasic {
+		panic("shard: ModeBasic has no analysis to shard")
+	}
+	cell := cfg.ShardCellSize
+	if cell <= 0 {
+		// Default to the Equation (1) influence reach, like the hybrid
+		// relay's neighbourhood cells: crowds closer than this conflict
+		// anyway and belong on one lane.
+		cell = 2*cfg.MaxSpeed*(1+cfg.Omega)*cfg.RTTMs + 2*cfg.DefaultRadius
+	}
+	r := &Router{
+		cfg:    cfg,
+		inner:  core.NewServer(cfg, init),
+		own:    newOwnership(spatial.NewPartitioner(cell, cfg.Shards)),
+		n:      cfg.Shards,
+		lanes:  make([][]pendingSub, cfg.Shards),
+		laneOf: make(map[action.ClientID]int),
+		reqs:   make([]chan planReq, cfg.Shards),
+		planNs: make([]int64, cfg.Shards),
+	}
+	r.stats.Shards = cfg.Shards
+	r.stats.PerLane = make([]metrics.LaneStats, cfg.Shards)
+	r.inner.GrowScratch(cfg.Shards)
+	for w := 0; w < cfg.Shards; w++ {
+		r.reqs[w] = make(chan planReq)
+		r.wg.Add(1)
+		go r.laneWorker(w)
+	}
+	return r
+}
+
+// Close stops the lane workers. The router must not be used afterwards.
+func (r *Router) Close() {
+	for _, ch := range r.reqs {
+		close(ch)
+	}
+	r.wg.Wait()
+}
+
+// laneWorker is one shard's engine goroutine: it plans its lane's slice
+// of each epoch, in lane order, on scratch w.
+func (r *Router) laneWorker(w int) {
+	defer r.wg.Done()
+	for req := range r.reqs[w] {
+		start := time.Now()
+		r.planLane(w, req.jobs, req.idxs)
+		req.durs[w] = time.Since(start).Nanoseconds()
+		req.wg.Done()
+	}
+}
+
+// planLane plans jobs[idxs] in order with the lane-local sent overlay:
+// positions already planned into a batch for the same client earlier in
+// this epoch count as sent even though their bits are only applied at
+// commit. Clients never span lanes within an epoch, so the overlay —
+// and therefore every plan — is independent of the other lanes.
+//
+// The overlay only matters between two plans for the same client, which
+// is rare (a client resubmitting within one epoch), so its map traffic
+// is gated on a same-client pre-scan: the common all-distinct-clients
+// epoch plans with no overlay reads or writes at all.
+func (r *Router) planLane(w int, jobs []job, idxs []int) {
+	type ovKey struct {
+		cid action.ClientID
+		pos int
+	}
+	var ov map[ovKey]struct{}
+	for k, i := range idxs {
+		p := jobs[i].p
+		cid := p.From()
+		var overlay func(pos int) bool
+		if ov != nil {
+			overlay = func(pos int) bool {
+				_, ok := ov[ovKey{cid, pos}]
+				return ok
+			}
+		}
+		jobs[i].plan = r.inner.PlanReply(p, w, overlay)
+		laterSame := false
+		for _, j := range idxs[k+1:] {
+			if jobs[j].p.From() == cid {
+				laterSame = true
+				break
+			}
+		}
+		if laterSame {
+			if ov == nil {
+				ov = make(map[ovKey]struct{})
+			}
+			for _, pos := range jobs[i].plan.Positions() {
+				ov[ovKey{cid, pos}] = struct{}{}
+			}
+		}
+	}
+}
+
+// record appends one effective-order step (RecordHistory only).
+func (r *Router) record(le LogEntry) {
+	if r.cfg.RecordHistory {
+		r.effLog = append(r.effLog, le)
+	}
+}
+
+// EffectiveLog returns the recorded effective order. Requires
+// Config.RecordHistory; the slice is owned by the router.
+func (r *Router) EffectiveLog() []LogEntry { return r.effLog }
+
+// RegisterClient announces a client. Registrations are barriers: slot
+// and cursor assignment must interleave with stamping in a reproducible
+// order, so the pending epoch flushes first. The flushed replies are
+// delivered with the next output (transports dispatch every output).
+func (r *Router) RegisterClient(id action.ClientID, interestMask uint64) {
+	r.pendingOut = r.flushInto(r.pendingOut, &r.stats.BarrierFlushes)
+	r.record(LogEntry{From: id, Join: true, Mask: interestMask})
+	r.inner.RegisterClient(id, interestMask)
+}
+
+// UnregisterClient removes a client, flushing the pending epoch first
+// (its buffered submissions may be the client's own).
+func (r *Router) UnregisterClient(id action.ClientID) {
+	r.pendingOut = r.flushInto(r.pendingOut, &r.stats.BarrierFlushes)
+	r.record(LogEntry{From: id, Leave: true})
+	r.inner.UnregisterClient(id)
+}
+
+// HandleMsg dispatches one client message. Submissions are routed and
+// buffered (or flushed through, for cross-shard footprints); everything
+// else is a barrier that flushes the epoch and then runs against the
+// settled shared state.
+func (r *Router) HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) core.ServerOutput {
+	sub, ok := msg.(*wire.Submit)
+	if !ok {
+		out := r.takePending()
+		out = r.flushInto(out, &r.stats.BarrierFlushes)
+		r.record(LogEntry{From: from, Msg: msg, NowMs: nowMs})
+		return mergeOut(out, r.inner.HandleMsg(from, msg, nowMs))
+	}
+	return r.handleSubmit(from, sub, nowMs)
+}
+
+func (r *Router) handleSubmit(from action.ClientID, m *wire.Submit, nowMs float64) core.ServerOutput {
+	out := r.takePending()
+	lane := r.routeLane(m.Env.Act)
+	if lane < 0 {
+		// Cross-shard footprint: close the epoch, then stamp on the
+		// global sequencer lane — the fully sequential path every shard
+		// observes, since it runs between epochs on the shared engine.
+		out = r.flushInto(out, &r.stats.CrossShardFlushes)
+		r.stats.CrossShardActions++
+		r.record(LogEntry{From: from, Msg: m, NowMs: nowMs})
+		var so core.ServerOutput
+		if p := r.inner.StampSubmit(from, m, nowMs, &so); p != nil {
+			plan := r.inner.PlanReply(p, 0, nil)
+			r.inner.CommitReply(p, &plan, &so)
+		}
+		return mergeOut(out, so)
+	}
+	if prev, ok := r.laneOf[from]; ok && prev != lane {
+		// A client switching lanes mid-epoch would let its reply state
+		// cross lanes; close the epoch instead.
+		out = r.flushInto(out, &r.stats.LaneSwitchFlushes)
+	}
+	r.laneOf[from] = lane
+	r.lanes[lane] = append(r.lanes[lane], pendingSub{from: from, msg: m, nowMs: nowMs})
+	r.bufN++
+	r.stats.LocalActions++
+	r.stats.PerLane[lane].Actions++
+	if r.bufN >= maxEpochSubs {
+		out = r.flushInto(out, &r.stats.SizeFlushes)
+	}
+	return out
+}
+
+// routeLane resolves the owner of the action's RS ∪ WS footprint:
+// the owning lane when a single shard owns everything, -1 for a
+// cross-shard footprint. Actions with an empty footprint ride the
+// global lane too — they cost nothing to serialize.
+func (r *Router) routeLane(act action.Action) int {
+	lane := -1
+	for _, id := range act.WriteSet() {
+		o := r.own.ownerOf(id, act)
+		if lane < 0 {
+			lane = o
+		} else if o != lane {
+			return -1
+		}
+	}
+	for _, id := range act.ReadSet() {
+		o := r.own.ownerOf(id, act)
+		if lane < 0 {
+			lane = o
+		} else if o != lane {
+			return -1
+		}
+	}
+	return lane
+}
+
+// Tick runs the First Bound push cycle over settled state: the epoch
+// flushes first (its actions belong to the push window), then the
+// inner scheduler — already plan/commit parallel over Config.PushWorkers
+// — takes over.
+func (r *Router) Tick(nowMs float64) core.ServerOutput {
+	out := r.takePending()
+	out = r.flushInto(out, &r.stats.BarrierFlushes)
+	r.record(LogEntry{Tick: true, NowMs: nowMs})
+	return mergeOut(out, r.inner.Tick(nowMs))
+}
+
+// Flush closes the current epoch and returns its replies. Transports
+// call this whenever their event queue drains, so buffered replies are
+// not held hostage to the next message or tick.
+func (r *Router) Flush() core.ServerOutput {
+	out := r.takePending()
+	return r.flushInto(out, &r.stats.ExternalFlushes)
+}
+
+// takePending claims any replies owed from interface calls that could
+// not return them.
+func (r *Router) takePending() core.ServerOutput {
+	out := r.pendingOut
+	r.pendingOut = core.ServerOutput{}
+	return out
+}
+
+// flushInto closes the current epoch, if non-empty, appending its
+// replies to out in merge order and crediting the flush to cause.
+func (r *Router) flushInto(out core.ServerOutput, cause *int) core.ServerOutput {
+	if r.bufN == 0 {
+		return out
+	}
+	*cause++
+	r.stats.Epochs++
+
+	// Phase A — stamp sequentially in merge order (epoch, lane,
+	// localSeq): lanes ascending, arrival order within a lane. This
+	// assigns the global serial positions; everything after is
+	// scheduling.
+	start := time.Now()
+	jobs := r.jobs[:0]
+	for lane := 0; lane < r.n; lane++ {
+		for _, ps := range r.lanes[lane] {
+			j := job{lane: lane}
+			r.record(LogEntry{From: ps.from, Msg: ps.msg, NowMs: ps.nowMs})
+			j.p = r.inner.StampSubmit(ps.from, ps.msg, ps.nowMs, &j.out)
+			jobs = append(jobs, j)
+		}
+		r.lanes[lane] = r.lanes[lane][:0]
+	}
+	r.stats.StampNs += time.Since(start).Nanoseconds()
+
+	// Phase B — plan each lane's replies on its worker, against the
+	// frozen queue and sent() state. Single-lane epochs plan inline:
+	// the fan-out would only buy a handoff.
+	laneIdxs := make([][]int, r.n)
+	active := 0
+	for i := range jobs {
+		if jobs[i].p == nil {
+			continue // dropped, or answered inline by the stamp
+		}
+		lane := jobs[i].lane
+		if len(laneIdxs[lane]) == 0 {
+			active++
+		}
+		laneIdxs[lane] = append(laneIdxs[lane], i)
+	}
+	durs := r.planNs
+	for lane := range durs {
+		durs[lane] = 0
+	}
+	if active == 1 {
+		for lane, idxs := range laneIdxs {
+			if len(idxs) > 0 {
+				start = time.Now()
+				r.planLane(lane, jobs, idxs)
+				durs[lane] = time.Since(start).Nanoseconds()
+			}
+		}
+	} else if active > 1 {
+		var wg sync.WaitGroup
+		for lane, idxs := range laneIdxs {
+			if len(idxs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			r.stats.ParallelPlans += len(idxs)
+			r.reqs[lane] <- planReq{jobs: jobs, idxs: idxs, durs: durs, wg: &wg}
+		}
+		wg.Wait()
+	}
+	var planCrit int64
+	for _, d := range durs {
+		r.stats.PlanNs += d
+		if d > planCrit {
+			planCrit = d
+		}
+	}
+	r.stats.PlanCritNs += planCrit
+
+	// Phase C — commit sequentially in merge order: sent() marks,
+	// blind-write ids, per-client batch sequence numbers, replies.
+	start = time.Now()
+	for i := range jobs {
+		if jobs[i].p != nil {
+			r.inner.CommitReply(jobs[i].p, &jobs[i].plan, &jobs[i].out)
+		}
+		out = mergeOut(out, jobs[i].out)
+		jobs[i] = job{} // release the pending and its plan
+	}
+	r.stats.CommitNs += time.Since(start).Nanoseconds()
+	r.jobs = jobs[:0]
+	r.bufN = 0
+	clear(r.laneOf)
+	return out
+}
+
+// mergeOut appends b's replies and counters to a, preserving order.
+func mergeOut(a, b core.ServerOutput) core.ServerOutput {
+	if len(a.Replies) == 0 && a.QueueScanned == 0 && !a.Dropped {
+		return b
+	}
+	a.Replies = append(a.Replies, b.Replies...)
+	a.QueueScanned += b.QueueScanned
+	a.Dropped = a.Dropped || b.Dropped
+	return a
+}
+
+// Installed returns the serial position up to which ζS is complete.
+func (r *Router) Installed() uint64 { return r.inner.Installed() }
+
+// Authoritative returns ζS.
+func (r *Router) Authoritative() *world.State { return r.inner.Authoritative() }
+
+// History returns the stamped envelopes in merge order (requires
+// Config.RecordHistory). Flush first for a settled view.
+func (r *Router) History() []action.Envelope { return r.inner.History() }
+
+// QueueLen reports the number of uncommitted actions (buffered
+// submissions not yet stamped are excluded; Flush first to settle).
+func (r *Router) QueueLen() int { return r.inner.QueueLen() }
+
+// Metrics snapshots the shared engine's cumulative counters.
+func (r *Router) Metrics() metrics.ServerStats { return r.inner.Metrics() }
+
+// RouterMetrics snapshots the router's own counters: routing, epochs,
+// flush causes, and per-lane load.
+func (r *Router) RouterMetrics() metrics.RouterStats {
+	st := r.stats
+	st.PerLane = make([]metrics.LaneStats, r.n)
+	copy(st.PerLane, r.stats.PerLane)
+	for lane := range st.PerLane {
+		st.PerLane[lane].OwnedObjects = r.own.perLane[lane]
+	}
+	return st
+}
+
+// SetInstallHook registers fn to observe every installation into ζS in
+// serial order.
+func (r *Router) SetInstallHook(fn func(seq uint64, res action.Result)) {
+	r.inner.SetInstallHook(fn)
+}
+
+// Suspects reports per-client completion-report mismatch counts (see
+// core.Server.Suspects).
+func (r *Router) Suspects() map[action.ClientID]int { return r.inner.Suspects() }
+
+// Engine conformance (plus the Flusher extension).
+var (
+	_ core.Engine  = (*Router)(nil)
+	_ core.Flusher = (*Router)(nil)
+)

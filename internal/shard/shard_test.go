@@ -1,0 +1,549 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/geom"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// testAction mirrors the core harness action: it reads every object in
+// rs, sums their first attributes, and writes sum+delta into every
+// object in ws (ws ⊆ rs). The written value depends on the read values,
+// so any serial-order divergence between engines changes bytes.
+type testAction struct {
+	id     action.ID
+	rs, ws world.IDSet
+	delta  float64
+	pos    geom.Vec
+	radius float64
+	hasPos bool
+}
+
+const kindTestAction action.Kind = 2000
+
+func (a *testAction) ID() action.ID         { return a.id }
+func (a *testAction) Kind() action.Kind     { return kindTestAction }
+func (a *testAction) ReadSet() world.IDSet  { return a.rs }
+func (a *testAction) WriteSet() world.IDSet { return a.ws }
+
+func (a *testAction) Apply(tx *world.Tx) bool {
+	sum := 0.0
+	for _, id := range a.rs {
+		v, ok := tx.Read(id)
+		if !ok {
+			return false
+		}
+		if len(v) > 0 {
+			sum += v[0]
+		}
+	}
+	for _, id := range a.ws {
+		tx.Write(id, world.Value{sum + a.delta})
+	}
+	return true
+}
+
+func (a *testAction) MarshalBody() []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(a.delta))
+	for _, id := range a.rs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+func (a *testAction) Influence() geom.Circle {
+	if !a.hasPos {
+		return geom.Circle{}
+	}
+	return geom.Circle{Center: a.pos, R: a.radius}
+}
+
+// --- workload generation ---
+
+const objsPerGroup = 8
+
+// groupCenter places each object group in its own spatial-partition
+// cell (centres 300 apart, cell size 100), so every group maps to one
+// lane and distinct groups usually map to distinct lanes.
+func groupCenter(g int) geom.Vec {
+	return geom.Vec{X: float64(g)*300 + 50, Y: float64(g)*300 + 50}
+}
+
+func groupObject(g, i int) world.ObjectID {
+	return world.ObjectID(g*objsPerGroup + i + 1)
+}
+
+// genWorld builds the initial state: nGroups groups of objects, object
+// id as its first attribute.
+func genWorld(nGroups int) *world.State {
+	s := world.NewState()
+	for g := 0; g < nGroups; g++ {
+		for i := 0; i < objsPerGroup; i++ {
+			id := groupObject(g, i)
+			s.Set(id, world.Value{float64(id)})
+		}
+	}
+	return s
+}
+
+// genAction builds one action for client cid: usually local to the
+// client's home group, sometimes (crossFrac) spanning a second group —
+// the cross-shard case.
+func genAction(rng *rand.Rand, cid action.ClientID, nGroups int, crossFrac float64) *testAction {
+	g := int(cid) % nGroups
+	c := groupCenter(g)
+	pick := func(g int) world.ObjectID { return groupObject(g, rng.Intn(objsPerGroup)) }
+	a := &testAction{
+		delta:  float64(rng.Intn(1000)) / 8,
+		pos:    geom.Vec{X: c.X + rng.Float64()*40 - 20, Y: c.Y + rng.Float64()*40 - 20},
+		radius: 5,
+		hasPos: true,
+	}
+	o1, o2 := pick(g), pick(g)
+	if rng.Float64() < crossFrac && nGroups > 1 {
+		g2 := (g + 1 + rng.Intn(nGroups-1)) % nGroups
+		o2 = pick(g2)
+	}
+	if o1 == o2 {
+		a.rs = world.IDSet{o1}
+	} else if o1 < o2 {
+		a.rs = world.IDSet{o1, o2}
+	} else {
+		a.rs = world.IDSet{o2, o1}
+	}
+	a.ws = world.IDSet{o1}
+	return a
+}
+
+// --- generic engine loopback ---
+
+// loopback shuttles messages between one engine and its clients with
+// per-link FIFO order and an rng-chosen global interleaving, flushing
+// the router's epochs at random points like an idle transport would.
+type loopback struct {
+	t       *testing.T
+	eng     core.Engine
+	clients map[action.ClientID]*core.Client
+	order   []action.ClientID
+
+	toServer []srvMsg
+	toClient map[action.ClientID][]wire.Msg
+
+	// script holds the not-yet-submitted actions, per client.
+	script map[action.ClientID][]*testAction
+
+	// bytes accumulates every reply delivered to each client, encoded.
+	bytes map[action.ClientID][]byte
+
+	nowMs      float64
+	commits    []core.Commit
+	drops      []action.ID
+	violations []string
+	submitted  int
+}
+
+type srvMsg struct {
+	from action.ClientID
+	msg  wire.Msg
+}
+
+func newLoopback(t *testing.T, eng core.Engine, cfg core.Config, init *world.State, nClients int) *loopback {
+	t.Helper()
+	lb := &loopback{
+		t:        t,
+		eng:      eng,
+		clients:  make(map[action.ClientID]*core.Client),
+		toClient: make(map[action.ClientID][]wire.Msg),
+		script:   make(map[action.ClientID][]*testAction),
+		bytes:    make(map[action.ClientID][]byte),
+	}
+	for i := 1; i <= nClients; i++ {
+		id := action.ClientID(i)
+		lb.clients[id] = core.NewClient(id, cfg, init)
+		lb.eng.RegisterClient(id, 0)
+		lb.order = append(lb.order, id)
+	}
+	return lb
+}
+
+func (lb *loopback) deliverOut(out core.ServerOutput) {
+	for _, r := range out.Replies {
+		lb.bytes[r.To] = wire.AppendFrame(lb.bytes[r.To], r.Msg)
+		lb.toClient[r.To] = append(lb.toClient[r.To], r.Msg)
+	}
+}
+
+func (lb *loopback) submitNext(cid action.ClientID) bool {
+	s := lb.script[cid]
+	if len(s) == 0 {
+		return false
+	}
+	a := s[0]
+	lb.script[cid] = s[1:]
+	c := lb.clients[cid]
+	a.id = c.NextActionID()
+	msg, _ := c.Submit(a)
+	lb.toServer = append(lb.toServer, srvMsg{from: cid, msg: msg})
+	lb.submitted++
+	return true
+}
+
+func (lb *loopback) stepServer() bool {
+	if len(lb.toServer) == 0 {
+		return false
+	}
+	fm := lb.toServer[0]
+	lb.toServer = lb.toServer[1:]
+	lb.nowMs += 0.25
+	lb.deliverOut(lb.eng.HandleMsg(fm.from, fm.msg, lb.nowMs))
+	return true
+}
+
+func (lb *loopback) flush() {
+	if f, ok := lb.eng.(core.Flusher); ok {
+		lb.deliverOut(f.Flush())
+	}
+}
+
+func (lb *loopback) tick() {
+	lb.nowMs += 1
+	lb.deliverOut(lb.eng.Tick(lb.nowMs))
+}
+
+func (lb *loopback) stepClient(cid action.ClientID) bool {
+	q := lb.toClient[cid]
+	if len(q) == 0 {
+		return false
+	}
+	msg := q[0]
+	lb.toClient[cid] = q[1:]
+	out := lb.clients[cid].HandleMsg(msg)
+	for _, m := range out.ToServer {
+		lb.toServer = append(lb.toServer, srvMsg{from: cid, msg: m})
+	}
+	for _, p := range out.ToPeers {
+		lb.toClient[p.To] = append(lb.toClient[p.To], p.Msg)
+	}
+	lb.commits = append(lb.commits, out.Commits...)
+	lb.drops = append(lb.drops, out.DroppedLocal...)
+	lb.violations = append(lb.violations, out.Violations...)
+	return true
+}
+
+// drive pumps the whole workload with an rng-chosen interleaving:
+// submissions, server deliveries, client deliveries, epoch flushes, and
+// (in the push modes) ticks. Terminates when every queue is quiescent.
+func (lb *loopback) drive(rng *rand.Rand, withTicks bool) {
+	for {
+		type choice func() bool
+		var choices []choice
+		for _, cid := range lb.order {
+			if len(lb.script[cid]) > 0 {
+				cid := cid
+				choices = append(choices, func() bool { return lb.submitNext(cid) })
+			}
+			if len(lb.toClient[cid]) > 0 {
+				cid := cid
+				choices = append(choices, func() bool { return lb.stepClient(cid) })
+			}
+		}
+		if len(lb.toServer) > 0 {
+			// Weight server deliveries so epochs actually batch several
+			// submissions before a flush interleaves.
+			for i := 0; i < 3; i++ {
+				choices = append(choices, lb.stepServer)
+			}
+		}
+		if len(choices) == 0 {
+			// Nothing deliverable: flush any buffered epoch (and push
+			// the window, in tick modes); if that surfaces nothing new,
+			// the run is quiescent.
+			lb.flush()
+			if withTicks {
+				lb.tick()
+			}
+			quiet := len(lb.toServer) == 0
+			for _, cid := range lb.order {
+				quiet = quiet && len(lb.toClient[cid]) == 0
+			}
+			if quiet {
+				return
+			}
+			continue
+		}
+		// Occasionally flush or tick mid-stream to vary epoch shapes.
+		r := rng.Float64()
+		if r < 0.03 {
+			lb.flush()
+			continue
+		}
+		if withTicks && r < 0.05 {
+			lb.tick()
+			continue
+		}
+		choices[rng.Intn(len(choices))]()
+	}
+}
+
+func (lb *loopback) requireNoViolations() {
+	lb.t.Helper()
+	if len(lb.violations) > 0 {
+		lb.t.Fatalf("protocol violations:\n%s", lb.violations[0])
+	}
+}
+
+// historyBytes encodes an engine's installed history as one frame.
+func historyBytes(t *testing.T, eng core.Engine) []byte {
+	t.Helper()
+	return wire.AppendFrame(nil, &wire.Batch{Envs: eng.History()})
+}
+
+// --- the differential harness ---
+
+func shardedCfg(mode core.Mode, shards int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Strict = true
+	cfg.RecordHistory = true
+	cfg.Threshold = 1e9
+	cfg.ShardCellSize = 100
+	cfg.Shards = shards
+	return cfg
+}
+
+// runSharded runs one randomized workload through a sharded router and
+// returns the router plus the loopback (for its reply bytes).
+func runSharded(t *testing.T, cfg core.Config, nClients, nGroups, acts int, crossFrac float64, seed int64) (*Router, *loopback) {
+	t.Helper()
+	init := genWorld(nGroups)
+	r := New(cfg, init)
+	t.Cleanup(r.Close)
+	lb := newLoopback(t, r, cfg, init, nClients)
+	rng := rand.New(rand.NewSource(seed))
+	for _, cid := range lb.order {
+		for k := 0; k < acts; k++ {
+			lb.script[cid] = append(lb.script[cid], genAction(rng, cid, nGroups, crossFrac))
+		}
+	}
+	lb.drive(rng, cfg.Mode >= core.ModeFirstBound)
+	lb.requireNoViolations()
+	return r, lb
+}
+
+// TestShardedEquivalence is the differential determinism harness of the
+// sharded serializer: for randomized workloads × shard counts ×
+// delivery orders, replaying the router's effective order through the
+// single-lane engine (DisableSharding) must reproduce the installed
+// history and every client-visible batch byte for byte.
+func TestShardedEquivalence(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeIncomplete, core.ModeInfoBound} {
+		for _, shards := range []int{2, 4, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("mode=%v/shards=%d/seed=%d", mode, shards, seed)
+				t.Run(name, func(t *testing.T) {
+					cfg := shardedCfg(mode, shards)
+					r, lb := runSharded(t, cfg, 12, 6, 20, 0.15, seed)
+
+					// Replay the effective order through the single lane.
+					single := shardedCfg(mode, shards)
+					single.DisableSharding = true
+					eng := NewEngine(single, genWorld(6))
+					if _, isRouter := eng.(*Router); isRouter {
+						t.Fatal("DisableSharding still built a router")
+					}
+					outs := Replay(eng, r.EffectiveLog())
+					singleBytes := make(map[action.ClientID][]byte)
+					for _, out := range outs {
+						for _, rep := range out.Replies {
+							singleBytes[rep.To] = wire.AppendFrame(singleBytes[rep.To], rep.Msg)
+						}
+					}
+
+					// Installed history, byte for byte.
+					if got, want := historyBytes(t, r), historyBytes(t, eng); string(got) != string(want) {
+						t.Fatalf("installed history diverged: %d vs %d bytes", len(got), len(want))
+					}
+					// Every client-visible batch, byte for byte.
+					for _, cid := range lb.order {
+						if string(lb.bytes[cid]) != string(singleBytes[cid]) {
+							t.Fatalf("client %d reply stream diverged: %d vs %d bytes",
+								cid, len(lb.bytes[cid]), len(singleBytes[cid]))
+						}
+					}
+					// Authoritative state and install point.
+					if r.Installed() != eng.Installed() {
+						t.Fatalf("installed %d vs %d", r.Installed(), eng.Installed())
+					}
+					if !r.Authoritative().Equal(eng.Authoritative()) {
+						t.Fatal("authoritative state ζS diverged")
+					}
+					sm, rm := eng.Metrics(), r.Metrics()
+					if sm.TotalSubmitted != rm.TotalSubmitted || sm.TotalDropped != rm.TotalDropped {
+						t.Fatalf("protocol totals diverged: single %d/%d sharded %d/%d",
+							sm.TotalSubmitted, sm.TotalDropped, rm.TotalSubmitted, rm.TotalDropped)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedEquivalenceWithDrops exercises the Algorithm 7 drop path
+// through the sharded stamp phase: a tight threshold must drop exactly
+// the same submissions in both engines.
+func TestShardedEquivalenceWithDrops(t *testing.T) {
+	cfg := shardedCfg(core.ModeInfoBound, 4)
+	cfg.Threshold = 40 // groups are 300 apart: cross-group chains break
+	r, lb := runSharded(t, cfg, 12, 6, 20, 0.35, 7)
+
+	single := cfg
+	single.DisableSharding = true
+	eng := NewEngine(single, genWorld(6))
+	outs := Replay(eng, r.EffectiveLog())
+	singleBytes := make(map[action.ClientID][]byte)
+	for _, out := range outs {
+		for _, rep := range out.Replies {
+			singleBytes[rep.To] = wire.AppendFrame(singleBytes[rep.To], rep.Msg)
+		}
+	}
+	if got, want := historyBytes(t, r), historyBytes(t, eng); string(got) != string(want) {
+		t.Fatalf("installed history diverged: %d vs %d bytes", len(got), len(want))
+	}
+	for _, cid := range lb.order {
+		if string(lb.bytes[cid]) != string(singleBytes[cid]) {
+			t.Fatalf("client %d reply stream diverged", cid)
+		}
+	}
+	if r.Metrics().TotalDropped == 0 {
+		t.Fatal("drop workload produced no drops; threshold not exercised")
+	}
+	if r.Metrics().TotalDropped != eng.Metrics().TotalDropped {
+		t.Fatalf("drops diverged: sharded %d single %d",
+			r.Metrics().TotalDropped, eng.Metrics().TotalDropped)
+	}
+}
+
+// TestShardedDeterminism pins the reproducible-merge claim: the same
+// workload and delivery schedule must produce identical bytes whatever
+// GOMAXPROCS is — the lane workers' scheduling must never show through.
+func TestShardedDeterminism(t *testing.T) {
+	digest := func() [32]byte {
+		cfg := shardedCfg(core.ModeInfoBound, 4)
+		r, lb := runSharded(t, cfg, 12, 6, 20, 0.15, 42)
+		h := sha256.New()
+		h.Write(historyBytes(t, r))
+		for _, cid := range lb.order {
+			h.Write(lb.bytes[cid])
+		}
+		var d [32]byte
+		copy(d[:], h.Sum(nil))
+		return d
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	want := digest()
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		if got := digest(); got != want {
+			t.Fatalf("GOMAXPROCS=%d changed the output bytes", procs)
+		}
+	}
+}
+
+// TestShardedOracle checks Theorem 1 end to end on the sharded engine:
+// serially replaying the merged history from the initial state must
+// land exactly on ζS.
+func TestShardedOracle(t *testing.T) {
+	cfg := shardedCfg(core.ModeInfoBound, 4)
+	r, _ := runSharded(t, cfg, 12, 6, 20, 0.15, 9)
+	hist := r.History()
+	if r.Installed() != uint64(len(hist)) {
+		t.Fatalf("installed %d of %d actions after drain", r.Installed(), len(hist))
+	}
+	st := genWorld(6)
+	for _, env := range hist {
+		res := action.Eval(env.Act, world.StateView{S: st})
+		for _, w := range res.Writes {
+			st.Set(w.ID, w.Val)
+		}
+	}
+	if !r.Authoritative().Equal(st) {
+		t.Fatal("authoritative state ζS diverged from serial oracle")
+	}
+}
+
+// TestRouterStats sanity-checks the router's own accounting: lanes get
+// used, epochs flush for the advertised reasons, cross-shard actions
+// ride the global lane, and planning actually fans out.
+func TestRouterStats(t *testing.T) {
+	cfg := shardedCfg(core.ModeIncomplete, 4)
+	r, _ := runSharded(t, cfg, 12, 6, 30, 0.2, 11)
+	st := r.RouterMetrics()
+	if st.Shards != 4 || len(st.PerLane) != 4 {
+		t.Fatalf("stats report %d shards / %d lanes", st.Shards, len(st.PerLane))
+	}
+	if st.Epochs == 0 || st.LocalActions == 0 {
+		t.Fatalf("no routed work recorded: %+v", st)
+	}
+	if st.CrossShardActions == 0 {
+		t.Fatal("workload with 20% cross actions routed none to the global lane")
+	}
+	if st.ParallelPlans == 0 {
+		t.Fatal("no epoch planned on the lane workers")
+	}
+	lanes := 0
+	owned := 0
+	for _, ls := range st.PerLane {
+		if ls.Actions > 0 {
+			lanes++
+		}
+		owned += ls.OwnedObjects
+	}
+	if lanes < 2 {
+		t.Fatalf("partition collapsed onto %d lane(s)", lanes)
+	}
+	if owned == 0 {
+		t.Fatal("ownership table assigned no objects")
+	}
+	if st.Table() == nil || st.String() == "" {
+		t.Fatal("stats table rendering failed")
+	}
+}
+
+// TestNewEngineFallbacks pins the factory: single lane for Shards ≤ 1,
+// DisableSharding, and ModeBasic; router otherwise.
+func TestNewEngineFallbacks(t *testing.T) {
+	init := genWorld(2)
+	cfg := shardedCfg(core.ModeInfoBound, 4)
+	if _, ok := NewEngine(cfg, init).(*Router); !ok {
+		t.Fatal("Shards=4 did not build a router")
+	}
+	cfg.DisableSharding = true
+	if _, ok := NewEngine(cfg, init).(*Router); ok {
+		t.Fatal("DisableSharding built a router")
+	}
+	cfg.DisableSharding = false
+	cfg.Shards = 1
+	if _, ok := NewEngine(cfg, init).(*Router); ok {
+		t.Fatal("Shards=1 built a router")
+	}
+	cfg.Shards = 4
+	cfg.Mode = core.ModeBasic
+	cfg.Threshold = 0
+	if _, ok := NewEngine(cfg, init).(*Router); ok {
+		t.Fatal("ModeBasic built a router")
+	}
+}
+
+var _ = sort.Ints // reserved for debug helpers

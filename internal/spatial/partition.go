@@ -1,0 +1,56 @@
+package spatial
+
+import (
+	"math"
+
+	"seve/internal/geom"
+)
+
+// Partitioner maps world positions to one of n shards through a uniform
+// grid: space is cut into cells of the given size and cells are dealt to
+// shards in a checkerboard stripe, so adjacent cells land on different
+// shards and any compact crowd spreads across the fleet instead of
+// hot-spotting one lane. The mapping is pure arithmetic — deterministic
+// across runs, goroutines, and processes — which is what the shard
+// router's reproducible merge order depends on.
+type Partitioner struct {
+	cell float64
+	n    int
+}
+
+// NewPartitioner returns a partitioner over n shards with the given grid
+// cell size. Cell size should be on the order of the influence reach so
+// most actions fall inside a single owner's region; non-positive values
+// default to 1, and n is clamped to at least 1.
+func NewPartitioner(cellSize float64, n int) *Partitioner {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &Partitioner{cell: cellSize, n: n}
+}
+
+// Shards reports the number of shards positions are dealt across.
+func (p *Partitioner) Shards() int { return p.n }
+
+// CellSize reports the grid edge length.
+func (p *Partitioner) CellSize() float64 { return p.cell }
+
+// Region returns the owning shard of position v, in [0, Shards()).
+func (p *Partitioner) Region(v geom.Vec) int {
+	k := keyOf(v, p.cell)
+	// Mix the two cell coordinates so stripes do not align with either
+	// axis (plain (x+y) mod n sends every diagonal to one shard).
+	h := uint64(uint32(k.x))*0x9e3779b1 ^ uint64(uint32(k.y))*0x85ebca6b
+	h ^= h >> 33
+	h *= 0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	return int(h % uint64(p.n))
+}
+
+// keyOf is the shared grid-cell quantization (see SegmentIndex.key).
+func keyOf(v geom.Vec, cell float64) cellKey {
+	return cellKey{int32(math.Floor(v.X / cell)), int32(math.Floor(v.Y / cell))}
+}

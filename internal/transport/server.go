@@ -3,9 +3,13 @@
 // opposed to the discrete-event simulation in package experiments.
 //
 // Framing is the length-prefixed binary format of package wire. The
-// server owns a single engine goroutine (the core.Server is a sequential
-// state machine, exactly like its simulated counterpart); per-connection
-// reader and writer goroutines feed it through channels.
+// server owns a single engine goroutine driving a core.Engine — the
+// single-lane core.Server, or the sharded shard.Router when
+// Config.Shards > 1 (the router fans its planning phase out over its own
+// lane workers; the transport still talks to it from one goroutine);
+// per-connection reader and writer goroutines feed it through channels.
+// When the event queue runs dry the loop flushes the router's open
+// epoch, so batching never adds latency on an idle link.
 package transport
 
 import (
@@ -21,6 +25,7 @@ import (
 	"seve/internal/core"
 	"seve/internal/durable"
 	"seve/internal/metrics"
+	"seve/internal/shard"
 	"seve/internal/wire"
 	"seve/internal/world"
 )
@@ -40,21 +45,28 @@ type ServerConfig struct {
 	Durable *durable.Store
 	// SnapshotEvery overrides the checkpoint period.
 	SnapshotEvery uint64
+	// ReadTimeout, when positive, is the idle-read deadline applied to
+	// each connection: a client that sends nothing (not even the Hello)
+	// for this long is disconnected and unregistered, so silently dead
+	// links cannot hold slots and interest masks forever. Zero keeps the
+	// historical behavior of waiting indefinitely.
+	ReadTimeout time.Duration
 }
 
 // Server accepts SEVE clients and serializes their actions.
 type Server struct {
 	cfg    ServerConfig
-	engine *core.Server
+	engine core.Engine
 
 	events chan serverEvent
 	done   chan struct{}
 
-	mu      sync.Mutex
-	writers map[action.ClientID]chan *wire.Frame
-	nextID  action.ClientID
-	started time.Time
-	closed  bool
+	mu              sync.Mutex
+	writers         map[action.ClientID]chan *wire.Frame
+	nextID          action.ClientID
+	started         time.Time
+	closed          bool
+	writeQueueDrops int
 
 	wg sync.WaitGroup
 }
@@ -78,7 +90,7 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		engine:  core.NewServer(cfg.Core, cfg.Init),
+		engine:  shard.NewEngine(cfg.Core, cfg.Init),
 		events:  make(chan serverEvent, 1024),
 		done:    make(chan struct{}),
 		writers: make(map[action.ClientID]chan *wire.Frame),
@@ -141,6 +153,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.done)
 	s.wg.Wait()
+	if c, ok := s.engine.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // Installed reports the server's installed serial position.
@@ -150,11 +165,25 @@ func (s *Server) Installed() uint64 {
 	return s.engine.Installed()
 }
 
-// Metrics snapshots the engine's cumulative counters.
+// Metrics snapshots the engine's cumulative counters, folding in the
+// transport-level ones (write-queue drops).
 func (s *Server) Metrics() metrics.ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.engine.Metrics()
+	st := s.engine.Metrics()
+	st.WriteQueueDrops = s.writeQueueDrops
+	return st
+}
+
+// RouterMetrics snapshots the shard router's counters; the zero value
+// when the server runs the single-lane engine.
+func (s *Server) RouterMetrics() metrics.RouterStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.engine.(*shard.Router); ok {
+		return r.RouterMetrics()
+	}
+	return metrics.RouterStats{}
 }
 
 func (s *Server) nowMs() float64 {
@@ -183,8 +212,26 @@ func (s *Server) engineLoop() {
 			s.dispatch(out)
 		case ev := <-s.events:
 			s.handleEvent(ev)
+			if len(s.events) == 0 {
+				// Queue ran dry: close the router's open epoch so
+				// buffered submissions are answered now rather than on
+				// the next arrival.
+				s.flushEngine()
+			}
 		}
 	}
+}
+
+// flushEngine flushes the engine's open epoch, if it batches at all.
+func (s *Server) flushEngine() {
+	f, ok := s.engine.(core.Flusher)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	out := f.Flush()
+	s.mu.Unlock()
+	s.dispatch(out)
 }
 
 func (s *Server) handleEvent(ev serverEvent) {
@@ -233,6 +280,7 @@ func (s *Server) dispatch(out core.ServerOutput) {
 			// dead; dropping here instead of blocking keeps one slow
 			// client from stalling the world.
 			f.Release()
+			s.writeQueueDrops++
 			s.cfg.Logf("transport: client %d write queue full; dropping message", rep.To)
 		}
 	}
@@ -243,6 +291,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 
+	s.armReadDeadline(conn)
 	msg, err := wire.ReadFrame(conn)
 	if err != nil {
 		s.cfg.Logf("transport: handshake read: %v", err)
@@ -324,6 +373,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	// Reader pump (this goroutine).
 	for {
+		s.armReadDeadline(conn)
 		m, err := wire.ReadFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
@@ -340,6 +390,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		case <-s.done:
 			return
 		}
+	}
+}
+
+// armReadDeadline applies the idle-read deadline, if one is configured.
+// Re-armed before every frame read, so the deadline measures silence,
+// not connection lifetime.
+func (s *Server) armReadDeadline(conn net.Conn) {
+	if s.cfg.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 	}
 }
 

@@ -34,7 +34,7 @@ var wireEncodeFuncs = map[string]bool{
 // pushPlanFuncs are the internal/core planning and sequencing stages
 // whose invocation order decides serial order and batch layout.
 var pushPlanFuncs = map[string]bool{
-	"sequence": true, "assembleBatch": true, "planPush": true, "commitPush": true,
+	"sequence": true, "commitBatch": true, "planPush": true, "commitPush": true,
 	"pushGroup": true, "closureShared": true, "closureWalk": true,
 }
 

@@ -38,6 +38,60 @@ func emitUnordered(m map[int]int, o *outbox) {
 	}
 }
 
+// lane models a shard lane's epoch buffer, as in the shard router's
+// merge step.
+type lane struct {
+	Seq  uint64
+	Envs []int
+}
+
+// mergeLanesUnordered merges per-lane epoch buffers keyed by lane id in
+// map order: the global serial order then depends on map iteration.
+func mergeLanesUnordered(lanes map[int]*lane, next uint64) uint64 {
+	for _, l := range lanes { // want `serial order assignment \(Seq\)`
+		l.Seq = next
+		next += uint64(len(l.Envs))
+	}
+	return next
+}
+
+// emitLanesUnordered drains lane buffers into the client-visible stream
+// in map order — the byte stream the clients see differs run to run.
+func emitLanesUnordered(lanes map[int]*lane, out *outbox) {
+	for _, l := range lanes { // want `output emission \(Envs\)`
+		out.Envs = append(out.Envs, l.Envs...)
+	}
+}
+
+// mergeLanesByIndex is the sanctioned shard-merge idiom: lanes live in a
+// slice and the merge walks them in ascending lane index, so the global
+// order (epoch, lane, localSeq) is deterministic. Clean.
+func mergeLanesByIndex(lanes []*lane, out *outbox, next uint64) uint64 {
+	for i := 0; i < len(lanes); i++ {
+		lanes[i].Seq = next
+		next += uint64(len(lanes[i].Envs))
+		out.Envs = append(out.Envs, lanes[i].Envs...)
+	}
+	return next
+}
+
+// mergeLanesSortedKeys is the map-keyed variant of the sanctioned idiom:
+// collect lane ids, sort, then stamp and emit in sorted order. Clean.
+func mergeLanesSortedKeys(lanes map[int]*lane, out *outbox, next uint64) uint64 {
+	ids := make([]int, 0, len(lanes))
+	for id := range lanes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := lanes[id]
+		l.Seq = next
+		next += uint64(len(l.Envs))
+		out.Envs = append(out.Envs, l.Envs...)
+	}
+	return next
+}
+
 // collectThenSort is the sanctioned idiom: the map range only collects,
 // the ordered loop does the encoding. Clean.
 func collectThenSort(m map[int]wire.Msg, buf []byte) []byte {

@@ -2,31 +2,40 @@
 # Benchmark battery for the protocol engines: the per-submission hot
 # path (BenchmarkServerSubmit), the Fig6/Fig7 end-to-end experiment
 # benches, the conflict-index microbenches (BenchmarkClosureDeepQueue,
-# BenchmarkTickManyClients), and the delivery-path microbenches added
-# with the pooled-encoding PR (BenchmarkEncodeBatch, BenchmarkPushFanOut,
-# BenchmarkClientReconcileDeepQueue — each with its pre-PR baseline as a
-# sub-benchmark).
+# BenchmarkTickManyClients), the delivery-path microbenches from the
+# pooled-encoding PR (BenchmarkEncodeBatch, BenchmarkPushFanOut,
+# BenchmarkClientReconcileDeepQueue), and the sharded-serializer round
+# benches (BenchmarkShardedSubmit, BenchmarkShardedTick) plus the
+# shardscale experiment sweep from the sharding PR.
 #
 # Writes the raw `go test -bench` output and a JSON summary to
-# BENCH_PR2.json at the repo root. BenchmarkServerSubmit grows the
+# BENCH_PR4.json at the repo root. BenchmarkServerSubmit grows the
 # uncommitted queue monotonically (no completions), so it runs with a
 # pinned iteration count: letting benchtime ramp b.N would measure a
 # queue three orders of magnitude deeper than the seed baseline did.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR4.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+sweep="$(mktemp)"
+trap 'rm -f "$raw" "$sweep"' EXIT
 
 go test -run '^$' -bench 'BenchmarkServerSubmit$' -benchmem -benchtime 10000x . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkClosureDeepQueue|BenchmarkTickManyClients' \
+    -benchmem -benchtime 50x . | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkShardedSubmit|BenchmarkShardedTick' \
     -benchmem -benchtime 50x . | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkEncodeBatch|BenchmarkPushFanOut|BenchmarkClientReconcileDeepQueue' \
     -benchmem . | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkFig6|BenchmarkFig7' -benchmem . | tee -a "$raw"
 
+# The shardscale sweep: sharded submit throughput and the phase-timing
+# scalability projection per shard count (see internal/experiments).
+go run ./cmd/seve-bench -experiment shardscale -csv | tee "$sweep"
+
 # Fold the benchmark lines into JSON: {"benchmarks": [{name, iterations,
-# ns_per_op, bytes_per_op, allocs_per_op}, ...]}.
+# ns_per_op, bytes_per_op, allocs_per_op}, ...], "shardscale": [{shards,
+# submits_per_s, wall_x, plan_share, achievable_x, epochs}, ...]}.
 awk '
 BEGIN { print "{"; printf "  \"benchmarks\": [" ; n = 0 }
 /^Benchmark/ {
@@ -42,6 +51,15 @@ BEGIN { print "{"; printf "  \"benchmarks\": [" ; n = 0 }
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
 }
-END { print "\n  ]"; print "}" }
+END { printf "\n  ],\n" }
 ' "$raw" > "$out"
+awk -F, '
+BEGIN { printf "  \"shardscale\": ["; n = 0 }
+/^[0-9]/ {
+    if (n++) printf ","
+    printf "\n    {\"shards\": %s, \"submits_per_s\": %s, \"wall_x\": %s, \"plan_share\": %s, \"achievable_x\": %s, \"epochs\": %s}",
+        $1, $2, $3, $4, $5, $6
+}
+END { print "\n  ]"; print "}" }
+' "$sweep" >> "$out"
 echo "wrote $out"

@@ -2,8 +2,11 @@
 # CI gate: vet (generic + domain-specific), the full test suite under
 # the race detector and again with shuffled test order, and a short fuzz
 # smoke of the wire codec. The engine's push scheduler fans closure
-# planning over goroutines, so every change must pass -race, not just
-# plain `go test`; -shuffle=on keeps tests honest about shared state
+# planning over goroutines and the shard router plans epochs on
+# persistent lane workers, so every change must pass -race, not just
+# plain `go test` — the -race run covers TestShardedEquivalence, the
+# sharded-vs-single-lane byte-identity differential;
+# -shuffle=on keeps tests honest about shared state
 # (the wire pool is process-global); seve-vet enforces the action
 # read/write-set, pool-ownership, nocopy and determinism contracts
 # (DESIGN.md §9); the fuzz pass keeps Decode honest against hostile
