@@ -29,6 +29,7 @@ func main() {
 		moves    = flag.Int("moves", 100, "moves to submit")
 		interval = flag.Duration("interval", 300*time.Millisecond, "time between moves")
 		mode     = flag.String("mode", "infobound", "protocol level (must match server)")
+		retries  = flag.Int("reconnect", 8, "reconnect attempts after a dropped connection (0 = exit on disconnect)")
 	)
 	flag.Parse()
 
@@ -54,11 +55,17 @@ func main() {
 		log.Fatalf("seve-client: unknown mode %q", *mode)
 	}
 
+	if *retries > 0 {
+		// ResumeWindow > 0 turns on client-side completion retention, the
+		// half of the resume handshake the client owns.
+		cfg.ResumeWindow = 16
+	}
 	cl, err := transport.Dial(*addr, cfg, 0)
 	if err != nil {
 		log.Fatalf("seve-client: %v", err)
 	}
 	defer cl.Close()
+	cl.Reconnect = transport.ReconnectConfig{MaxAttempts: *retries, Jitter: 0.5}
 
 	avatar := manhattan.AvatarID(int(cl.ID()))
 	log.Printf("seve-client: joined as client %d (avatar object %d)", cl.ID(), avatar)
@@ -99,7 +106,12 @@ func main() {
 			}
 			submitTimes[mv.ID().Seq] = time.Now()
 			if _, err := cl.Submit(mv); err != nil {
-				log.Fatalf("seve-client: %v", err)
+				if *retries == 0 {
+					log.Fatalf("seve-client: %v", err)
+				}
+				// The action is queued on the engine; the resume
+				// handshake re-submits it once the reconnect lands.
+				log.Printf("seve-client: submit during disconnect (resume pending): %v", err)
 			}
 			sent++
 		}

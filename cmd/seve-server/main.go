@@ -35,6 +35,7 @@ func main() {
 		rtt     = flag.Float64("rtt", 100, "assumed client RTT in ms (bound models)")
 		data    = flag.String("data", "", "directory for the durability journal and checkpoints (empty = in-memory only)")
 		shards  = flag.Int("shards", 0, "shard lanes for the sharded serializer (0 or 1 = single-lane engine)")
+		resume  = flag.Int("resume-window", 16, "committed batches retained per client for session resume (0 = disconnects are final)")
 		verbose = flag.Bool("v", false, "log client joins and drops")
 	)
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Shards = *shards
+	cfg.ResumeWindow = *resume
 	cfg.RTTMs = *rtt
 	cfg.MaxSpeed = wcfg.Speed
 	cfg.DefaultRadius = wcfg.EffectRange

@@ -66,6 +66,19 @@ type Client struct {
 	// only reconcile uses it.
 	scratchTx *world.Tx
 
+	// Session-resume state (Config.ResumeWindow > 0). sentCompletions
+	// retains the completion messages for own committed actions until a
+	// batch's InstalledUpTo acknowledges their installation — a
+	// completion lost with the connection would otherwise stall the
+	// server's install pipeline forever. ownRedeliverFloor is set by a
+	// snapshot resume: own actions at or below it that are no longer
+	// queued had already committed before the disconnect, and a
+	// post-snapshot closure re-delivering them is applied silently as
+	// remote instead of reported as an out-of-order violation.
+	sentCompletions   []*wire.Completion
+	ackedInstalled    uint64
+	ownRedeliverFloor uint32
+
 	// stats
 	reconciliations int
 	appliedRemote   int
@@ -73,6 +86,10 @@ type Client struct {
 	droppedBatches  int
 	reconcileCopies int
 	prunedBelow     uint64
+	resumes         int
+	resumesSnapshot int
+	staleBatches    int
+	ownRedelivered  int
 }
 
 type pendingAction struct {
@@ -150,8 +167,16 @@ func (c *Client) Metrics() metrics.ClientStats {
 		InternedObjects: c.intern.Len(),
 		StableVersions:  c.cs.Versions(),
 		PrunedBelow:     c.prunedBelow,
+		Resumes:         c.resumes,
+		ResumesSnapshot: c.resumesSnapshot,
+		StaleBatches:    c.staleBatches,
+		OwnRedelivered:  c.ownRedelivered,
 	}
 }
+
+// LastAppliedBatch returns the highest contiguously applied per-client
+// batch sequence number — what a wire.Resume reports as LastBatchSeq.
+func (c *Client) LastAppliedBatch() uint64 { return c.nextBatchSeq - 1 }
 
 // markDiverged records that ζCO(id) may no longer equal the latest
 // ζCS(id). Called on every optimistic write (co moved ahead) and every
@@ -224,6 +249,14 @@ func (c *Client) HandleBatch(b *wire.Batch) ClientOutput {
 		c.processBatch(b, &out)
 		return out
 	}
+	if b.ClientSeq < c.nextBatchSeq {
+		// Already applied: a resume's retained suffix can overlap batches
+		// that arrived just before the connection died, and a relayed
+		// copy can trail a direct redelivery. Buffering a stale batch
+		// would pin it in pendingBatches forever.
+		c.staleBatches++
+		return out
+	}
 	if b.ClientSeq != c.nextBatchSeq {
 		max := c.cfg.MaxPendingBatches
 		if max == 0 {
@@ -267,9 +300,30 @@ func (c *Client) processBatch(b *wire.Batch, out *ClientOutput) {
 				c.applyStable(env, out)
 				continue
 			}
+			if c.ownRedeliverFloor > 0 && env.Act.ID().Seq <= c.ownRedeliverFloor && !c.inQueue(env.Act.ID()) {
+				// A post-snapshot closure re-delivered an own action that
+				// committed before the disconnect (the snapshot resume
+				// cleared our sent() bits, so its dependents drag it back
+				// in). Its writes are already ours; apply as remote.
+				c.ownRedelivered++
+				c.handleRemote(env, out)
+				continue
+			}
 			c.handleOwn(env, out)
 		} else {
 			c.handleRemote(env, out)
+		}
+	}
+	if c.cfg.ResumeWindow > 0 && b.InstalledUpTo > c.ackedInstalled {
+		// The server has installed through InstalledUpTo: the retained
+		// completions at or below it did their job.
+		c.ackedInstalled = b.InstalledUpTo
+		i := 0
+		for i < len(c.sentCompletions) && c.sentCompletions[i].Seq <= c.ackedInstalled {
+			i++
+		}
+		if i > 0 {
+			c.sentCompletions = append(c.sentCompletions[:0], c.sentCompletions[i:]...)
 		}
 	}
 	if b.InstalledUpTo > c.prunedBelow && !c.cfg.DisableGC {
@@ -356,10 +410,25 @@ func (c *Client) handleOwn(env action.Envelope, out *ClientOutput) {
 	})
 
 	if c.cfg.Mode >= ModeIncomplete {
-		out.ToServer = append(out.ToServer, &wire.Completion{
-			Seq: env.Seq, By: c.id, Res: u,
-		})
+		cm := &wire.Completion{Seq: env.Seq, By: c.id, Res: u}
+		out.ToServer = append(out.ToServer, cm)
+		if c.cfg.ResumeWindow > 0 {
+			// Retain until a batch's InstalledUpTo covers it: if this
+			// completion is lost with the connection, the resume re-sends
+			// it (the server installs nothing past env.Seq-1 without it).
+			c.sentCompletions = append(c.sentCompletions, cm)
+		}
 	}
+}
+
+// inQueue reports whether an own action is still pending in Q.
+func (c *Client) inQueue(id action.ID) bool {
+	for i := range c.queue {
+		if c.queue[i].act.ID() == id {
+			return true
+		}
+	}
+	return false
 }
 
 // applyStable evaluates env against ζCS as of its serial position and
@@ -454,6 +523,107 @@ func (c *Client) HandleDrop(d *wire.Drop) ClientOutput {
 	return out
 }
 
+// HandleCatchUp resumes the session after a reconnect. The transport
+// obtained m by presenting the session token; the verdict either
+// confirms a suffix replay (the retained batches follow through the
+// normal HandleBatch path) or carries the snapshot fallback, from
+// which ζCS and ζCO are rebuilt at the server's install point. Either
+// way, in-flight actions the server never saw are re-submitted and
+// retained completions past the install point are re-sent.
+func (c *Client) HandleCatchUp(m *wire.CatchUp) ClientOutput {
+	var out ClientOutput
+	if !m.OK {
+		out.Violations = append(out.Violations, fmt.Sprintf(
+			"client %d: resume rejected by server (token unknown or stale)", c.id))
+		return out
+	}
+	c.resumes++
+
+	// Actions invalidated while we were away: their Drop notices died
+	// with the connection. Unknown ids are fine — the original Drop may
+	// have been processed before the disconnect.
+	for _, id := range m.DroppedActs {
+		for i := range c.queue {
+			if c.queue[i].act.ID() == id {
+				ws := c.queue[i].act.WriteSet()
+				c.unqueue(i)
+				if !m.Snapshot {
+					// The snapshot rebuild below re-derives ζCO wholesale;
+					// reconciling against the pre-snapshot state first
+					// would be wasted work.
+					c.reconcile(ws)
+				}
+				out.DroppedLocal = append(out.DroppedLocal, id)
+				break
+			}
+		}
+	}
+
+	if m.Snapshot {
+		c.resumesSnapshot++
+		c.rebuildFromSnapshot(m)
+	}
+
+	// Re-submit in-flight actions the server never accepted — their
+	// uploads were lost. Queue order is submission order, so the server
+	// re-stamps them in the original relative order.
+	for i := range c.queue {
+		if c.queue[i].act.ID().Seq > m.LastActSeq {
+			out.ToServer = append(out.ToServer, &wire.Submit{
+				Env: action.Envelope{Origin: c.id, Act: c.queue[i].act},
+			})
+		}
+	}
+	// Re-send completions the server has not installed past; duplicates
+	// are idempotent on the server (pendingRes/installed checks).
+	for _, cm := range c.sentCompletions {
+		if cm.Seq > m.InstalledUpTo {
+			out.ToServer = append(out.ToServer, cm)
+		}
+	}
+	return out
+}
+
+// rebuildFromSnapshot replaces both world versions with the CatchUp's
+// blind-write snapshot: ζCS restarts as a fresh multiversion store
+// seeded at the server's install point (NOT at version 0 — Theorem 1's
+// per-version guarantee is against the serial replay as of each seq),
+// and ζCO is the same state with the surviving queue re-applied
+// optimistically on top.
+func (c *Client) rebuildFromSnapshot(m *wire.CatchUp) {
+	cs := world.NewMVStore()
+	co := world.NewState()
+	for _, w := range m.Writes {
+		cs.WriteAt(w.ID, m.InstalledUpTo, w.Val)
+		co.Set(w.ID, w.Val)
+	}
+	c.cs = cs
+	c.co = co
+	c.prunedBelow = m.InstalledUpTo
+	c.ackedInstalled = m.InstalledUpTo
+	// Both versions are identical now; divergence restarts from the
+	// optimistic re-apply below. wsq is untouched — the queue (after
+	// drop processing) still owns exactly its declared write sets.
+	c.div.Reset(c.intern.Len())
+	for i := range c.queue {
+		res := c.applyOptimistic(c.queue[i].act)
+		res.CloneInto(&c.queue[i].optimistic)
+	}
+	// Batch numbering restarts; anything buffered predates the snapshot.
+	c.nextBatchSeq = m.NextBatchSeq
+	clear(c.pendingBatches)
+	c.ownRedeliverFloor = m.LastActSeq
+	// Retained completions at or below the install point are obsolete
+	// (the pruning in processBatch may not have seen the latest marker).
+	i := 0
+	for i < len(c.sentCompletions) && c.sentCompletions[i].Seq <= m.InstalledUpTo {
+		i++
+	}
+	if i > 0 {
+		c.sentCompletions = append(c.sentCompletions[:0], c.sentCompletions[i:]...)
+	}
+}
+
 // HandleMsg dispatches any server message.
 func (c *Client) HandleMsg(msg wire.Msg) ClientOutput {
 	switch m := msg.(type) {
@@ -463,6 +633,8 @@ func (c *Client) HandleMsg(msg wire.Msg) ClientOutput {
 		return c.HandleRelay(m)
 	case *wire.Drop:
 		return c.HandleDrop(m)
+	case *wire.CatchUp:
+		return c.HandleCatchUp(m)
 	default:
 		return ClientOutput{Violations: []string{
 			fmt.Sprintf("client %d: unexpected message type %d", c.id, msg.Type()),

@@ -171,6 +171,16 @@ type Config struct {
 	// influence reach (2s·(1+ω)·RTT + 2·DefaultRadius).
 	ShardCellSize float64
 
+	// ResumeWindow enables session resume (TypeResume/TypeCatchUp): the
+	// server retains up to this many committed batches per client and, on
+	// reconnect, replays the suffix the client missed. A client whose gap
+	// exceeds the window degrades to a full blind-write snapshot of ζS —
+	// W(S, ζS(S)) generalized to the whole state (Algorithm 6 / Theorem 1
+	// applied as a catch-up primitive). 0 disables sessions entirely
+	// (disconnect loses the client, as before). Requires ModeIncomplete or
+	// above: ModeBasic has no authoritative state to snapshot from.
+	ResumeWindow int
+
 	// CrossCheck makes the server compare redundant completion reports
 	// for the same action against the accepted result and flag clients
 	// whose reports disagree — the paper's Section II-B observation that
@@ -224,6 +234,12 @@ func (c Config) Validate() error {
 	}
 	if c.HybridRelay && c.Mode < ModeFirstBound {
 		return fmt.Errorf("core: hybrid relay requires the First Bound push path (mode %v)", c.Mode)
+	}
+	if c.ResumeWindow < 0 {
+		return fmt.Errorf("core: resume window must be non-negative, got %d", c.ResumeWindow)
+	}
+	if c.ResumeWindow > 0 && c.Mode == ModeBasic {
+		return fmt.Errorf("core: session resume requires ModeIncomplete or above (no ζS to snapshot in mode %v)", c.Mode)
 	}
 	return nil
 }

@@ -47,6 +47,21 @@ type Engine interface {
 	SetInstallHook(fn func(seq uint64, res action.Result))
 }
 
+// Resumer is implemented by engines that retain client sessions
+// (Config.ResumeWindow > 0) and can answer a reconnect.
+type Resumer interface {
+	// HandleResume answers a wire.Resume. On success it returns the
+	// session's client id; the output carries the CatchUp verdict plus
+	// either the retained batch suffix or the snapshot follow-up,
+	// addressed to that id. On rejection the id is zero and the output
+	// holds a single CatchUp{OK: false} Reply addressed To: 0 — the
+	// transport routes it to the connection the Resume arrived on.
+	HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, ServerOutput)
+	// SessionToken returns the resume token for a registered client, or 0
+	// when sessions are disabled or the client is unknown.
+	SessionToken(id action.ClientID) uint64
+}
+
 // Flusher is implemented by engines that buffer submissions internally
 // (the shard router's epoch batching). Transports should call Flush
 // whenever their event queue drains so buffered replies are not held
@@ -56,4 +71,7 @@ type Flusher interface {
 }
 
 // Engine conformance is part of the package contract.
-var _ Engine = (*Server)(nil)
+var (
+	_ Engine  = (*Server)(nil)
+	_ Resumer = (*Server)(nil)
+)

@@ -113,6 +113,15 @@ func (s *Server) pushGroup(members []action.ClientID, windowStart, nowMs float64
 		if ci := s.clients[cid]; ci != nil {
 			ci.nextBatchSeq++
 			seqs[i] = ci.nextBatchSeq
+			// Retain the member's view of the shared batch — its own
+			// ClientSeq over the shared envelope section — so a resume can
+			// replay what the relay hop would have delivered.
+			s.retainBatch(cid, &wire.Batch{
+				Envs:          inner.Envs,
+				Push:          true,
+				InstalledUpTo: inner.InstalledUpTo,
+				ClientSeq:     seqs[i],
+			})
 		}
 	}
 	inner.ClientSeq = seqs[0] // the relay's own copy

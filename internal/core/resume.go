@@ -1,0 +1,254 @@
+package core
+
+import (
+	"slices"
+
+	"seve/internal/action"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Session resume: the reconnect/catch-up layer over the Incomplete
+// World Model. The primitive the paper already provides — the blind
+// write W(S, ζS(S)) that seeds a client's missing read set (Algorithm
+// 6, correct by Theorem 1) — generalizes directly to crash recovery:
+// a reconnecting client either replays the exact suffix of batches it
+// missed (the server retains a bounded per-client window), or, when
+// the gap exceeds the window, receives W(S, ζS(S)) over the entire
+// state at the server's install point and rebuilds ζCS/ζCO from it.
+// Either way Theorem 1's guarantee is restored: every value the
+// client's stable store holds at version v is the serial-replay value
+// as of v.
+
+// dropRingCap bounds the per-session list of dropped action ids a
+// CatchUp replays. Drops accumulate only between reconnects of a
+// client that keeps submitting invalid actions; overflow forgets the
+// oldest notice (the client would keep one stale queue entry — it
+// also gets a violation from the unknown-commit path, so the loss is
+// observable).
+const dropRingCap = 4096
+
+// session is what the server retains about a client across
+// disconnects when Config.ResumeWindow > 0.
+type session struct {
+	token uint64
+	mask  uint64
+	// lastSeq is the ClientSeq of the newest batch ever sent (the high
+	// end of the retained window).
+	lastSeq uint64
+	// lastActSeq is the per-client action sequence number of the newest
+	// submission accepted or dropped — the duplicate-submission
+	// high-water mark.
+	lastActSeq uint32
+	// retained is the suffix window: up to Config.ResumeWindow committed
+	// batches, contiguous, ending at lastSeq.
+	retained []*wire.Batch
+	// drops lists actions the Information Bound Model invalidated, kept
+	// so a CatchUp can replay Drop notices lost with the connection.
+	drops []action.ID
+}
+
+func (sess *session) recordDrop(id action.ID) {
+	if len(sess.drops) >= dropRingCap {
+		n := copy(sess.drops, sess.drops[1:])
+		sess.drops = sess.drops[:n]
+	}
+	sess.drops = append(sess.drops, id)
+}
+
+// mixToken is splitmix64's finalizer: session tokens are deterministic
+// (the shard replay differential re-mints them identically) but not
+// trivially sequential on the wire.
+func mixToken(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e9b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// openSession creates or resets the client's session at registration.
+// A re-registration through RegisterClient is a fresh join (a resumed
+// client never re-registers — HandleResume revives its clientInfo
+// directly), so the window and high-water marks reset while the token
+// stays stable per client id.
+func (s *Server) openSession(id action.ClientID, mask uint64) {
+	if s.cfg.ResumeWindow <= 0 {
+		return
+	}
+	sess := s.sessions[id]
+	if sess == nil {
+		s.sessionSeq++
+		sess = &session{token: mixToken(s.sessionSeq)}
+		s.sessions[id] = sess
+		s.tokenOwner[sess.token] = id
+	}
+	sess.mask = mask
+	sess.lastSeq = 0
+	sess.lastActSeq = 0
+	sess.retained = nil
+	sess.drops = nil
+}
+
+// SessionToken returns the resume token for a registered client, or 0
+// when sessions are disabled or the client is unknown.
+func (s *Server) SessionToken(id action.ClientID) uint64 {
+	if sess := s.sessions[id]; sess != nil {
+		return sess.token
+	}
+	return 0
+}
+
+// retainBatch records a freshly sequenced batch in the client's resume
+// window, evicting the oldest once the window is full. No-op without a
+// session.
+func (s *Server) retainBatch(cid action.ClientID, b *wire.Batch) {
+	sess := s.sessions[cid]
+	if sess == nil {
+		return
+	}
+	sess.lastSeq = b.ClientSeq
+	if len(sess.retained) >= s.cfg.ResumeWindow {
+		n := copy(sess.retained, sess.retained[1:])
+		sess.retained[n] = b
+		return
+	}
+	sess.retained = append(sess.retained, b)
+}
+
+// retainedBatches gauges the total batches held across all sessions.
+func (s *Server) retainedBatches() int {
+	n := 0
+	for _, sess := range s.sessions {
+		n += len(sess.retained)
+	}
+	return n
+}
+
+// HandleResume answers a reconnecting client (Resumer contract). The
+// token resolves the session; the client's LastBatchSeq picks the
+// resume strategy:
+//
+//   - Suffix replay: every batch in (LastBatchSeq, lastSeq] is still
+//     retained, so the CatchUp verdict is followed by exactly those
+//     batches and the client continues as if the connection had merely
+//     stalled.
+//   - Snapshot fallback: the window no longer reaches back far enough.
+//     The client's sent() bits are cleared (its stable store is about
+//     to be rebuilt, so nothing it was ever sent can be assumed held),
+//     the CatchUp carries W(S, ζS(S)) over the full state at the
+//     install point, and one closure batch re-delivers the client's own
+//     uncommitted actions with their Algorithm 6 dependencies.
+//
+// Rejections (unknown token, sessions disabled, a LastBatchSeq ahead of
+// anything ever sent) return id 0 and a CatchUp{OK: false} addressed
+// To: 0; the transport routes that to the connection the Resume
+// arrived on and drops it.
+func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, ServerOutput) {
+	var out ServerOutput
+	cid, ok := s.tokenOwner[m.Token]
+	sess := s.sessions[cid]
+	if !ok || sess == nil || sess.token != m.Token || m.LastBatchSeq > sess.lastSeq {
+		s.resumesRejected++
+		out.Replies = append(out.Replies, Reply{To: 0, Msg: &wire.CatchUp{}})
+		return 0, out
+	}
+
+	// Revive the client if the disconnect unregistered it. claimSlot
+	// restores the old sent-bitmap slot, and nextBatchSeq continues the
+	// session's numbering.
+	ci := s.clients[cid]
+	if ci == nil {
+		ci = &clientInfo{interest: sess.mask, slot: s.claimSlot(cid), nextBatchSeq: sess.lastSeq}
+		s.clients[cid] = ci
+	}
+
+	drops := slices.Clone(sess.drops)
+
+	// The window covers the gap when there is no gap at all, or when the
+	// oldest retained batch is at or before the first one missing. The
+	// retained slice is contiguous and ends at lastSeq by construction.
+	covered := m.LastBatchSeq == sess.lastSeq ||
+		(len(sess.retained) > 0 && sess.retained[0].ClientSeq <= m.LastBatchSeq+1)
+	if covered {
+		s.resumesSuffix++
+		out.Replies = append(out.Replies, Reply{To: cid, Msg: &wire.CatchUp{
+			OK:            true,
+			InstalledUpTo: s.installed,
+			LastActSeq:    sess.lastActSeq,
+			DroppedActs:   drops,
+		}})
+		for _, b := range sess.retained {
+			if b.ClientSeq > m.LastBatchSeq {
+				out.Replies = append(out.Replies, Reply{To: cid, Msg: b})
+			}
+		}
+		return cid, out
+	}
+
+	// Snapshot fallback. The client rebuilds from ζS at the install
+	// point, so every sent() bit it holds is void.
+	s.resumesSnapshot++
+	var seeds []int
+	for i, e := range s.queue {
+		e.sent.clear(ci.slot)
+		if e.env.Origin == cid {
+			seeds = append(seeds, i)
+		}
+	}
+	out.Replies = append(out.Replies, Reply{To: cid, Msg: &wire.CatchUp{
+		OK:            true,
+		Snapshot:      true,
+		InstalledUpTo: s.installed,
+		NextBatchSeq:  ci.nextBatchSeq + 1,
+		LastActSeq:    sess.lastActSeq,
+		DroppedActs:   drops,
+		Writes:        s.snapshotWrites(),
+	}})
+
+	// Re-deliver the client's own uncommitted actions as one closure
+	// batch: Algorithm 6 with the still-queued submissions as seeds. The
+	// batch takes NextBatchSeq (sequence() numbers and retains it), so
+	// the client processes it first after the rebuild and its own
+	// actions commit in submission order.
+	if len(seeds) > 0 {
+		positions, writes, st := s.closureWalk(seeds, s.scratchFor(0), func(j int, e *entry) bool {
+			return e.sent.has(ci.slot)
+		})
+		s.noteWalk(st, &out)
+		envs := make([]action.Envelope, 0, len(positions)+1)
+		if len(writes) > 0 {
+			envs = append(envs, action.Envelope{
+				Seq:    s.installed,
+				Origin: action.OriginServer,
+				Act:    action.NewBlindWrite(s.nextBlindID(), writes),
+			})
+		}
+		for _, j := range positions {
+			s.queue[j].sent.set(ci.slot)
+			envs = append(envs, s.queue[j].env)
+		}
+		out.Replies = append(out.Replies, Reply{
+			To:  cid,
+			Msg: s.sequence(cid, &wire.Batch{Envs: envs, InstalledUpTo: s.installed}),
+		})
+	}
+	return cid, out
+}
+
+// snapshotWrites flattens ζS into the CatchUp blind-write payload:
+// every object's authoritative value at the install point, in
+// ascending id order (the deterministic-iteration contract every wire
+// emission obeys). Values are cloned — the payload outlives this call.
+func (s *Server) snapshotWrites() []world.Write {
+	ids := s.zs.IDs()
+	writes := make([]world.Write, 0, len(ids))
+	for _, id := range ids {
+		if v, ok := s.zs.Get(id); ok {
+			writes = append(writes, world.Write{ID: id, Val: v.Clone()})
+		}
+	}
+	return writes
+}

@@ -100,6 +100,18 @@ type Server struct {
 	// serial order — the integration point for the durability layer
 	// (package durable) and any other change feed.
 	installHook func(seq uint64, res action.Result)
+
+	// Session-resume state (Config.ResumeWindow > 0): per-client retained
+	// batch windows keyed by client, plus the token → client reverse map a
+	// wire.Resume is resolved through. See resume.go.
+	sessions   map[action.ClientID]*session
+	tokenOwner map[uint64]action.ClientID
+	sessionSeq uint64
+
+	resumesSuffix    int
+	resumesSnapshot  int
+	resumesRejected  int
+	duplicateSubmits int
 }
 
 // crossCheckWindow is how many installed results the server retains for
@@ -126,11 +138,13 @@ type clientInfo struct {
 	nextBatchSeq uint64
 }
 
-// sequence stamps b with the client's next batch sequence number.
+// sequence stamps b with the client's next batch sequence number and,
+// with sessions enabled, retains it in the client's resume window.
 func (s *Server) sequence(cid action.ClientID, b *wire.Batch) *wire.Batch {
 	if ci := s.clients[cid]; ci != nil {
 		ci.nextBatchSeq++
 		b.ClientSeq = ci.nextBatchSeq
+		s.retainBatch(cid, b)
 	}
 	return b
 }
@@ -175,6 +189,16 @@ func (v *sentVec) set(slot int) {
 	(*v)[w] |= 1 << uint(slot & 63)
 }
 
+// clear drops a slot's bit: the client lost everything it had been sent
+// (a snapshot resume rebuilt its state), so future closures must treat
+// the entry as unsent.
+func (v sentVec) clear(slot int) {
+	w := slot >> 6
+	if w < len(v) {
+		v[w] &^= 1 << uint(slot&63)
+	}
+}
+
 // NewServer returns a server engine over the given initial world. The
 // configuration must be valid.
 func NewServer(cfg Config, init *world.State) *Server {
@@ -191,6 +215,8 @@ func NewServer(cfg Config, init *world.State) *Server {
 		suspects:        make(map[action.ClientID]int),
 		intern:          world.NewInterner(),
 		orphanSlots:     make(map[action.ClientID]int),
+		sessions:        make(map[action.ClientID]*session),
+		tokenOwner:      make(map[uint64]action.ClientID),
 	}
 }
 
@@ -221,6 +247,7 @@ func (s *Server) RegisterClient(id action.ClientID, interestMask uint64) {
 		panic(fmt.Sprintf("core: client %d registered twice", id))
 	}
 	s.clients[id] = &clientInfo{interest: interestMask, slot: s.claimSlot(id)}
+	s.openSession(id, interestMask)
 }
 
 // claimSlot returns the dense sent-bitmap slot for id, reusing the slot
@@ -303,6 +330,12 @@ func (s *Server) HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) Se
 		return s.HandleSubmit(from, m, nowMs)
 	case *wire.Completion:
 		return s.HandleCompletion(m)
+	case *wire.Resume:
+		// A resume identifies its client by token, not by the connection,
+		// so `from` is ignored. Routed here (not only through the Resumer
+		// interface) so a recorded shard log replays it deterministically.
+		_, out := s.HandleResume(m, nowMs)
+		return out
 	default:
 		// Unknown message types are ignored; the transport layer logs.
 		return ServerOutput{}
@@ -357,6 +390,21 @@ func (s *Server) StampSubmit(from action.ClientID, m *wire.Submit, nowMs float64
 	env := m.Env
 	env.Origin = from // trust the connection, not the payload
 
+	// With sessions enabled, swallow re-submissions of actions this
+	// session already stamped (or dropped): after a reconnect the resume
+	// re-send can race submissions still queued from the old connection.
+	// Per-client action sequence numbers are strictly monotonic, so
+	// anything at or below the session's high-water mark is a duplicate.
+	sess := s.sessions[from]
+	if sess != nil {
+		if seq := env.Act.ID().Seq; seq <= sess.lastActSeq {
+			s.duplicateSubmits++
+			return nil
+		} else {
+			sess.lastActSeq = seq
+		}
+	}
+
 	e := newEntry(env, nowMs)
 	s.noteClientPosition(from, e, nowMs)
 
@@ -369,6 +417,9 @@ func (s *Server) StampSubmit(from action.ClientID, m *wire.Submit, nowMs float64
 			s.totalDropped++
 			s.droppedByClient[from]++
 			out.Dropped = true
+			if sess != nil {
+				sess.recordDrop(env.Act.ID())
+			}
 			out.Replies = append(out.Replies, Reply{
 				To:  from,
 				Msg: &wire.Drop{ActID: env.Act.ID()},
@@ -649,6 +700,11 @@ func (s *Server) Metrics() metrics.ServerStats {
 		PushTicks:         s.pushTicks,
 		PushParallelTicks: s.pushParallelTicks,
 		PushWorkers:       workers,
+		ResumesSuffix:     s.resumesSuffix,
+		ResumesSnapshot:   s.resumesSnapshot,
+		ResumesRejected:   s.resumesRejected,
+		DuplicateSubmits:  s.duplicateSubmits,
+		RetainedBatches:   s.retainedBatches(),
 	}
 }
 

@@ -28,6 +28,19 @@ type ClientStats struct {
 	// Stable-store footprint.
 	StableVersions int
 	PrunedBelow    uint64
+
+	// Session resume. Resumes counts accepted CatchUps (ResumesSnapshot
+	// of them rebuilt the state from the snapshot payload); StaleBatches
+	// counts already-applied batches dropped after a resume overlap;
+	// OwnRedelivered counts own actions re-delivered by a post-snapshot
+	// closure after they had already committed. ReconnectAttempts counts
+	// transport-level dials (folded in by transport.Client.Metrics; zero
+	// under the simulator glue).
+	Resumes           int
+	ResumesSnapshot   int
+	StaleBatches      int
+	OwnRedelivered    int
+	ReconnectAttempts int
 }
 
 // Merge accumulates o into st. Gauges (queue length, buffered batches,
@@ -47,6 +60,11 @@ func (st *ClientStats) Merge(o ClientStats) {
 	if o.PrunedBelow > st.PrunedBelow {
 		st.PrunedBelow = o.PrunedBelow
 	}
+	st.Resumes += o.Resumes
+	st.ResumesSnapshot += o.ResumesSnapshot
+	st.StaleBatches += o.StaleBatches
+	st.OwnRedelivered += o.OwnRedelivered
+	st.ReconnectAttempts += o.ReconnectAttempts
 }
 
 // Table renders the snapshot as a two-column table.
@@ -64,6 +82,11 @@ func (st ClientStats) Table() *Table {
 	row("interned objects", st.InternedObjects)
 	row("stable versions", st.StableVersions)
 	row("pruned below", st.PrunedBelow)
+	row("resumes", st.Resumes)
+	row("resumes via snapshot", st.ResumesSnapshot)
+	row("stale batches dropped", st.StaleBatches)
+	row("own actions re-delivered", st.OwnRedelivered)
+	row("reconnect attempts", st.ReconnectAttempts)
 	return t
 }
 

@@ -35,6 +35,19 @@ type ServerStats struct {
 	PushParallelTicks int
 	PushWorkers       int
 
+	// Session resume (Config.ResumeWindow). ResumesSuffix counts
+	// reconnects served by replaying the retained batch suffix;
+	// ResumesSnapshot counts degradations to the full blind-write
+	// snapshot; ResumesRejected counts unknown or stale tokens.
+	// DuplicateSubmits counts re-submissions swallowed by the session's
+	// action high-water mark; RetainedBatches gauges the batches
+	// currently held across all session windows.
+	ResumesSuffix    int
+	ResumesSnapshot  int
+	ResumesRejected  int
+	DuplicateSubmits int
+	RetainedBatches  int
+
 	// Transport delivery. WriteQueueDrops counts replies discarded
 	// because the recipient's write queue was full (a client too slow to
 	// drain its connection). Maintained by the transport layer, not the
@@ -61,6 +74,11 @@ func (st ServerStats) Table() *Table {
 	row("push ticks", st.PushTicks)
 	row("parallel push ticks", st.PushParallelTicks)
 	row("configured push workers", st.PushWorkers)
+	row("resumes (suffix replay)", st.ResumesSuffix)
+	row("resumes (snapshot fallback)", st.ResumesSnapshot)
+	row("resumes rejected", st.ResumesRejected)
+	row("duplicate submits swallowed", st.DuplicateSubmits)
+	row("retained batches", st.RetainedBatches)
 	row("write queue drops", st.WriteQueueDrops)
 	return t
 }

@@ -104,6 +104,15 @@ func (n *Network) AddNode(id NodeID, h Handler) {
 	n.nodes[id] = &node{handler: h}
 }
 
+// RemoveNode deregisters a node: messages already in flight toward it
+// are dropped at delivery time (the connection died under them), and
+// later Sends drop immediately. The id can be re-registered with AddNode
+// — a reconnect — without receiving anything addressed to its previous
+// incarnation. Removing an unknown id is a no-op.
+func (n *Network) RemoveNode(id NodeID) {
+	delete(n.nodes, id)
+}
+
 // SetLink overrides the configuration of the directed link from → to.
 func (n *Network) SetLink(from, to NodeID, cfg LinkConfig) {
 	n.links[[2]NodeID{from, to}] = &link{cfg: cfg}
@@ -150,7 +159,16 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 	}
 	dst.recv += uint64(size)
 
-	n.k.At(arrive, func() { dst.handler(from, msg) })
+	n.k.At(arrive, func() {
+		// Re-check identity at delivery: if the destination was removed
+		// (or removed and re-added — a reconnect) while the message was
+		// on the wire, the old incarnation's traffic dies with it.
+		if cur, ok := n.nodes[to]; !ok || cur != dst {
+			n.dropped++
+			return
+		}
+		dst.handler(from, msg)
+	})
 }
 
 // Broadcast sends msg from one node to every other registered node.
@@ -168,7 +186,9 @@ func (n *Network) TotalBytes() uint64 { return n.totalBytes }
 // TotalMessages reports all messages ever sent.
 func (n *Network) TotalMessages() uint64 { return n.totalMsgs }
 
-// Dropped reports messages sent to unregistered nodes.
+// Dropped reports messages lost to dead endpoints: sent to an
+// unregistered node, or in flight toward a node removed (or replaced)
+// before delivery.
 func (n *Network) Dropped() uint64 { return n.dropped }
 
 // NodeBytes reports bytes sent and received by a node.

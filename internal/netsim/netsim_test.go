@@ -153,6 +153,38 @@ func TestBroadcastReachesAllOthers(t *testing.T) {
 	}
 }
 
+func TestRemoveNodeDropsInFlight(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, LinkConfig{Latency: 100, BandwidthBps: 0})
+	n.AddNode(0, func(NodeID, Message) {})
+	oldIncarnation, newIncarnation := 0, 0
+	n.AddNode(1, func(NodeID, Message) { oldIncarnation++ })
+	// In flight when the node dies at t=50: must NOT be delivered, even
+	// though a new incarnation of the same id exists by arrival time.
+	k.At(0, func() { n.Send(0, 1, fakeMsg{size: 1, tag: 1}) })
+	k.At(50, func() {
+		n.RemoveNode(1)
+		n.AddNode(1, func(NodeID, Message) { newIncarnation++ })
+		// Sent to the new incarnation: delivered normally.
+		n.Send(0, 1, fakeMsg{size: 1, tag: 2})
+	})
+	k.Run()
+	if oldIncarnation != 0 {
+		t.Fatalf("stale in-flight message delivered to dead incarnation %d time(s)", oldIncarnation)
+	}
+	if newIncarnation != 1 {
+		t.Fatalf("new incarnation received %d messages, want 1", newIncarnation)
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestRemoveUnknownNodeIsNoop(t *testing.T) {
+	n := New(sim.NewKernel(), DefaultLink)
+	n.RemoveNode(42) // must not panic
+}
+
 func TestDuplicateNodePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

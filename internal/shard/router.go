@@ -304,6 +304,25 @@ func (r *Router) routeLane(act action.Action) int {
 	return lane
 }
 
+// HandleResume answers a reconnecting client (core.Resumer). Resumes
+// are barriers like every non-Submit message: the pending epoch
+// flushes first, so the inner engine's CatchUp — and in particular the
+// snapshot's install-point cut — is computed over settled state at an
+// epoch boundary, and the recorded log replays it at exactly the same
+// point (the single-lane engine handles the logged wire.Resume through
+// its own HandleMsg case).
+func (r *Router) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, core.ServerOutput) {
+	out := r.takePending()
+	out = r.flushInto(out, &r.stats.BarrierFlushes)
+	r.record(LogEntry{Msg: m, NowMs: nowMs})
+	cid, so := r.inner.HandleResume(m, nowMs)
+	return cid, mergeOut(out, so)
+}
+
+// SessionToken returns the resume token for a registered client (see
+// core.Server.SessionToken).
+func (r *Router) SessionToken(id action.ClientID) uint64 { return r.inner.SessionToken(id) }
+
 // Tick runs the First Bound push cycle over settled state: the epoch
 // flushes first (its actions belong to the push window), then the
 // inner scheduler — already plan/commit parallel over Config.PushWorkers
@@ -472,8 +491,9 @@ func (r *Router) SetInstallHook(fn func(seq uint64, res action.Result)) {
 // core.Server.Suspects).
 func (r *Router) Suspects() map[action.ClientID]int { return r.inner.Suspects() }
 
-// Engine conformance (plus the Flusher extension).
+// Engine conformance (plus the Flusher and Resumer extensions).
 var (
 	_ core.Engine  = (*Router)(nil)
 	_ core.Flusher = (*Router)(nil)
+	_ core.Resumer = (*Router)(nil)
 )

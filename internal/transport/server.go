@@ -81,6 +81,17 @@ type serverEvent struct {
 	interestMask uint64
 	// leave marks a disconnect.
 	leave bool
+	// resume is non-nil when a connection opened with a Resume handshake
+	// instead of Hello; resumed receives the resolved id (0 = rejected)
+	// once the engine has answered and the writer is registered.
+	resume  *wire.Resume
+	resumed chan action.ClientID
+	// writeQ identifies the connection behind a resume or leave: the
+	// resume case registers it as the client's writer; the leave case
+	// tears the client down only if this queue is still the registered
+	// one, so a stale disconnect racing a resumed successor cannot
+	// unregister the new connection.
+	writeQ chan *wire.Frame
 }
 
 // NewServer returns an unstarted server.
@@ -245,14 +256,67 @@ func (s *Server) handleEvent(ev serverEvent) {
 		ev.join <- id
 	case ev.leave:
 		s.mu.Lock()
-		s.engine.UnregisterClient(ev.from)
-		delete(s.writers, ev.from)
+		if ev.writeQ == nil || s.writers[ev.from] == ev.writeQ {
+			s.engine.UnregisterClient(ev.from)
+			delete(s.writers, ev.from)
+			// The writer pump has exited (or is about to); release
+			// anything dispatch enqueued after it stopped draining.
+			drainFrames(ev.writeQ)
+		}
 		s.mu.Unlock()
+	case ev.resume != nil:
+		s.handleResume(ev)
 	default:
 		s.mu.Lock()
 		out := s.engine.HandleMsg(ev.from, ev.msg, s.nowMs())
 		s.mu.Unlock()
 		s.dispatch(out)
+	}
+}
+
+// handleResume runs the engine's resume verdict and, on acceptance,
+// registers the arriving connection's writer BEFORE dispatching, so the
+// CatchUp and every replayed batch land on the new connection in order.
+// Rejections leave the writer unregistered; the connection goroutine
+// writes the CatchUp{OK: false} itself and hangs up.
+func (s *Server) handleResume(ev serverEvent) {
+	r, ok := s.engine.(core.Resumer)
+	if !ok {
+		ev.resumed <- 0
+		return
+	}
+	s.mu.Lock()
+	cid, out := r.HandleResume(ev.resume, s.nowMs())
+	if cid != 0 {
+		if old, dup := s.writers[cid]; dup && old != ev.writeQ {
+			// The previous connection is still registered (its reader has
+			// not noticed the death yet). The resumed connection wins;
+			// the stale leave will no-op against the new queue.
+			drainFrames(old)
+		}
+		s.writers[cid] = ev.writeQ
+	}
+	s.mu.Unlock()
+	ev.resumed <- cid
+	if cid != 0 {
+		s.dispatch(out)
+	}
+}
+
+// drainFrames releases everything buffered on a dead writer queue so the
+// pooled frames return to the pool. Nil-safe; callers hold s.mu, which
+// excludes concurrent dispatch enqueues.
+func drainFrames(ch chan *wire.Frame) {
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case f := <-ch:
+			f.Release()
+		default:
+			return
+		}
 	}
 }
 
@@ -286,7 +350,8 @@ func (s *Server) dispatch(out core.ServerOutput) {
 	}
 }
 
-// handleConn performs the Hello/Welcome handshake then pumps frames.
+// handleConn performs the opening handshake — Hello/Welcome for a fresh
+// join, Resume/CatchUp for a reconnect — then pumps frames.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -297,31 +362,59 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.cfg.Logf("transport: handshake read: %v", err)
 		return
 	}
-	hello, ok := msg.(*wire.Hello)
-	if !ok {
-		s.cfg.Logf("transport: expected Hello, got type %d", msg.Type())
-		return
-	}
-
-	join := make(chan action.ClientID, 1)
-	select {
-	case s.events <- serverEvent{join: join, interestMask: hello.InterestMask}:
-	case <-s.done:
-		return
-	}
-	id := <-join
 
 	writeQ := make(chan *wire.Frame, 256)
-	s.mu.Lock()
-	s.writers[id] = writeQ
-	initWrites := stateWrites(s.cfg.Init)
-	s.mu.Unlock()
+	// connDone unblocks the writer pump when this reader exits, so a
+	// vanished client cannot strand the pump goroutine (and the pooled
+	// frames queued behind it) until server shutdown.
+	connDone := make(chan struct{})
+	defer close(connDone)
 
-	if err := wire.WriteFrame(conn, &wire.Welcome{You: id, Init: initWrites}); err != nil {
-		s.cfg.Logf("transport: welcome write to %d: %v", id, err)
+	var id action.ClientID
+	switch h := msg.(type) {
+	case *wire.Hello:
+		join := make(chan action.ClientID, 1)
+		select {
+		case s.events <- serverEvent{join: join, interestMask: h.InterestMask}:
+		case <-s.done:
+			return
+		}
+		id = <-join
+
+		var token uint64
+		s.mu.Lock()
+		s.writers[id] = writeQ
+		initWrites := stateWrites(s.cfg.Init)
+		if r, ok := s.engine.(core.Resumer); ok {
+			token = r.SessionToken(id)
+		}
+		s.mu.Unlock()
+
+		if err := wire.WriteFrame(conn, &wire.Welcome{You: id, Token: token, Init: initWrites}); err != nil {
+			s.cfg.Logf("transport: welcome write to %d: %v", id, err)
+			return
+		}
+		s.cfg.Logf("transport: client %d joined from %s", id, conn.RemoteAddr())
+	case *wire.Resume:
+		resumed := make(chan action.ClientID, 1)
+		select {
+		case s.events <- serverEvent{resume: h, resumed: resumed, writeQ: writeQ}:
+		case <-s.done:
+			return
+		}
+		id = <-resumed
+		if id == 0 {
+			// Unknown or stale token: say so and hang up. The client
+			// treats this as permanent and surfaces a violation.
+			_ = wire.WriteFrame(conn, &wire.CatchUp{})
+			s.cfg.Logf("transport: resume rejected from %s", conn.RemoteAddr())
+			return
+		}
+		s.cfg.Logf("transport: client %d resumed from %s", id, conn.RemoteAddr())
+	default:
+		s.cfg.Logf("transport: expected Hello or Resume, got type %d", msg.Type())
 		return
 	}
-	s.cfg.Logf("transport: client %d joined from %s", id, conn.RemoteAddr())
 
 	// Writer pump: coalesce whatever has queued since the last write
 	// into one pooled buffer and hand the kernel a single Write —
@@ -365,6 +458,8 @@ func (s *Server) handleConn(conn net.Conn) {
 				if err != nil {
 					return
 				}
+			case <-connDone:
+				return
 			case <-s.done:
 				return
 			}
@@ -380,7 +475,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.cfg.Logf("transport: client %d read: %v", id, err)
 			}
 			select {
-			case s.events <- serverEvent{from: id, leave: true}:
+			case s.events <- serverEvent{from: id, leave: true, writeQ: writeQ}:
 			case <-s.done:
 			}
 			return

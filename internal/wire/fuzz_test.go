@@ -20,6 +20,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add(byte(TypeCompletion), []byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 1, 255, 255, 255, 255})
 	f.Add(byte(TypeWelcome), []byte{1, 0, 0, 0, 255, 255, 255, 255})
 	f.Add(byte(TypeRelay), []byte{255, 255, 255, 255})
+	// Adversarial resume/catch-up: forged tokens are structurally valid
+	// (session lookup is the server's problem, not the codec's), forged
+	// drop counts must be rejected before allocation.
+	f.Add(byte(TypeResume), []byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(byte(TypeCatchUp), []byte{3, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 255, 255, 255, 255})
 
 	f.Fuzz(func(t *testing.T, typ byte, data []byte) {
 		m, err := Decode(MsgType(typ), data)

@@ -33,7 +33,17 @@ func sampleMsgs() []Msg {
 			TargetSeqs: []uint64{5, 9},
 			Inner:      &Batch{Envs: []action.Envelope{env(12, 2, ta)}, Push: true},
 		},
-		&Welcome{You: 9, Init: []world.Write{{ID: 1, Val: world.Value{5}}}},
+		&Welcome{You: 9, Token: 0xfeed, Init: []world.Write{{ID: 1, Val: world.Value{5}}}},
+		&Resume{Token: 0xfeed, LastBatchSeq: 41},
+		&CatchUp{
+			OK:            true,
+			Snapshot:      true,
+			InstalledUpTo: 88,
+			NextBatchSeq:  42,
+			LastActSeq:    7,
+			DroppedActs:   []action.ID{{Client: 2, Seq: 6}},
+			Writes:        []world.Write{{ID: 3, Val: world.Value{1.5, -2}}},
+		},
 	}
 }
 

@@ -29,6 +29,8 @@ const (
 	TypeWelcome    MsgType = 6 // server → client: assigned id + initial world (real deployment only)
 	TypeLockGrant  MsgType = 7 // server → client: locks acquired (lock-based baseline, Section II-B)
 	TypeRelay      MsgType = 8 // server → relay client → peers: hybrid P2P push delegation (Section VII)
+	TypeResume     MsgType = 9 // client → server: reconnect with session token + last applied batch
+	TypeCatchUp    MsgType = 10 // server → client: resume verdict + catch-up seed (suffix or snapshot)
 )
 
 // Msg is any protocol message. WireSize reports the exact encoded size in
@@ -169,8 +171,12 @@ func (m *Relay) WireSize() int { return 4 + 12*len(m.Targets) + m.Inner.WireSize
 // Welcome assigns the joining client its id and ships the initial world
 // (real deployment).
 type Welcome struct {
-	You  action.ClientID
-	Init []world.Write
+	You action.ClientID
+	// Token is the session token the client presents in a later Resume.
+	// Zero means the server does not retain sessions (Config.ResumeWindow
+	// disabled) and reconnection must rejoin from scratch.
+	Token uint64
+	Init  []world.Write
 }
 
 // Type returns TypeWelcome.
@@ -178,8 +184,72 @@ func (m *Welcome) Type() MsgType { return TypeWelcome }
 
 // WireSize returns the encoded size.
 func (m *Welcome) WireSize() int {
-	n := 4 + 4
-	for _, w := range m.Init {
+	return 4 + 8 + writesSize(m.Init)
+}
+
+// Resume asks the server to revive the session identified by Token
+// (issued in Welcome) after a connection loss. LastBatchSeq is the
+// highest contiguously applied per-client batch sequence number
+// (Batch.ClientSeq); the server replays everything after it, or falls
+// back to a snapshot when its retained window no longer reaches back
+// that far.
+type Resume struct {
+	Token        uint64
+	LastBatchSeq uint64
+}
+
+// Type returns TypeResume.
+func (m *Resume) Type() MsgType { return TypeResume }
+
+// WireSize returns the encoded size.
+func (m *Resume) WireSize() int { return 8 + 8 }
+
+// CatchUp is the server's verdict on a Resume. With OK unset the
+// session is unknown (token expired or never issued) and the client
+// must rejoin via Hello. With OK set and Snapshot unset, the retained
+// suffix of batches follows this message and the client resumes by
+// applying them in ClientSeq order as usual. With Snapshot set the
+// retained window no longer covers the client's gap: Writes carries the
+// full blind write W(S, ζS(S)) over the client's interest set at the
+// server's install point (Algorithm 6 generalized to the whole state),
+// the client rebuilds ζCS/ζCO from it, and batch numbering restarts at
+// NextBatchSeq.
+type CatchUp struct {
+	OK       bool
+	Snapshot bool
+	// InstalledUpTo is the server's install point at the snapshot cut (or
+	// at resume time for a suffix replay); the rebuilt stable store is
+	// seeded at this version.
+	InstalledUpTo uint64
+	// NextBatchSeq is the ClientSeq the next batch will carry after a
+	// snapshot resume (suffix replays keep the old numbering; zero).
+	NextBatchSeq uint64
+	// LastActSeq is the per-client action sequence number of the last
+	// submission the server accepted from this client; anything the
+	// client still holds queued above it was lost in flight and must be
+	// re-submitted.
+	LastActSeq uint32
+	// DroppedActs lists actions the Information Bound Model invalidated
+	// while the client was away (their Drop messages were lost with the
+	// connection).
+	DroppedActs []action.ID
+	// Writes is the snapshot blind write; empty for suffix replays.
+	Writes []world.Write
+}
+
+// Type returns TypeCatchUp.
+func (m *CatchUp) Type() MsgType { return TypeCatchUp }
+
+// WireSize returns the encoded size.
+func (m *CatchUp) WireSize() int {
+	return 1 + 8 + 8 + 4 + 4 + 8*len(m.DroppedActs) + writesSize(m.Writes)
+}
+
+// writesSize is the encoded size of a writes section: count(4) +
+// records (id(8) len(2) attrs).
+func writesSize(ws []world.Write) int {
+	n := 4
+	for _, w := range ws {
 		n += 8 + 2 + 8*len(w.Val)
 	}
 	return n
@@ -404,7 +474,29 @@ func appendMsgCached(buf []byte, msg Msg, c *EncodeCache) []byte {
 		return appendBatch(buf, m.Inner, c)
 	case *Welcome:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.You))
+		buf = binary.LittleEndian.AppendUint64(buf, m.Token)
 		return appendWrites(buf, m.Init)
+	case *Resume:
+		buf = binary.LittleEndian.AppendUint64(buf, m.Token)
+		return binary.LittleEndian.AppendUint64(buf, m.LastBatchSeq)
+	case *CatchUp:
+		var flags byte
+		if m.OK {
+			flags |= 1
+		}
+		if m.Snapshot {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, m.InstalledUpTo)
+		buf = binary.LittleEndian.AppendUint64(buf, m.NextBatchSeq)
+		buf = binary.LittleEndian.AppendUint32(buf, m.LastActSeq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.DroppedActs)))
+		for _, id := range m.DroppedActs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Client))
+			buf = binary.LittleEndian.AppendUint32(buf, id.Seq)
+		}
+		return appendWrites(buf, m.Writes)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", msg))
 	}
@@ -522,15 +614,58 @@ func Decode(t MsgType, buf []byte) (Msg, error) {
 		m.Inner = inner.(*Batch)
 		return m, nil
 	case TypeWelcome:
-		if len(buf) < 4 {
+		if len(buf) < 12 {
 			return nil, fmt.Errorf("wire: welcome truncated")
 		}
-		m := &Welcome{You: action.ClientID(int32(binary.LittleEndian.Uint32(buf)))}
-		ws, _, err := decodeWrites(buf[4:])
+		m := &Welcome{
+			You:   action.ClientID(int32(binary.LittleEndian.Uint32(buf))),
+			Token: binary.LittleEndian.Uint64(buf[4:]),
+		}
+		ws, _, err := decodeWrites(buf[12:])
 		if err != nil {
 			return nil, err
 		}
 		m.Init = ws
+		return m, nil
+	case TypeResume:
+		if len(buf) < 16 {
+			return nil, fmt.Errorf("wire: resume truncated")
+		}
+		return &Resume{
+			Token:        binary.LittleEndian.Uint64(buf),
+			LastBatchSeq: binary.LittleEndian.Uint64(buf[8:]),
+		}, nil
+	case TypeCatchUp:
+		const hdr = 1 + 8 + 8 + 4 + 4
+		if len(buf) < hdr {
+			return nil, fmt.Errorf("wire: catch-up truncated")
+		}
+		m := &CatchUp{
+			OK:            buf[0]&1 != 0,
+			Snapshot:      buf[0]&2 != 0,
+			InstalledUpTo: binary.LittleEndian.Uint64(buf[1:]),
+			NextBatchSeq:  binary.LittleEndian.Uint64(buf[9:]),
+			LastActSeq:    binary.LittleEndian.Uint32(buf[17:]),
+		}
+		n := int(binary.LittleEndian.Uint32(buf[21:]))
+		if len(buf) < hdr+8*n {
+			return nil, fmt.Errorf("wire: catch-up drop list truncated")
+		}
+		if n > 0 {
+			m.DroppedActs = make([]action.ID, n)
+			for i := range m.DroppedActs {
+				off := hdr + 8*i
+				m.DroppedActs[i] = action.ID{
+					Client: action.ClientID(int32(binary.LittleEndian.Uint32(buf[off:]))),
+					Seq:    binary.LittleEndian.Uint32(buf[off+4:]),
+				}
+			}
+		}
+		ws, _, err := decodeWrites(buf[hdr+8*n:])
+		if err != nil {
+			return nil, err
+		}
+		m.Writes = ws
 		return m, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)

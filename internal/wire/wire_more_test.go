@@ -19,8 +19,10 @@ func TestMessageTypesAndSizes(t *testing.T) {
 		&Hello{},
 		&Welcome{},
 		&LockGrant{},
+		&Resume{},
+		&CatchUp{},
 	}
-	want := []MsgType{TypeSubmit, TypeBatch, TypeCompletion, TypeDrop, TypeHello, TypeWelcome, TypeLockGrant}
+	want := []MsgType{TypeSubmit, TypeBatch, TypeCompletion, TypeDrop, TypeHello, TypeWelcome, TypeLockGrant, TypeResume, TypeCatchUp}
 	for i, m := range msgs {
 		if m.Type() != want[i] {
 			t.Errorf("msg %d Type = %d, want %d", i, m.Type(), want[i])
@@ -208,6 +210,92 @@ func TestRelayDecodeErrors(t *testing.T) {
 	hdr := binary.LittleEndian.AppendUint32(nil, 5)
 	if _, err := Decode(TypeRelay, hdr); err == nil {
 		t.Fatal("truncated relay targets accepted")
+	}
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	m := &Resume{Token: 0xdeadbeefcafe, LastBatchSeq: 99}
+	buf := Encode(m)
+	if len(buf) != m.WireSize() {
+		t.Fatalf("encoded %d, WireSize %d", len(buf), m.WireSize())
+	}
+	got, err := Decode(TypeResume, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := got.(*Resume); *g != *m {
+		t.Fatalf("round trip = %+v", g)
+	}
+	if _, err := Decode(TypeResume, buf[:15]); err == nil {
+		t.Fatal("truncated resume accepted")
+	}
+}
+
+func TestCatchUpRoundTrip(t *testing.T) {
+	m := &CatchUp{
+		OK:            true,
+		Snapshot:      true,
+		InstalledUpTo: 123,
+		NextBatchSeq:  7,
+		LastActSeq:    19,
+		DroppedActs:   []action.ID{{Client: 3, Seq: 17}, {Client: 3, Seq: 18}},
+		Writes: []world.Write{
+			{ID: 1, Val: world.Value{2.5}},
+			{ID: 9, Val: nil},
+		},
+	}
+	buf := Encode(m)
+	if len(buf) != m.WireSize() {
+		t.Fatalf("encoded %d, WireSize %d", len(buf), m.WireSize())
+	}
+	got, err := Decode(TypeCatchUp, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*CatchUp)
+	if !g.OK || !g.Snapshot || g.InstalledUpTo != 123 || g.NextBatchSeq != 7 || g.LastActSeq != 19 {
+		t.Fatalf("round trip header = %+v", g)
+	}
+	if len(g.DroppedActs) != 2 || g.DroppedActs[1] != (action.ID{Client: 3, Seq: 18}) {
+		t.Fatalf("dropped acts = %v", g.DroppedActs)
+	}
+	if len(g.Writes) != 2 || g.Writes[0].ID != 1 || !g.Writes[0].Val.Equal(world.Value{2.5}) {
+		t.Fatalf("writes = %v", g.Writes)
+	}
+	// A suffix-mode verdict with no payload also survives.
+	s := &CatchUp{OK: true, InstalledUpTo: 4, LastActSeq: 2}
+	got, err = Decode(TypeCatchUp, Encode(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = got.(*CatchUp)
+	if !g.OK || g.Snapshot || g.InstalledUpTo != 4 || len(g.DroppedActs) != 0 || len(g.Writes) != 0 {
+		t.Fatalf("suffix round trip = %+v", g)
+	}
+}
+
+func TestCatchUpDecodeHostile(t *testing.T) {
+	// Claims 4 billion dropped actions with an 8-byte body: the length
+	// check must reject it before allocating.
+	hostile := append([]byte{1}, make([]byte, 20)...)
+	hostile = binary.LittleEndian.AppendUint32(hostile[:21], 0xffffffff)
+	if _, err := Decode(TypeCatchUp, hostile); err == nil {
+		t.Fatal("forged drop count accepted")
+	}
+	if _, err := Decode(TypeCatchUp, []byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated catch-up accepted")
+	}
+}
+
+func TestWelcomeTokenSurvives(t *testing.T) {
+	m := &Welcome{You: 4, Token: 0xabc123, Init: []world.Write{{ID: 2, Val: world.Value{7}}}}
+	got, err := Decode(TypeWelcome, Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*Welcome)
+	if g.You != 4 || g.Token != 0xabc123 || len(g.Init) != 1 {
+		t.Fatalf("round trip = %+v", g)
 	}
 }
 

@@ -10,7 +10,10 @@
 # (the wire pool is process-global); seve-vet enforces the action
 # read/write-set, pool-ownership, nocopy and determinism contracts
 # (DESIGN.md §9); the fuzz pass keeps Decode honest against hostile
-# frames beyond the checked-in corpus.
+# frames beyond the checked-in corpus; the coverage gate keeps the
+# protocol engine and the reconnect-capable transport from losing test
+# reach as they grow (baselines sit a little under the measured
+# coverage so legitimate refactors don't trip on noise).
 set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
@@ -18,3 +21,21 @@ go run ./cmd/seve-vet ./...
 go test -race ./...
 go test -shuffle=on ./...
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/wire
+
+# Coverage gate: statement coverage of the two packages the resume
+# protocol cuts through must not regress below the floor.
+cover_gate() {
+    pkg="$1"
+    floor="$2"
+    profile="$(mktemp)"
+    go test -coverprofile="$profile" "$pkg" >/dev/null
+    total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')"
+    rm -f "$profile"
+    if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+        echo "coverage gate: $pkg at ${total}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "coverage gate: $pkg ${total}% (floor ${floor}%)"
+}
+cover_gate ./internal/core 90
+cover_gate ./internal/transport 75
