@@ -84,24 +84,51 @@ func (s *Server) Tick(nowMs float64) ServerOutput {
 		// Grow the scratch pool before fan-out: scratchFor appends to
 		// s.scratch, which must not happen concurrently.
 		s.scratchFor(workers - 1)
-		var wg sync.WaitGroup
+		tasks := make([]func(), workers)
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
+			w := w
+			tasks[w] = func() {
 				sc := s.scratchFor(w)
 				for i := w; i < len(cids); i += workers {
 					plans[i] = s.planPush(cids[i], window, nowMs, sc)
 				}
-			}(w)
+			}
 		}
-		wg.Wait()
+		s.runPlanTasks(tasks)
 	}
 
 	for i, cid := range cids {
 		s.commitPush(cid, &plans[i], &out)
 	}
 	return out
+}
+
+// SetPlanExecutor registers a parallel executor for the engine's
+// read-only planning fan-outs (the First Bound push). fn must run every
+// task to completion — concurrently or not — before returning. The
+// shard router injects its persistent lane workers here so a Tick
+// reuses them instead of spawning a fresh goroutine pool per cycle
+// (goroutine start-up was the measured overhead that made small-fleet
+// sharded ticks slower than the single-lane engine). Pass nil to
+// restore the internal pool.
+func (s *Server) SetPlanExecutor(fn func(tasks []func())) { s.planExec = fn }
+
+// runPlanTasks executes read-only planning tasks, through the injected
+// executor when one is registered.
+func (s *Server) runPlanTasks(tasks []func()) {
+	if s.planExec != nil {
+		s.planExec(tasks)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	wg.Wait()
 }
 
 // ReplyPlan is the read-only result of planning one batch — a
@@ -166,10 +193,11 @@ func (s *Server) planPush(cid action.ClientID, window []int, nowMs float64, sc *
 	if len(seeds) == 0 {
 		return ReplyPlan{}
 	}
-	positions, writes, st := s.closureWalk(seeds, sc,
+	v := s.globalView()
+	positions, writes, st := s.closureWalk(&v, seeds, sc,
 		func(_ int, e *entry) bool { return e.sent.has(slot) })
 	return ReplyPlan{active: true, positions: positions, writes: writes,
-		envs: s.planEnvs(positions), stats: st}
+		envs: planEnvs(&v, positions), stats: st}
 }
 
 // commitPush applies one client's plan: marks the batch entries sent,
@@ -182,7 +210,8 @@ func (s *Server) commitPush(cid action.ClientID, p *ReplyPlan, out *ServerOutput
 	if !p.active {
 		return
 	}
-	batch := s.commitBatch(s.slotOf(cid), p)
+	v := s.globalView()
+	batch := s.commitBatch(&v, s.slotOf(cid), p)
 	out.Replies = append(out.Replies, Reply{
 		To:  cid,
 		Msg: s.sequence(cid, &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}),

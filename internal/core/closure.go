@@ -45,9 +45,11 @@ import (
 // The walk only reads server state; mutations (sent marks, counters,
 // blind-write ids) belong to the caller via commitBatch/noteWalk.
 // That is what lets the First Bound push scheduler fan walks for
-// different clients out over a worker pool (bound.go).
-func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(int, *entry) bool) (positions []int, writes []world.Write, st walkStats) {
-	sc.ensure(len(s.queue), s.intern.Len())
+// different clients out over a worker pool (bound.go), and the shard
+// router fan walks for different lanes over lane-segment views
+// (lanes.go) — seeds and returned positions are indexes into v.queue.
+func (s *Server) closureWalk(v *walkView, seeds []int, sc *closureScratch, already func(int, *entry) bool) (positions []int, writes []world.Write, st walkStats) {
+	sc.ensure(len(v.queue), s.intern.Len())
 	useIndex := !s.cfg.DisableConflictIndex
 
 	maxSeed := -1
@@ -60,9 +62,9 @@ func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(int, 
 		positions = append(positions, i)
 	}
 	for _, i := range seeds {
-		for _, o := range s.queue[i].rsd {
+		for _, o := range v.queue[i].rsd {
 			if sc.set.Add(o) && useIndex {
-				s.addCandidates(sc, o, maxSeed, &st)
+				addCandidates(v, sc, o, maxSeed, &st)
 			}
 		}
 	}
@@ -78,7 +80,7 @@ func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(int, 
 					continue
 				}
 				st.scanned++
-				e := s.queue[j]
+				e := v.queue[j]
 				if !sc.set.ContainsAny(e.wsd) {
 					continue // stale candidate: its object left S
 				}
@@ -88,7 +90,7 @@ func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(int, 
 				}
 				for _, o := range e.rsd {
 					if sc.set.Add(o) {
-						s.addCandidates(sc, o, j, &st)
+						addCandidates(v, sc, o, j, &st)
 					}
 				}
 				positions = append(positions, j)
@@ -100,7 +102,7 @@ func (s *Server) closureWalk(seeds []int, sc *closureScratch, already func(int, 
 				continue
 			}
 			st.scanned++
-			e := s.queue[j]
+			e := v.queue[j]
 			if !sc.set.ContainsAny(e.wsd) {
 				continue
 			}

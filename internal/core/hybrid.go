@@ -140,7 +140,8 @@ func (s *Server) closureShared(members []action.ClientID, seeds []int, out *Serv
 	for i, cid := range members {
 		slots[i] = s.clients[cid].slot
 	}
-	positions, writes, st := s.closureWalk(seeds, s.scratchFor(0), func(_ int, e *entry) bool {
+	v := s.globalView()
+	positions, writes, st := s.closureWalk(&v, seeds, s.scratchFor(0), func(_ int, e *entry) bool {
 		for _, slot := range slots {
 			if !e.sent.has(slot) {
 				return false

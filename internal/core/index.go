@@ -21,6 +21,26 @@ import (
 // serial positions (Seqs), which never change as the head of the queue
 // installs; the conversion to a current queue index is one subtraction.
 
+// walkView selects which partition of the queue and conflict index an
+// analysis walk runs over: the global queue (the single-lane engine,
+// cross-shard stamping, pushes, resume) or one lane's segment (the shard
+// router's partitioned pipeline, see lanes.go). A view carries its own
+// serial numbering — global Seqs for the global view, lane-local
+// laneSeqs for a lane segment — and the invariant holds per view:
+// view.queue[i] has view-seq == view.installed + 1 + i.
+type walkView struct {
+	queue   []*entry
+	writers [][]uint64
+	// installed is the view's install watermark in the view's numbering:
+	// writer-list seqs at or below it are dead.
+	installed uint64
+}
+
+// globalView is the whole-queue view every non-partitioned path uses.
+func (s *Server) globalView() walkView {
+	return walkView{queue: s.queue, writers: s.writers, installed: s.installed}
+}
+
 // walkStats aggregates what one analysis walk cost. Walks run on worker
 // goroutines during parallel pushes, so they accumulate into this value
 // and the caller merges it into the server's counters sequentially
@@ -75,10 +95,15 @@ func (s *Server) scratchFor(w int) *closureScratch {
 	return s.scratch[w]
 }
 
-// growWriters keeps the writer-list table in step with the interner.
+// growWriters keeps the writer-list tables in step with the interner.
 func (s *Server) growWriters() {
 	for len(s.writers) < s.intern.Len() {
 		s.writers = append(s.writers, nil)
+	}
+	if s.lanes != nil {
+		for len(s.laneWriters) < s.intern.Len() {
+			s.laneWriters = append(s.laneWriters, nil)
+		}
 	}
 }
 
@@ -128,14 +153,14 @@ func liveFrom(lst []uint64, installed uint64) int {
 }
 
 // addCandidates marks as walk candidates every live uncommitted writer
-// of object o at a queue position strictly below bound. Called when o
-// enters the chain set with the walk at position bound; the walk only
+// of object o at a view-queue position strictly below bound. Called when
+// o enters the chain set with the walk at position bound; the walk only
 // ever looks down, so writers at or above bound are already handled.
-func (s *Server) addCandidates(sc *closureScratch, o uint32, bound int, st *walkStats) {
-	lst := s.writers[o]
+func addCandidates(v *walkView, sc *closureScratch, o uint32, bound int, st *walkStats) {
+	lst := v.writers[o]
 	st.lookups++
-	base := s.installed + 1 // queue position of seq q is q - base
-	lo := liveFrom(lst, s.installed)
+	base := v.installed + 1 // queue position of seq q is q - base
+	lo := liveFrom(lst, v.installed)
 	hi := sort.Search(len(lst), func(i int) bool { return lst[i] >= base+uint64(bound) })
 	for _, seq := range lst[lo:hi] {
 		j := int(seq - base)

@@ -35,7 +35,8 @@ import (
 // write an object currently (or previously) in the chain set are
 // examined, and each re-checks WS ∩ S against the live S.
 func (s *Server) checkValidity(e *entry, out *ServerOutput) (invalid bool) {
-	invalid, _, st := s.validityWalk(e.rsd, e.hasPos, e.pos, s.cfg.Threshold, s.scratchFor(0))
+	v := s.globalView()
+	invalid, _, st := s.validityWalk(&v, e.rsd, e.hasPos, e.pos, s.cfg.Threshold, s.scratchFor(0))
 	s.noteWalk(st, out)
 	return invalid
 }
@@ -47,31 +48,35 @@ func (s *Server) checkValidity(e *entry, out *ServerOutput) (invalid bool) {
 func (s *Server) ChainLength(rs world.IDSet) int {
 	rsd := s.intern.InternSet(rs, nil)
 	s.growWriters()
-	_, chain, _ := s.validityWalk(rsd, false, geom.Vec{}, -1, s.scratchFor(0))
+	v := s.globalView()
+	_, chain, _ := s.validityWalk(&v, rsd, false, geom.Vec{}, -1, s.scratchFor(0))
 	return chain
 }
 
-// validityWalk runs the Algorithm 7 chain walk over the whole
+// validityWalk runs the Algorithm 7 chain walk over the view's whole
 // uncommitted queue with S seeded from rsd. For every conflicting entry
 // it applies S ← (S − WS) ∪ RS and counts the chain; when threshold is
 // non-negative and a conflicting entry lies farther than threshold from
-// pos, the walk stops and reports the submission invalid.
-func (s *Server) validityWalk(rsd []uint32, hasPos bool, pos geom.Vec, threshold float64, sc *closureScratch) (invalid bool, chain int, st walkStats) {
-	sc.ensure(len(s.queue), s.intern.Len())
+// pos, the walk stops and reports the submission invalid. Like the
+// closure walk, it runs over either the global queue or one lane's
+// segment — under the router's no-live-bridge precondition the chain
+// never leaves the lane, so the two views visit the same conflicts.
+func (s *Server) validityWalk(v *walkView, rsd []uint32, hasPos bool, pos geom.Vec, threshold float64, sc *closureScratch) (invalid bool, chain int, st walkStats) {
+	sc.ensure(len(v.queue), s.intern.Len())
 	useIndex := !s.cfg.DisableConflictIndex
-	n := len(s.queue)
+	n := len(v.queue)
 	st.baseline = n
 
 	for _, o := range rsd {
 		if sc.set.Add(o) && useIndex {
-			s.addCandidates(sc, o, n, &st)
+			addCandidates(v, sc, o, n, &st)
 		}
 	}
 
 	if !useIndex {
 		for j := n - 1; j >= 0; j-- {
 			st.scanned++
-			prev := s.queue[j]
+			prev := v.queue[j]
 			if !sc.set.ContainsAny(prev.wsd) {
 				continue
 			}
@@ -91,7 +96,7 @@ func (s *Server) validityWalk(rsd []uint32, hasPos bool, pos geom.Vec, threshold
 			sc.cand[w] &^= 1 << uint(b)
 			j := w<<6 | b
 			st.scanned++
-			prev := s.queue[j]
+			prev := v.queue[j]
 			if !sc.set.ContainsAny(prev.wsd) {
 				continue // stale candidate: its object left the chain set
 			}
@@ -107,7 +112,7 @@ func (s *Server) validityWalk(rsd []uint32, hasPos bool, pos geom.Vec, threshold
 			sc.set.RemoveAll(prev.wsd)
 			for _, o := range prev.rsd {
 				if sc.set.Add(o) {
-					s.addCandidates(sc, o, j, &st)
+					addCandidates(v, sc, o, j, &st)
 				}
 			}
 		}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"seve/internal/action"
+	"seve/internal/wire"
+)
+
+// Lane-partitioned engine state: the sharding SPI that lets the shard
+// router run stamp, plan, AND commit on parallel lane workers while the
+// engine's observable outputs stay byte-identical to fully sequential
+// processing.
+//
+// A partitioned engine (EnablePartition) mirrors the uncommitted queue
+// into per-lane segments: every accepted lane-local action lives in the
+// global queue under its global Seq and in its owner lane's segment
+// under a lane-local laneSeq, with laneWriters as the lane-numbered
+// reverse conflict index. Because the router's routing guarantees a
+// lane-local action's whole footprint is owned by one lane, and because
+// the router falls back to global stamping while any spanning ("bridge")
+// entry is live, an analysis walk seeded in lane L can never leave L's
+// segment — the lane view visits exactly the entries the global view
+// would have acted on, in the same relative order, so closures, validity
+// chains, and blind writes come out identical (TestShardedEquivalence).
+//
+// The flush pipeline the router drives (shard/router.go):
+//
+//	installs → StampLane* → SealStamp → PlanReply* → PreCommit →
+//	CommitLane* → SealCommit            (* = parallel, one worker/lane)
+//
+// Parallel phases touch only lane-affine state: the lane's segment and
+// writer rows, the pending's entry, and the submitting client's session
+// and clientInfo (the router pins each client to one lane per epoch).
+// Everything whose cross-lane order is observable — global Seqs, the
+// global queue and index, blind-write ids, shared counters, the reply
+// order — is applied by the sequential Seal/PreCommit passes in the
+// deterministic merge order (epoch, lane, lane-local arrival).
+type laneSeg struct {
+	// queue is the lane's segment of the uncommitted queue, ordered by
+	// global Seq; queue[i].laneSeq == installed + 1 + i.
+	queue  []*entry
+	popped int
+	// nextSeq numbers the lane's accepted entries (laneSeq).
+	nextSeq uint64
+	// installed is the lane-local install watermark (the laneSeq of the
+	// lane's newest installed entry).
+	installed uint64
+
+	compactions       int
+	writerCompactions int
+}
+
+// EnablePartition mirrors engine state into n per-lane segments and
+// partitions ζS for segment-parallel installs. The shard router calls
+// it once at construction, before any submission; it requires an empty
+// queue and an incomplete-world mode (ModeBasic keeps no queue to
+// partition).
+func (s *Server) EnablePartition(n int) {
+	if n < 2 || s.cfg.Mode < ModeIncomplete {
+		return
+	}
+	if len(s.queue) != 0 {
+		panic("core: EnablePartition on a non-empty queue")
+	}
+	s.lanes = make([]laneSeg, n)
+	s.zs.Partition(n)
+	s.growWriters()
+}
+
+// Partitioned reports whether per-lane segments are maintained.
+func (s *Server) Partitioned() bool { return s.lanes != nil }
+
+// laneView is lane's segment as an analysis view: lane-local numbering
+// over the shared lane-writer table.
+func (s *Server) laneView(lane int) walkView {
+	ls := &s.lanes[lane]
+	return walkView{queue: ls.queue, writers: s.laneWriters, installed: ls.installed}
+}
+
+// StampLane runs the lane-affine half of stamping for one lane's
+// pendings, in buffer order, on that lane's worker: duplicate
+// detection, client-position notes, Algorithm 7 validity over the lane
+// view, and lane enqueue+index of accepted entries. Outcomes are staged
+// on the pendings; SealStamp applies the shared-state half in merge
+// order. Requires every pending's footprint to be owned by lane and
+// every submitting client to be pinned to lane for the epoch.
+func (s *Server) StampLane(lane int, ps []*Pending) {
+	sc := s.scratchFor(lane)
+	ls := &s.lanes[lane]
+	for _, p := range ps {
+		e, sess := p.e, p.sess
+		if sess != nil {
+			if seq := e.env.Act.ID().Seq; seq <= sess.lastActSeq {
+				p.dup = true
+				continue
+			}
+			sess.lastActSeq = e.env.Act.ID().Seq
+		}
+
+		s.noteClientPosition(p.from, e, p.nowMs)
+
+		if s.cfg.Mode >= ModeInfoBound {
+			v := s.laneView(lane)
+			invalid, _, st := s.validityWalk(&v, e.rsd, e.hasPos, e.pos, s.cfg.Threshold, sc)
+			p.stampStats, p.hasStamped = st, true
+			if invalid {
+				p.dropped = true
+				if sess != nil {
+					sess.recordDrop(e.env.Act.ID())
+				}
+				continue
+			}
+		}
+
+		ls.nextSeq++
+		e.lane, e.laneSeq = int32(lane), ls.nextSeq
+		e.sent.set(p.slot) // the origin trivially has its own action
+		ls.queue = append(ls.queue, e)
+		s.laneIndexEntry(ls, e)
+		p.pos = len(ls.queue) - 1
+		p.viewLane = lane
+	}
+}
+
+// SealStamp applies the shared-state half of one pending's stamp, in
+// merge order on the sequential path: counters, walk stats, the Drop
+// reply, the global Seq, and the global queue/index/history. It reports
+// whether a reply plan is owed.
+func (s *Server) SealStamp(p *Pending, out *ServerOutput) bool {
+	s.totalSubmitted++
+	if p.dup {
+		s.duplicateSubmits++
+		return false
+	}
+	if p.hasStamped {
+		s.noteWalk(p.stampStats, out)
+	}
+	if p.dropped {
+		s.recordDropOf(p, out)
+		return false
+	}
+	e := p.e
+	s.nextSeq++
+	e.env.Seq = s.nextSeq
+	s.queue = append(s.queue, e)
+	s.indexEntry(e)
+	if s.cfg.RecordHistory {
+		s.log = append(s.log, e.env)
+	}
+	return true
+}
+
+// PreCommit mints the blind-write id for a planned reply that carries
+// writes — the one commit-side output whose cross-lane order is
+// observable before the reply itself. Runs in merge order on the
+// sequential path, between the plan and commit fan-outs.
+func (s *Server) PreCommit(p *Pending, plan *ReplyPlan) {
+	if plan.active && len(plan.writes) > 0 {
+		p.blind = s.nextBlindID()
+		p.hasBlind = true
+	}
+}
+
+// CommitLane finishes one pending's planned batch on its lane worker:
+// sent() marks over the lane view, envelope assembly around the
+// PreCommit-minted blind id, and the per-client batch sequence (the
+// submitting client is lane-pinned, so sequence/retainBatch are
+// lane-affine). The reply is staged for SealCommit to emit in merge
+// order.
+func (s *Server) CommitLane(p *Pending, plan *ReplyPlan) {
+	v := s.viewFor(p)
+	for _, j := range plan.positions {
+		v.queue[j].sent.set(p.slot)
+	}
+	batch := plan.envs[1:]
+	if p.hasBlind {
+		plan.envs[0] = action.Envelope{
+			Seq:    s.installed,
+			Origin: action.OriginServer,
+			Act:    action.NewBlindWrite(p.blind, plan.writes),
+		}
+		batch = plan.envs
+	}
+	p.reply = Reply{
+		To:  p.from,
+		Msg: s.sequence(p.from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
+	}
+	p.hasReply = true
+}
+
+// SealCommit emits one pending's staged reply and walk stats in merge
+// order on the sequential path.
+func (s *Server) SealCommit(p *Pending, plan *ReplyPlan, out *ServerOutput) {
+	s.noteWalk(plan.stats, out)
+	if p.hasReply {
+		out.Replies = append(out.Replies, p.reply)
+	}
+}
+
+// laneEnqueue mirrors an accepted globally-stamped entry into its owner
+// lane's segment, keeping the segments complete across fallback flushes
+// and inline cross-shard stamps. No-op for unpartitioned engines and
+// spanning (lane < 0) entries — the latter are exactly the bridges that
+// force the router's fallback path while live.
+func (s *Server) laneEnqueue(p *Pending) {
+	if s.lanes == nil || p.lane < 0 {
+		return
+	}
+	ls := &s.lanes[p.lane]
+	e := p.e
+	ls.nextSeq++
+	e.lane, e.laneSeq = int32(p.lane), ls.nextSeq
+	ls.queue = append(ls.queue, e)
+	s.laneIndexEntry(ls, e)
+}
+
+// laneIndexEntry records e's writes in the lane-numbered conflict
+// index. Safe on a lane worker: each object is written only by its
+// owner lane's entries, so the rows it touches are lane-affine.
+func (s *Server) laneIndexEntry(ls *laneSeg, e *entry) {
+	seq := e.laneSeq
+	for _, o := range e.wsd {
+		lst := s.laneWriters[o]
+		if len(lst) > 16 && lst[0] <= ls.installed {
+			d := liveFrom(lst, ls.installed)
+			if 2*d >= len(lst) {
+				lst = lst[:copy(lst, lst[d:])]
+				ls.writerCompactions++
+			}
+		}
+		s.laneWriters[o] = append(lst, seq)
+	}
+}
+
+// laneInstall pops an entry just installed from its lane segment.
+// Called by InstallContiguous in global install order; lane segments
+// are ordered by global Seq, so the entry is always the lane head.
+func (s *Server) laneInstall(e *entry) {
+	if s.lanes == nil || e.lane < 0 {
+		return
+	}
+	ls := &s.lanes[e.lane]
+	ls.queue[0] = nil
+	ls.queue = ls.queue[1:]
+	ls.popped++
+	ls.installed = e.laneSeq
+	s.pruneLaneWriters(ls, e)
+	if ls.popped >= queueCompactMin && ls.popped >= len(ls.queue) {
+		compacted := make([]*entry, len(ls.queue))
+		copy(compacted, ls.queue)
+		ls.queue = compacted
+		ls.popped = 0
+		ls.compactions++
+	}
+}
+
+// pruneLaneWriters trims the lane writer rows of a just-installed
+// entry, mirroring pruneWriters under the lane numbering.
+func (s *Server) pruneLaneWriters(ls *laneSeg, e *entry) {
+	for _, o := range e.wsd {
+		lst := s.laneWriters[o]
+		d := liveFrom(lst, ls.installed)
+		switch {
+		case d == len(lst):
+			s.laneWriters[o] = lst[:0]
+		case d > 16 && 2*d >= len(lst):
+			s.laneWriters[o] = lst[:copy(lst, lst[d:])]
+			ls.writerCompactions++
+		}
+	}
+}

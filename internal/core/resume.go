@@ -214,7 +214,8 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 	// the client processes it first after the rebuild and its own
 	// actions commit in submission order.
 	if len(seeds) > 0 {
-		positions, writes, st := s.closureWalk(seeds, s.scratchFor(0), func(j int, e *entry) bool {
+		v := s.globalView()
+		positions, writes, st := s.closureWalk(&v, seeds, s.scratchFor(0), func(j int, e *entry) bool {
 			return e.sent.has(ci.slot)
 		})
 		s.noteWalk(st, &out)

@@ -101,6 +101,24 @@ type Server struct {
 	// (package durable) and any other change feed.
 	installHook func(seq uint64, res action.Result)
 
+	// planExec, when set, runs read-only planning fan-outs on the
+	// caller's worker pool instead of ad-hoc goroutines (SetPlanExecutor).
+	planExec func(tasks []func())
+
+	// installBySeg and installTasks are applyWrites' reusable fan-out
+	// scratch: per-segment write groups and their apply closures.
+	installBySeg [][]world.Write
+	installTasks []func()
+
+	// lanes holds the per-lane queue segments when the engine is
+	// partitioned (EnablePartition); nil on the single-lane engine.
+	// laneWriters is the lane-numbered reverse conflict index, one shared
+	// table keyed by dense object index — each object is written only by
+	// its owner lane's entries, so parallel lane stamps touch disjoint
+	// rows. See lanes.go.
+	lanes       []laneSeg
+	laneWriters [][]uint64
+
 	// Session-resume state (Config.ResumeWindow > 0): per-client retained
 	// batch windows keyed by client, plus the token → client reverse map a
 	// wire.Resume is resolved through. See resume.go.
@@ -162,6 +180,13 @@ type entry struct {
 	wsd []uint32
 
 	sent sentVec
+
+	// lane and laneSeq place the entry in a shard lane's queue segment
+	// when the engine is partitioned (lanes.go): lane is the owning lane
+	// (-1 for spanning/global-lane entries and for unpartitioned
+	// engines), laneSeq the lane-local serial position.
+	lane    int32
+	laneSeq uint64
 
 	pos       geom.Vec
 	radius    float64
@@ -358,18 +383,45 @@ func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 	return out
 }
 
-// Pending is a stamped, enqueued submission whose closure reply has not
-// been planned yet — the handle the shard router carries between the
-// sequential stamp phase and the per-lane plan phase.
+// Pending is a prepared (and, after a stamp phase, enqueued) submission
+// whose closure reply has not been planned yet — the handle the shard
+// router carries through the pipeline phases. The staging fields let
+// the partitioned pipeline (lanes.go) compute lane-local outcomes on
+// worker goroutines and apply the shared-state deltas in merge order.
 type Pending struct {
 	e    *entry
 	from action.ClientID
 	slot int
-	// pos is the queue index at stamp time. It stays valid until the
-	// next completion installs the queue head, which cannot happen
-	// between a stamp and its commit (both run on the engine's
-	// sequential entry points).
+	// pos is the queue index at stamp time, into the view viewLane
+	// selects. It stays valid until the next completion installs the
+	// queue head, which cannot happen between a stamp and its commit
+	// (installs run at the head of a flush, stamps and commits after).
 	pos int
+	// viewLane selects the view pos refers to and the view the plan and
+	// commit run over: a lane index under the partitioned pipeline, -1
+	// for the global queue.
+	viewLane int
+	// lane is the owner lane routing computed at buffer time (-1 for
+	// spanning and empty-footprint submissions); the global stamp path
+	// still lane-enqueues through it so the segments stay complete.
+	lane  int
+	sess  *session
+	nowMs float64
+
+	// Parallel-stamp staging (StampLane): the lane-local outcome, with
+	// shared-counter deltas deferred to SealStamp.
+	dup        bool
+	dropped    bool
+	stampStats walkStats
+	hasStamped bool
+
+	// blind is the blind-write id PreCommit mints in merge order.
+	blind    action.ID
+	hasBlind bool
+
+	// reply is the Batch staged by CommitLane for SealCommit to emit.
+	reply    Reply
+	hasReply bool
 }
 
 // Seq returns the stamped global serial position.
@@ -378,6 +430,62 @@ func (p *Pending) Seq() uint64 { return p.e.env.Seq }
 // From returns the submitting client.
 func (p *Pending) From() action.ClientID { return p.from }
 
+// viewFor resolves the view a pending's positions refer to.
+func (s *Server) viewFor(p *Pending) walkView {
+	if p.viewLane >= 0 {
+		return s.laneView(p.viewLane)
+	}
+	return s.globalView()
+}
+
+// PrepareSubmit builds the entry for a submission on the sequential
+// buffering path: envelope capture, spatial metadata, read/write-set
+// interning, and sent-slot resolution. Everything order-sensitive —
+// duplicate detection, validity, serial stamping — happens later, in
+// StampPrepared or the StampLane/SealStamp pair, so the router can
+// buffer prepared submissions and route them by their interned
+// footprints before any of that runs.
+func (s *Server) PrepareSubmit(from action.ClientID, m *wire.Submit, nowMs float64) *Pending {
+	env := m.Env
+	env.Origin = from // trust the connection, not the payload
+	e := newEntry(env, nowMs)
+	if s.cfg.Mode >= ModeIncomplete {
+		s.internEntry(e)
+	}
+	return &Pending{
+		e: e, from: from, slot: s.slotOf(from),
+		viewLane: -1, lane: -1,
+		sess: s.sessions[from], nowMs: nowMs,
+	}
+}
+
+// Footprint returns the prepared entry's interned read and write sets,
+// the router's routing key. Callers must not mutate the slices.
+func (p *Pending) Footprint() (rsd, wsd []uint32) { return p.e.rsd, p.e.wsd }
+
+// SetLane records the owner lane routing resolved for p (-1 for a
+// spanning footprint).
+func (p *Pending) SetLane(lane int) { p.lane = lane }
+
+// Influence returns the prepared action's declared influence centre,
+// when the declaration is meaningful for spatial routing (a positive
+// radius or a non-origin centre — the same test noteClientPosition
+// applies before trusting a position).
+func (p *Pending) Influence() (geom.Vec, bool) {
+	e := p.e
+	if !e.hasPos || (e.radius <= 0 && e.pos == (geom.Vec{})) {
+		return geom.Vec{}, false
+	}
+	return e.pos, true
+}
+
+// InternedObjects reports the dense-index universe size: every index a
+// Footprint can yield is below it.
+func (s *Server) InternedObjects() int { return s.intern.Len() }
+
+// ObjectIDOf returns the sparse ObjectID behind dense index o.
+func (s *Server) ObjectIDOf(o uint32) world.ObjectID { return s.intern.ID(o) }
+
 // StampSubmit runs the sequential half of submission processing:
 // Algorithm 7 validity, serial-position stamping, enqueue, and conflict
 // indexing. It returns nil when no reply plan is owed — the action was
@@ -385,46 +493,42 @@ func (p *Pending) From() action.ClientID { return p.from }
 // Callers owe every non-nil Pending a PlanReply/CommitReply pair, with
 // all commits applied in stamp order.
 func (s *Server) StampSubmit(from action.ClientID, m *wire.Submit, nowMs float64, out *ServerOutput) *Pending {
-	s.totalSubmitted++
+	p := s.PrepareSubmit(from, m, nowMs)
+	if !s.StampPrepared(p, out) {
+		return nil
+	}
+	return p
+}
 
-	env := m.Env
-	env.Origin = from // trust the connection, not the payload
+// StampPrepared stamps a prepared submission on the global sequencer
+// path: duplicate detection, Algorithm 7 validity over the whole queue,
+// serial-position stamping, enqueue, and conflict indexing (plus lane
+// bookkeeping when the engine is partitioned, keeping the segments
+// complete for later partitioned flushes). It reports whether a reply
+// plan is owed.
+func (s *Server) StampPrepared(p *Pending, out *ServerOutput) bool {
+	s.totalSubmitted++
 
 	// With sessions enabled, swallow re-submissions of actions this
 	// session already stamped (or dropped): after a reconnect the resume
 	// re-send can race submissions still queued from the old connection.
 	// Per-client action sequence numbers are strictly monotonic, so
 	// anything at or below the session's high-water mark is a duplicate.
-	sess := s.sessions[from]
+	e, sess := p.e, p.sess
 	if sess != nil {
-		if seq := env.Act.ID().Seq; seq <= sess.lastActSeq {
+		if seq := e.env.Act.ID().Seq; seq <= sess.lastActSeq {
 			s.duplicateSubmits++
-			return nil
-		} else {
-			sess.lastActSeq = seq
+			return false
 		}
+		sess.lastActSeq = e.env.Act.ID().Seq
 	}
 
-	e := newEntry(env, nowMs)
-	s.noteClientPosition(from, e, nowMs)
-
-	if s.cfg.Mode >= ModeIncomplete {
-		s.internEntry(e)
-	}
+	s.noteClientPosition(p.from, e, p.nowMs)
 
 	if s.cfg.Mode >= ModeInfoBound {
 		if invalid := s.checkValidity(e, out); invalid {
-			s.totalDropped++
-			s.droppedByClient[from]++
-			out.Dropped = true
-			if sess != nil {
-				sess.recordDrop(env.Act.ID())
-			}
-			out.Replies = append(out.Replies, Reply{
-				To:  from,
-				Msg: &wire.Drop{ActID: env.Act.ID()},
-			})
-			return nil
+			s.recordDropOf(p, out)
+			return false
 		}
 	}
 
@@ -435,18 +539,35 @@ func (s *Server) StampSubmit(from action.ClientID, m *wire.Submit, nowMs float64
 
 	if s.cfg.Mode == ModeBasic {
 		s.log = append(s.log, e.env)
-		s.replyBasic(from, out)
-		return nil
+		s.replyBasic(p.from, out)
+		return false
 	}
 
-	slot := s.slotOf(from)
-	e.sent.set(slot) // the origin trivially has its own action
+	e.sent.set(p.slot) // the origin trivially has its own action
 	s.queue = append(s.queue, e)
 	s.indexEntry(e)
+	s.laneEnqueue(p)
 	if s.cfg.RecordHistory {
 		s.log = append(s.log, e.env)
 	}
-	return &Pending{e: e, from: from, slot: slot, pos: len(s.queue) - 1}
+	p.pos = len(s.queue) - 1
+	p.viewLane = -1
+	return true
+}
+
+// recordDropOf applies the shared-state side of an Information Bound
+// drop: counters, the session drop ring, and the Drop reply.
+func (s *Server) recordDropOf(p *Pending, out *ServerOutput) {
+	s.totalDropped++
+	s.droppedByClient[p.from]++
+	out.Dropped = true
+	if p.sess != nil {
+		p.sess.recordDrop(p.e.env.Act.ID())
+	}
+	out.Replies = append(out.Replies, Reply{
+		To:  p.from,
+		Msg: &wire.Drop{ActID: p.e.env.Act.ID()},
+	})
 }
 
 // PlanReply computes the Algorithm 6 closure reply for p: the transitive
@@ -465,18 +586,19 @@ func (s *Server) PlanReply(p *Pending, w int, overlay func(pos int) bool) ReplyP
 	if overlay != nil {
 		already = func(j int, e *entry) bool { return e.sent.has(p.slot) || overlay(j) }
 	}
-	positions, writes, st := s.closureWalk([]int{p.pos}, s.scratchFor(w), already)
+	v := s.viewFor(p)
+	positions, writes, st := s.closureWalk(&v, []int{p.pos}, s.scratchFor(w), already)
 	return ReplyPlan{active: true, positions: positions, writes: writes,
-		envs: s.planEnvs(positions), stats: st}
+		envs: planEnvs(&v, positions), stats: st}
 }
 
 // planEnvs copies the batch positions' envelopes on the planning worker
 // — the O(batch) part of assembly — leaving envs[0] reserved for the
-// blind write commitBatch may mint. Pure reads over the frozen queue.
-func (s *Server) planEnvs(positions []int) []action.Envelope {
+// blind write commitBatch may mint. Pure reads over the frozen view.
+func planEnvs(v *walkView, positions []int) []action.Envelope {
 	envs := make([]action.Envelope, len(positions)+1)
 	for k, j := range positions {
-		envs[k+1] = s.queue[j].env
+		envs[k+1] = v.queue[j].env
 	}
 	return envs
 }
@@ -485,9 +607,9 @@ func (s *Server) planEnvs(positions []int) []action.Envelope {
 // every position sent to slot and mints the blind-write id — the two
 // steps whose order across batches is observable — returning the final
 // envelope sequence.
-func (s *Server) commitBatch(slot int, plan *ReplyPlan) []action.Envelope {
+func (s *Server) commitBatch(v *walkView, slot int, plan *ReplyPlan) []action.Envelope {
 	for _, j := range plan.positions {
-		s.queue[j].sent.set(slot)
+		v.queue[j].sent.set(slot)
 	}
 	if len(plan.writes) == 0 {
 		return plan.envs[1:]
@@ -507,7 +629,8 @@ func (s *Server) commitBatch(slot int, plan *ReplyPlan) []action.Envelope {
 // numbering.
 func (s *Server) CommitReply(p *Pending, plan *ReplyPlan, out *ServerOutput) {
 	s.noteWalk(plan.stats, out)
-	batch := s.commitBatch(p.slot, plan)
+	v := s.viewFor(p)
+	batch := s.commitBatch(&v, p.slot, plan)
 	out.Replies = append(out.Replies, Reply{
 		To:  p.from,
 		Msg: s.sequence(p.from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
@@ -558,11 +681,25 @@ func (s *Server) HandleCompletion(m *wire.Completion) ServerOutput {
 	if s.cfg.Mode == ModeBasic {
 		return ServerOutput{} // no authoritative state to maintain
 	}
+	s.TakeCompletion(m)
+	s.InstallContiguous(nil)
+	return ServerOutput{}
+}
+
+// TakeCompletion records a completion result without installing
+// anything: duplicate auditing plus the pendingRes hold ("the server
+// holds it until ζS(i−1) is available"). The shard router buffers
+// completions through this and runs one InstallContiguous cascade per
+// epoch flush.
+func (s *Server) TakeCompletion(m *wire.Completion) {
+	if s.cfg.Mode == ModeBasic {
+		return
+	}
 	if m.Seq <= s.installed {
 		// Duplicate of an installed action (failure-tolerant
 		// redundancy); still audit it if cross-checking.
 		s.crossCheck(m)
-		return ServerOutput{}
+		return
 	}
 	if accepted, dup := s.pendingRes[m.Seq]; dup {
 		if s.cfg.CrossCheck && !m.Res.Equal(accepted) {
@@ -572,34 +709,56 @@ func (s *Server) HandleCompletion(m *wire.Completion) ServerOutput {
 		s.pendingRes[m.Seq] = m.Res.Clone()
 		s.completionsTaken++
 	}
-	// Install any now-contiguous prefix.
-	for len(s.queue) > 0 {
-		head := s.queue[0]
-		res, ok := s.pendingRes[head.env.Seq]
-		if !ok {
+}
+
+// InstallContiguous installs the contiguous prefix of the queue whose
+// results are pending: write application into ζS, then the in-order
+// per-action bookkeeping (watermark, install hook, cross-check window,
+// index pruning, lane pops). exec, when non-nil, may run the supplied
+// closures concurrently and must return only when all have finished;
+// it is used to apply the writes of a large install batch per ζS
+// segment in parallel. The closures partition the writes by segment,
+// so they touch disjoint state; per-object write order (queue order)
+// is preserved within each segment, making the final values — and
+// every later observable — identical to the sequential cascade.
+func (s *Server) InstallContiguous(exec func(tasks []func())) {
+	n := 0
+	for n < len(s.queue) {
+		if _, ok := s.pendingRes[s.queue[n].env.Seq]; !ok {
 			break
 		}
-		if res.OK {
-			for _, w := range res.Writes {
-				s.zs.Set(w.ID, w.Val)
-			}
-		}
-		s.installed = head.env.Seq
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	batch := s.queue[:n]
+
+	s.applyWrites(batch, exec)
+
+	for _, e := range batch {
+		seq := e.env.Seq
+		res := s.pendingRes[seq]
+		s.installed = seq
 		if s.installHook != nil {
-			s.installHook(head.env.Seq, res)
+			s.installHook(seq, res)
 		}
-		delete(s.pendingRes, head.env.Seq)
+		delete(s.pendingRes, seq)
 		if s.cfg.CrossCheck {
-			s.recentResults[head.env.Seq] = res
-			if old := int64(head.env.Seq) - crossCheckWindow; old > 0 {
+			s.recentResults[seq] = res
+			if old := int64(seq) - crossCheckWindow; old > 0 {
 				delete(s.recentResults, uint64(old))
 			}
 		}
-		s.queue[0] = nil
-		s.queue = s.queue[1:]
-		s.queuePopped++
-		s.pruneWriters(head)
+		s.pruneWriters(e)
+		s.laneInstall(e)
 	}
+	for i := range batch {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[n:]
+	s.queuePopped += n
+
 	// Re-slicing the head off pins the popped prefix of the backing
 	// array for the life of the server (the nil-ed slots themselves);
 	// copy the live tail to a fresh array once the dead prefix
@@ -611,7 +770,54 @@ func (s *Server) HandleCompletion(m *wire.Completion) ServerOutput {
 		s.queuePopped = 0
 		s.queueCompactions++
 	}
-	return ServerOutput{}
+}
+
+// applyWrites installs the accepted writes of an install batch into ζS.
+// With an executor and a partitioned store, writes are grouped by ζS
+// segment and each segment's run applies on its own task; otherwise the
+// batch applies inline in queue order.
+func (s *Server) applyWrites(batch []*entry, exec func(tasks []func())) {
+	segs := s.zs.Segments()
+	if exec == nil || segs < 2 {
+		for _, e := range batch {
+			if res := s.pendingRes[e.env.Seq]; res.OK {
+				for _, w := range res.Writes {
+					s.zs.Set(w.ID, w.Val)
+				}
+			}
+		}
+		return
+	}
+	for len(s.installBySeg) < segs {
+		s.installBySeg = append(s.installBySeg, nil)
+	}
+	bySeg := s.installBySeg[:segs]
+	for _, e := range batch {
+		if res := s.pendingRes[e.env.Seq]; res.OK {
+			for _, w := range res.Writes {
+				g := s.zs.SegmentOf(w.ID)
+				bySeg[g] = append(bySeg[g], w)
+			}
+		}
+	}
+	tasks := s.installTasks[:0]
+	for g, ws := range bySeg {
+		if len(ws) == 0 {
+			continue
+		}
+		ws := ws
+		tasks = append(tasks, func() {
+			for _, w := range ws {
+				s.zs.Set(w.ID, w.Val)
+			}
+		})
+		bySeg[g] = ws[:0]
+	}
+	s.installTasks = tasks
+	if len(tasks) > 0 {
+		exec(tasks)
+	}
+	clear(tasks)
 }
 
 // queueCompactMin is the smallest dead prefix worth a compaction copy.
@@ -652,6 +858,7 @@ func newEntry(env action.Envelope, nowMs float64) *entry {
 	e := &entry{
 		env:       env,
 		stampedMs: nowMs,
+		lane:      -1,
 	}
 	if sp, ok := env.Act.(action.Spatial); ok {
 		c := sp.Influence()
@@ -684,6 +891,11 @@ func (s *Server) internEntry(e *entry) {
 // engine entry points (the engine itself is single-goroutine).
 func (s *Server) Metrics() metrics.ServerStats {
 	workers := s.cfg.PushWorkers
+	queueComp, writerComp := s.queueCompactions, s.writerCompactions
+	for i := range s.lanes {
+		queueComp += s.lanes[i].compactions
+		writerComp += s.lanes[i].writerCompactions
+	}
 	return metrics.ServerStats{
 		TotalSubmitted:    s.totalSubmitted,
 		TotalDropped:      s.totalDropped,
@@ -693,8 +905,8 @@ func (s *Server) Metrics() metrics.ServerStats {
 		TotalQueueScans:   s.totalQueueScans,
 		ScanSavedEntries:  s.scanSaved,
 		IndexLookups:      s.indexLookups,
-		QueueCompactions:  s.queueCompactions,
-		WriterCompactions: s.writerCompactions,
+		QueueCompactions:  queueComp,
+		WriterCompactions: writerComp,
 		InternedObjects:   s.intern.Len(),
 		TrackedClients:    len(s.clients),
 		PushTicks:         s.pushTicks,

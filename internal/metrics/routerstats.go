@@ -14,18 +14,23 @@ type LaneStats struct {
 
 // RouterStats is a snapshot of the shard router's cumulative counters:
 // how submissions were routed across the spatial-partition lanes, how
-// often epochs flushed and why, and how much reply planning actually ran
-// on the shard workers. Produced by shard.Router.RouterMetrics and
-// surfaced by cmd/seve-bench -experiment shardscale.
+// often epochs flushed and why, how many ran the partitioned per-lane
+// pipeline, and where the pipeline's time went. Produced by
+// shard.Router.RouterMetrics and surfaced by cmd/seve-bench
+// -experiment shardscale.
 type RouterStats struct {
 	// Shards is the configured lane count.
 	Shards int
 
 	// Routing totals. LocalActions were owned by a single lane;
-	// CrossShardActions spanned partitions and were stamped on the
-	// global sequencer lane (each one closes an epoch).
+	// CrossShardActions rode the global sequencer lane (each one closes
+	// an epoch) — either a genuinely partition-spanning footprint or an
+	// empty one. SpanningActions counts only the former: the entries
+	// that become cross-lane bridges and force fallback epochs while
+	// live.
 	LocalActions      int
 	CrossShardActions int
+	SpanningActions   int
 
 	// Epoch accounting: total epochs flushed, and flush triggers by
 	// cause — a cross-shard action arriving, a client switching lanes
@@ -38,23 +43,54 @@ type RouterStats struct {
 	BarrierFlushes    int
 	ExternalFlushes   int
 
-	// ParallelPlans counts replies planned on shard worker goroutines
-	// (epochs with a single active lane plan inline).
+	// Pipeline selection: epochs that ran the partitioned per-lane
+	// pipeline (parallel stamp, plan, and commit over lane segments) vs
+	// the global fallback (sequential stamp and commit; required while a
+	// spanning bridge is live in the uncommitted queue).
+	PartitionedEpochs int
+	FallbackEpochs    int
+
+	// LaneImbalance averages, over partitioned epochs, the busiest
+	// lane's submission count divided by the per-lane mean — 1.0 is a
+	// perfectly balanced epoch, Shards is everything on one lane. The
+	// critical-path phase times approach total/Shards only as this
+	// approaches 1.
+	LaneImbalance float64
+
+	// ParallelPlans counts replies planned with more than one lane
+	// active in the epoch — the plans eligible for lane-parallel
+	// execution (single-active-lane epochs run inline and are excluded).
 	ParallelPlans int
 
-	// Phase timings, cumulative nanoseconds of engine compute. StampNs
-	// and CommitNs are the sequential phases; PlanNs sums every lane's
-	// planning time while PlanCritNs sums only each epoch's slowest lane
-	// — the plan phase's critical path. On a machine with at least
-	// Shards cores the wall clock of a flush approaches
-	// stamp + critical-path plan + commit; the ratio
-	// (Stamp+Plan+Commit)/(Stamp+PlanCrit+Commit) is therefore the
-	// router's achievable speedup over the single lane on this workload,
-	// hardware permitting.
-	StampNs    int64
-	PlanNs     int64
-	PlanCritNs int64
-	CommitNs   int64
+	// Phase timings, cumulative nanoseconds of engine compute. The *Ns
+	// totals sum every lane's time in a phase; the *CritNs totals sum
+	// only each epoch's slowest lane — the phase's critical path.
+	// Fallback epochs run stamp and commit sequentially, so they charge
+	// those phases' total and critical-path counters equally. MergeNs is
+	// the partitioned pipeline's sequential seal passes (SealStamp,
+	// PreCommit, SealCommit) and InstallNs the completion-install pass
+	// at the head of each flush. Write application inside an install
+	// fans out per ζS segment, so InstallCritNs charges each install
+	// only its elapsed time minus the overlap a parallel run would
+	// reclaim (the segment tasks' summed duration less the slowest
+	// task); the in-order bookkeeping remainder stays sequential. On a
+	// machine with at least Shards cores the wall clock of flushing
+	// approaches
+	//
+	//	StampCrit + PlanCrit + CommitCrit + Merge + InstallCrit
+	//
+	// while a single lane pays Stamp + Plan + Commit + Merge + Install;
+	// the ratio of those two sums is the router's achievable speedup on
+	// this workload, hardware permitting.
+	StampNs       int64
+	StampCritNs   int64
+	PlanNs        int64
+	PlanCritNs    int64
+	CommitNs      int64
+	CommitCritNs  int64
+	MergeNs       int64
+	InstallNs     int64
+	InstallCritNs int64
 
 	// PerLane breaks the routed work down by lane.
 	PerLane []LaneStats
@@ -65,20 +101,30 @@ type RouterStats struct {
 func (st RouterStats) Table() *Table {
 	t := &Table{Title: "shard router counters", Header: []string{"counter", "value"}}
 	row := func(name string, v interface{}) { t.AddRow(name, fmt.Sprint(v)) }
+	ms := func(name string, ns int64) { t.AddRow(name, fmt.Sprintf("%.2f", float64(ns)/1e6)) }
 	row("shards", st.Shards)
 	row("local actions", st.LocalActions)
 	row("cross-shard actions", st.CrossShardActions)
+	row("spanning actions", st.SpanningActions)
 	row("epochs", st.Epochs)
+	row("epochs: partitioned", st.PartitionedEpochs)
+	row("epochs: fallback", st.FallbackEpochs)
 	row("flushes: cross-shard", st.CrossShardFlushes)
 	row("flushes: lane switch", st.LaneSwitchFlushes)
 	row("flushes: size cap", st.SizeFlushes)
 	row("flushes: barrier msg", st.BarrierFlushes)
 	row("flushes: external", st.ExternalFlushes)
+	row("lane imbalance", fmt.Sprintf("%.2f", st.LaneImbalance))
 	row("parallel plans", st.ParallelPlans)
-	row("stamp ms", fmt.Sprintf("%.2f", float64(st.StampNs)/1e6))
-	row("plan ms (all lanes)", fmt.Sprintf("%.2f", float64(st.PlanNs)/1e6))
-	row("plan ms (critical path)", fmt.Sprintf("%.2f", float64(st.PlanCritNs)/1e6))
-	row("commit ms", fmt.Sprintf("%.2f", float64(st.CommitNs)/1e6))
+	ms("stamp ms (all lanes)", st.StampNs)
+	ms("stamp ms (critical path)", st.StampCritNs)
+	ms("plan ms (all lanes)", st.PlanNs)
+	ms("plan ms (critical path)", st.PlanCritNs)
+	ms("commit ms (all lanes)", st.CommitNs)
+	ms("commit ms (critical path)", st.CommitCritNs)
+	ms("merge ms", st.MergeNs)
+	ms("install ms", st.InstallNs)
+	ms("install ms (critical path)", st.InstallCritNs)
 	for i, ls := range st.PerLane {
 		row(fmt.Sprintf("lane %d actions", i), ls.Actions)
 		row(fmt.Sprintf("lane %d owned objects", i), ls.OwnedObjects)

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -17,35 +18,58 @@ import (
 // smaller ones bound reply latency when the transport never goes idle.
 const maxEpochSubs = 128
 
+// maxEpochComps caps buffered completions the same way: installs only
+// shrink the queue, so they can wait for the epoch boundary, but an
+// unbounded backlog would let the uncommitted queue — and every walk
+// over it — grow without bound.
+const maxEpochComps = 256
+
 // Router is the sharded serializer engine. It fronts a single
-// core.Server — the shared queue, authoritative state ζS, and conflict
-// index — and shards the per-submission pipeline across N lanes as
-// described in the package comment. All entry points must be called from
-// one goroutine (the core.Engine contract); the lane workers are
-// internal and synchronize through the flush fan-out only.
+// partitioned core.Server — the shared queue, authoritative state ζS,
+// and conflict index, mirrored into per-lane segments — and shards the
+// per-submission pipeline across N lanes as described in the package
+// comment. All entry points must be called from one goroutine (the
+// core.Engine contract); the lane workers are internal and synchronize
+// through the flush fan-outs only.
 type Router struct {
 	cfg   core.Config
 	inner *core.Server
 	own   *ownership
 	n     int
+	// serial short-circuits every fan-out to inline execution when the
+	// process runs one scheduler thread: channel handoffs cannot buy
+	// wall-clock there, only pay context switches. Snapshotted at
+	// construction; the pipeline's outputs are identical either way
+	// (TestShardedDeterminism).
+	serial bool
 
-	// Current epoch: per-lane submission buffers, the total buffered
-	// count, and each client's lane affinity within the epoch.
+	// Current epoch: per-lane buffers of prepared submissions, the total
+	// buffered count, each client's lane affinity within the epoch, and
+	// the buffered completions awaiting the next install pass.
 	lanes  [][]pendingSub
 	bufN   int
 	laneOf map[action.ClientID]int
+	comps  []pendingComp
 
-	// Lane workers: one persistent goroutine per shard, fed a planReq
-	// per flush. Stopped by Close.
-	reqs []chan planReq
+	// spanning holds the global Seqs of live cross-lane entries — the
+	// "bridges" whose presence in the uncommitted queue makes lane-
+	// segment walks incomplete. While any is live, epochs flush through
+	// the global fallback path; installs pop the settled prefix.
+	spanning []uint64
+
+	// Lane workers: one persistent goroutine per shard, fed closures per
+	// flush phase (and per Tick, via the engine's plan executor).
+	// Stopped by Close.
+	reqs []chan laneTask
 	wg   sync.WaitGroup
 
-	// jobs is the flush scratch, reused across epochs.
-	jobs []job
-
-	// planNs is the per-lane plan-duration scratch for one flush;
-	// workers write distinct slots, joined by the flush WaitGroup.
-	planNs []int64
+	// Flush scratch, reused across epochs.
+	jobs     []job
+	lanePs   [][]*core.Pending
+	laneIdxs [][]int
+	active   []int
+	planNs   []int64
+	laneNs   []int64
 
 	// pendingOut holds replies produced by flushes inside Register/
 	// Unregister, whose interface signatures cannot return output; the
@@ -66,13 +90,18 @@ type pendingSub struct {
 	from  action.ClientID
 	msg   *wire.Submit
 	nowMs float64
+	p     *core.Pending
 }
 
-// job is one epoch submission moving through the flush phases: stamped
-// sequentially (phase A), planned on its lane's worker (phase B),
-// committed sequentially (phase C). Outputs accumulate per job so the
-// final reply stream concatenates in merge order regardless of which
-// phase produced which message.
+type pendingComp struct {
+	from  action.ClientID
+	m     *wire.Completion
+	nowMs float64
+}
+
+// job is one epoch submission moving through the flush phases. Outputs
+// accumulate per job so the final reply stream concatenates in merge
+// order regardless of which phase produced which message.
 type job struct {
 	lane int
 	p    *core.Pending
@@ -80,12 +109,10 @@ type job struct {
 	out  core.ServerOutput
 }
 
-type planReq struct {
-	jobs []job
-	idxs []int
-	// durs receives the lane's planning duration at the lane's index.
-	durs []int64
-	wg   *sync.WaitGroup
+// laneTask is one closure dispatched to a lane worker.
+type laneTask struct {
+	fn func()
+	wg *sync.WaitGroup
 }
 
 // LogEntry is one step of the router's effective order.
@@ -117,20 +144,26 @@ func New(cfg core.Config, init *world.State) *Router {
 		cell = 2*cfg.MaxSpeed*(1+cfg.Omega)*cfg.RTTMs + 2*cfg.DefaultRadius
 	}
 	r := &Router{
-		cfg:    cfg,
-		inner:  core.NewServer(cfg, init),
-		own:    newOwnership(spatial.NewPartitioner(cell, cfg.Shards)),
-		n:      cfg.Shards,
-		lanes:  make([][]pendingSub, cfg.Shards),
-		laneOf: make(map[action.ClientID]int),
-		reqs:   make([]chan planReq, cfg.Shards),
-		planNs: make([]int64, cfg.Shards),
+		cfg:      cfg,
+		inner:    core.NewServer(cfg, init),
+		own:      newOwnership(spatial.NewLaneMap(spatial.NewPartitioner(cell, cfg.Shards))),
+		n:        cfg.Shards,
+		serial:   runtime.GOMAXPROCS(0) == 1,
+		lanes:    make([][]pendingSub, cfg.Shards),
+		laneOf:   make(map[action.ClientID]int),
+		reqs:     make([]chan laneTask, cfg.Shards),
+		lanePs:   make([][]*core.Pending, cfg.Shards),
+		laneIdxs: make([][]int, cfg.Shards),
+		planNs:   make([]int64, cfg.Shards),
+		laneNs:   make([]int64, cfg.Shards),
 	}
 	r.stats.Shards = cfg.Shards
 	r.stats.PerLane = make([]metrics.LaneStats, cfg.Shards)
 	r.inner.GrowScratch(cfg.Shards)
+	r.inner.EnablePartition(cfg.Shards)
+	r.inner.SetPlanExecutor(r.execTasks)
 	for w := 0; w < cfg.Shards; w++ {
-		r.reqs[w] = make(chan planReq)
+		r.reqs[w] = make(chan laneTask, 8)
 		r.wg.Add(1)
 		go r.laneWorker(w)
 	}
@@ -145,16 +178,59 @@ func (r *Router) Close() {
 	r.wg.Wait()
 }
 
-// laneWorker is one shard's engine goroutine: it plans its lane's slice
-// of each epoch, in lane order, on scratch w.
+// laneWorker is one shard's engine goroutine: it runs the closures its
+// lane is fed, in order, for every flush phase and plan fan-out.
 func (r *Router) laneWorker(w int) {
 	defer r.wg.Done()
-	for req := range r.reqs[w] {
-		start := time.Now()
-		r.planLane(w, req.jobs, req.idxs)
-		req.durs[w] = time.Since(start).Nanoseconds()
-		req.wg.Done()
+	for t := range r.reqs[w] {
+		t.fn()
+		t.wg.Done()
 	}
+}
+
+// runPhase runs fn(lane) for every active lane and stores each lane's
+// duration in durs[lane]. One active lane — or a single-threaded
+// process — runs inline; otherwise each lane runs on its own worker.
+// Either way the phase completes before runPhase returns, and lanes
+// touch disjoint state, so the schedule never shows in the outputs.
+func (r *Router) runPhase(active []int, durs []int64, fn func(lane int)) {
+	if len(active) == 1 || r.serial {
+		for _, lane := range active {
+			start := time.Now()
+			fn(lane)
+			durs[lane] = time.Since(start).Nanoseconds()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, lane := range active {
+		lane := lane
+		wg.Add(1)
+		r.reqs[lane] <- laneTask{fn: func() {
+			start := time.Now()
+			fn(lane)
+			durs[lane] = time.Since(start).Nanoseconds()
+		}, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// execTasks runs independent closures to completion, round-robin over
+// the lane workers — the executor injected into the engine's Tick
+// scheduler (core.SetPlanExecutor) and the parallel install pass.
+func (r *Router) execTasks(tasks []func()) {
+	if r.serial || len(tasks) == 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		r.reqs[i%r.n] <- laneTask{fn: t, wg: &wg}
+	}
+	wg.Wait()
 }
 
 // planLane plans jobs[idxs] in order with the lane-local sent overlay:
@@ -232,34 +308,64 @@ func (r *Router) UnregisterClient(id action.ClientID) {
 }
 
 // HandleMsg dispatches one client message. Submissions are routed and
-// buffered (or flushed through, for cross-shard footprints); everything
-// else is a barrier that flushes the epoch and then runs against the
-// settled shared state.
+// buffered (or flushed through, for cross-shard footprints);
+// completions are buffered for the next flush's install pass;
+// everything else is a barrier that flushes the epoch and then runs
+// against the settled shared state.
 func (r *Router) HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) core.ServerOutput {
-	sub, ok := msg.(*wire.Submit)
-	if !ok {
-		out := r.takePending()
-		out = r.flushInto(out, &r.stats.BarrierFlushes)
-		r.record(LogEntry{From: from, Msg: msg, NowMs: nowMs})
-		return mergeOut(out, r.inner.HandleMsg(from, msg, nowMs))
+	switch m := msg.(type) {
+	case *wire.Submit:
+		return r.handleSubmit(from, m, nowMs)
+	case *wire.Completion:
+		return r.handleCompletion(from, m, nowMs)
 	}
-	return r.handleSubmit(from, sub, nowMs)
+	out := r.takePending()
+	out = r.flushInto(out, &r.stats.BarrierFlushes)
+	r.record(LogEntry{From: from, Msg: msg, NowMs: nowMs})
+	return mergeOut(out, r.inner.HandleMsg(from, msg, nowMs))
+}
+
+// handleCompletion buffers a completion for the next flush's install
+// pass. Completions produce no replies and their effects — installs —
+// are applied at the head of every flush, so the effective order the
+// router records (and the differential harness replays) is completions
+// first, then the epoch's stamps. Batching them turns per-message
+// install cascades into one contiguous pass and keeps epochs from
+// being broken up by result traffic.
+func (r *Router) handleCompletion(from action.ClientID, m *wire.Completion, nowMs float64) core.ServerOutput {
+	out := r.takePending()
+	r.comps = append(r.comps, pendingComp{from: from, m: m, nowMs: nowMs})
+	if len(r.comps) >= maxEpochComps {
+		out = r.flushInto(out, &r.stats.SizeFlushes)
+	}
+	return out
 }
 
 func (r *Router) handleSubmit(from action.ClientID, m *wire.Submit, nowMs float64) core.ServerOutput {
 	out := r.takePending()
-	lane := r.routeLane(m.Env.Act)
+	p := r.inner.PrepareSubmit(from, m, nowMs)
+	lane, spanning := r.routePending(p)
+	p.SetLane(lane)
+	if spanning {
+		r.stats.SpanningActions++
+	}
 	if lane < 0 {
-		// Cross-shard footprint: close the epoch, then stamp on the
-		// global sequencer lane — the fully sequential path every shard
-		// observes, since it runs between epochs on the shared engine.
+		// Cross-shard (or footprint-free) submission: close the epoch,
+		// then stamp on the global sequencer lane — the fully sequential
+		// path every shard observes, since it runs between epochs on the
+		// shared engine. A genuinely spanning entry becomes a bridge: its
+		// Seq joins the FIFO that forces fallback flushes until it
+		// installs.
 		out = r.flushInto(out, &r.stats.CrossShardFlushes)
 		r.stats.CrossShardActions++
 		r.record(LogEntry{From: from, Msg: m, NowMs: nowMs})
 		var so core.ServerOutput
-		if p := r.inner.StampSubmit(from, m, nowMs, &so); p != nil {
+		if r.inner.StampPrepared(p, &so) {
 			plan := r.inner.PlanReply(p, 0, nil)
 			r.inner.CommitReply(p, &plan, &so)
+			if spanning {
+				r.spanning = append(r.spanning, p.Seq())
+			}
 		}
 		return mergeOut(out, so)
 	}
@@ -269,7 +375,7 @@ func (r *Router) handleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 		out = r.flushInto(out, &r.stats.LaneSwitchFlushes)
 	}
 	r.laneOf[from] = lane
-	r.lanes[lane] = append(r.lanes[lane], pendingSub{from: from, msg: m, nowMs: nowMs})
+	r.lanes[lane] = append(r.lanes[lane], pendingSub{from: from, msg: m, nowMs: nowMs, p: p})
 	r.bufN++
 	r.stats.LocalActions++
 	r.stats.PerLane[lane].Actions++
@@ -279,29 +385,33 @@ func (r *Router) handleSubmit(from action.ClientID, m *wire.Submit, nowMs float6
 	return out
 }
 
-// routeLane resolves the owner of the action's RS ∪ WS footprint:
-// the owning lane when a single shard owns everything, -1 for a
-// cross-shard footprint. Actions with an empty footprint ride the
-// global lane too — they cost nothing to serialize.
-func (r *Router) routeLane(act action.Action) int {
-	lane := -1
-	for _, id := range act.WriteSet() {
-		o := r.own.ownerOf(id, act)
+// routePending resolves the owner of the prepared submission's
+// interned RS ∪ WS footprint: the owning lane when a single shard owns
+// everything, -1 otherwise — with spanning reporting whether the
+// footprint genuinely touched two lanes (an empty footprint rides the
+// global lane too, but conflicts with nothing and is no bridge).
+func (r *Router) routePending(p *core.Pending) (lane int, spanning bool) {
+	r.own.grow(r.inner.InternedObjects())
+	rsd, wsd := p.Footprint()
+	pos, hasPos := p.Influence()
+	lane = -1
+	for _, o := range wsd {
+		l := r.own.ownerOf(o, r.inner.ObjectIDOf(o), hasPos, pos)
 		if lane < 0 {
-			lane = o
-		} else if o != lane {
-			return -1
+			lane = l
+		} else if l != lane {
+			return -1, true
 		}
 	}
-	for _, id := range act.ReadSet() {
-		o := r.own.ownerOf(id, act)
+	for _, o := range rsd {
+		l := r.own.ownerOf(o, r.inner.ObjectIDOf(o), hasPos, pos)
 		if lane < 0 {
-			lane = o
-		} else if o != lane {
-			return -1
+			lane = l
+		} else if l != lane {
+			return -1, true
 		}
 	}
-	return lane
+	return lane, false
 }
 
 // HandleResume answers a reconnecting client (core.Resumer). Resumes
@@ -325,8 +435,8 @@ func (r *Router) SessionToken(id action.ClientID) uint64 { return r.inner.Sessio
 
 // Tick runs the First Bound push cycle over settled state: the epoch
 // flushes first (its actions belong to the push window), then the
-// inner scheduler — already plan/commit parallel over Config.PushWorkers
-// — takes over.
+// inner scheduler takes over — its plan fan-out runs on the router's
+// lane workers through the injected executor.
 func (r *Router) Tick(nowMs float64) core.ServerOutput {
 	out := r.takePending()
 	out = r.flushInto(out, &r.stats.BarrierFlushes)
@@ -351,94 +461,264 @@ func (r *Router) takePending() core.ServerOutput {
 }
 
 // flushInto closes the current epoch, if non-empty, appending its
-// replies to out in merge order and crediting the flush to cause.
+// replies to out in merge order and crediting the flush to cause. The
+// buffered completions install first; the buffered submissions then
+// run the partitioned per-lane pipeline when every live queue entry is
+// lane-owned, or the global fallback path while a spanning bridge is
+// live (or the conflict index — which the lane views are built on — is
+// disabled).
 func (r *Router) flushInto(out core.ServerOutput, cause *int) core.ServerOutput {
-	if r.bufN == 0 {
+	if r.bufN == 0 && len(r.comps) == 0 {
 		return out
 	}
 	*cause++
+	r.installComps()
+	if r.bufN == 0 {
+		return out
+	}
 	r.stats.Epochs++
+	if r.inner.Partitioned() && len(r.spanning) == 0 && !r.cfg.DisableConflictIndex {
+		r.stats.PartitionedEpochs++
+		return r.flushPartitioned(out)
+	}
+	r.stats.FallbackEpochs++
+	return r.flushFallback(out)
+}
 
-	// Phase A — stamp sequentially in merge order (epoch, lane,
-	// localSeq): lanes ascending, arrival order within a lane. This
-	// assigns the global serial positions; everything after is
-	// scheduling.
+// installComps applies the buffered completions — recorded in the
+// effective order ahead of the epoch's stamps — and installs the
+// contiguous prefix, with the write application fanned out per ζS
+// segment. The segment tasks are individually timed — each writes a
+// distinct slot, so the worker-side stores race with nothing — and the
+// overlap a parallel run reclaims (summed task time minus the slowest
+// task) is deducted from the critical-path charge, keeping
+// InstallCritNs an honest projection even when the executor inlines.
+// Bridges whose entries settled pop off the spanning FIFO.
+func (r *Router) installComps() {
+	if len(r.comps) == 0 {
+		return
+	}
+	start := time.Now()
+	for _, c := range r.comps {
+		r.record(LogEntry{From: c.from, Msg: c.m, NowMs: c.nowMs})
+		r.inner.TakeCompletion(c.m)
+	}
+	r.comps = r.comps[:0]
+	var taskNs []int64
+	r.inner.InstallContiguous(func(tasks []func()) {
+		taskNs = make([]int64, len(tasks))
+		timed := make([]func(), len(tasks))
+		for i, t := range tasks {
+			i, t := i, t
+			timed[i] = func() {
+				t0 := time.Now()
+				t()
+				taskNs[i] = time.Since(t0).Nanoseconds()
+			}
+		}
+		r.execTasks(timed)
+	})
+	for len(r.spanning) > 0 && r.spanning[0] <= r.inner.Installed() {
+		r.spanning = r.spanning[1:]
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	var sum, max int64
+	for _, d := range taskNs {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	crit := elapsed - (sum - max)
+	if crit < 0 {
+		crit = 0
+	}
+	r.stats.InstallNs += elapsed
+	r.stats.InstallCritNs += crit
+}
+
+// flushPartitioned is the six-pass epoch pipeline over per-lane
+// engine state:
+//
+//	StampLane*  — lane-affine stamping: dedup, validity over the lane
+//	              view, lane enqueue+index              (parallel)
+//	SealStamp   — global Seqs, queue/index/history, counters, Drop
+//	              replies, in merge order               (sequential)
+//	PlanReply*  — Algorithm 6 closure walks per lane    (parallel)
+//	PreCommit   — blind-write ids in merge order        (sequential)
+//	CommitLane* — sent() marks, batch assembly, per-client sequencing
+//	                                                    (parallel)
+//	SealCommit  — reply emission in merge order         (sequential)
+//
+// The parallel passes touch only lane-affine state; every output whose
+// cross-lane order is observable is fixed by the sequential merges, so
+// the bytes are identical to the fallback path and the single lane.
+func (r *Router) flushPartitioned(out core.ServerOutput) core.ServerOutput {
+	jobs := r.jobs[:0]
+	stampActive := r.active[:0]
+	maxLane := 0
+	for lane := 0; lane < r.n; lane++ {
+		buf := r.lanes[lane]
+		if len(buf) == 0 {
+			continue
+		}
+		stampActive = append(stampActive, lane)
+		if len(buf) > maxLane {
+			maxLane = len(buf)
+		}
+		for _, ps := range buf {
+			r.record(LogEntry{From: ps.from, Msg: ps.msg, NowMs: ps.nowMs})
+			r.lanePs[lane] = append(r.lanePs[lane], ps.p)
+			jobs = append(jobs, job{lane: lane, p: ps.p})
+		}
+		r.lanes[lane] = r.lanes[lane][:0]
+	}
+	imb := float64(maxLane) * float64(r.n) / float64(len(jobs))
+	r.stats.LaneImbalance += (imb - r.stats.LaneImbalance) / float64(r.stats.PartitionedEpochs)
+
+	durs := r.laneNs
+	for lane := range durs {
+		durs[lane] = 0
+	}
+	r.runPhase(stampActive, durs, func(lane int) {
+		r.inner.StampLane(lane, r.lanePs[lane])
+	})
+	addPhase(&r.stats.StampNs, &r.stats.StampCritNs, durs)
+
+	start := time.Now()
+	for i := range jobs {
+		if !r.inner.SealStamp(jobs[i].p, &jobs[i].out) {
+			jobs[i].p = nil
+		}
+	}
+	r.stats.MergeNs += time.Since(start).Nanoseconds()
+
+	r.planJobs(jobs)
+
+	start = time.Now()
+	for i := range jobs {
+		if jobs[i].p != nil {
+			r.inner.PreCommit(jobs[i].p, &jobs[i].plan)
+		}
+	}
+	r.stats.MergeNs += time.Since(start).Nanoseconds()
+
+	for lane := range durs {
+		durs[lane] = 0
+	}
+	r.runPhase(r.active, durs, func(lane int) {
+		for _, i := range r.laneIdxs[lane] {
+			r.inner.CommitLane(jobs[i].p, &jobs[i].plan)
+		}
+	})
+	addPhase(&r.stats.CommitNs, &r.stats.CommitCritNs, durs)
+
+	start = time.Now()
+	for i := range jobs {
+		if jobs[i].p != nil {
+			r.inner.SealCommit(jobs[i].p, &jobs[i].plan, &jobs[i].out)
+		}
+		out = mergeOut(out, jobs[i].out)
+		jobs[i] = job{}
+	}
+	r.stats.MergeNs += time.Since(start).Nanoseconds()
+
+	for _, lane := range stampActive {
+		r.lanePs[lane] = r.lanePs[lane][:0]
+	}
+	r.jobs = jobs[:0]
+	r.bufN = 0
+	clear(r.laneOf)
+	return out
+}
+
+// flushFallback is the global-sequencer pipeline: sequential stamp in
+// merge order, parallel plan, sequential commit — the path that stays
+// correct with spanning entries live in the queue, because every walk
+// runs over the global view. The sequential phases charge both the
+// totals and the critical path: nothing about them parallelizes.
+func (r *Router) flushFallback(out core.ServerOutput) core.ServerOutput {
 	start := time.Now()
 	jobs := r.jobs[:0]
 	for lane := 0; lane < r.n; lane++ {
 		for _, ps := range r.lanes[lane] {
-			j := job{lane: lane}
+			j := job{lane: lane, p: ps.p}
 			r.record(LogEntry{From: ps.from, Msg: ps.msg, NowMs: ps.nowMs})
-			j.p = r.inner.StampSubmit(ps.from, ps.msg, ps.nowMs, &j.out)
+			if !r.inner.StampPrepared(ps.p, &j.out) {
+				j.p = nil
+			}
 			jobs = append(jobs, j)
 		}
 		r.lanes[lane] = r.lanes[lane][:0]
 	}
-	r.stats.StampNs += time.Since(start).Nanoseconds()
+	ns := time.Since(start).Nanoseconds()
+	r.stats.StampNs += ns
+	r.stats.StampCritNs += ns
 
-	// Phase B — plan each lane's replies on its worker, against the
-	// frozen queue and sent() state. Single-lane epochs plan inline:
-	// the fan-out would only buy a handoff.
-	laneIdxs := make([][]int, r.n)
-	active := 0
-	for i := range jobs {
-		if jobs[i].p == nil {
-			continue // dropped, or answered inline by the stamp
-		}
-		lane := jobs[i].lane
-		if len(laneIdxs[lane]) == 0 {
-			active++
-		}
-		laneIdxs[lane] = append(laneIdxs[lane], i)
-	}
-	durs := r.planNs
-	for lane := range durs {
-		durs[lane] = 0
-	}
-	if active == 1 {
-		for lane, idxs := range laneIdxs {
-			if len(idxs) > 0 {
-				start = time.Now()
-				r.planLane(lane, jobs, idxs)
-				durs[lane] = time.Since(start).Nanoseconds()
-			}
-		}
-	} else if active > 1 {
-		var wg sync.WaitGroup
-		for lane, idxs := range laneIdxs {
-			if len(idxs) == 0 {
-				continue
-			}
-			wg.Add(1)
-			r.stats.ParallelPlans += len(idxs)
-			r.reqs[lane] <- planReq{jobs: jobs, idxs: idxs, durs: durs, wg: &wg}
-		}
-		wg.Wait()
-	}
-	var planCrit int64
-	for _, d := range durs {
-		r.stats.PlanNs += d
-		if d > planCrit {
-			planCrit = d
-		}
-	}
-	r.stats.PlanCritNs += planCrit
+	r.planJobs(jobs)
 
-	// Phase C — commit sequentially in merge order: sent() marks,
-	// blind-write ids, per-client batch sequence numbers, replies.
 	start = time.Now()
 	for i := range jobs {
 		if jobs[i].p != nil {
 			r.inner.CommitReply(jobs[i].p, &jobs[i].plan, &jobs[i].out)
 		}
 		out = mergeOut(out, jobs[i].out)
-		jobs[i] = job{} // release the pending and its plan
+		jobs[i] = job{}
 	}
-	r.stats.CommitNs += time.Since(start).Nanoseconds()
+	ns = time.Since(start).Nanoseconds()
+	r.stats.CommitNs += ns
+	r.stats.CommitCritNs += ns
 	r.jobs = jobs[:0]
 	r.bufN = 0
 	clear(r.laneOf)
 	return out
+}
+
+// planJobs fans the accepted jobs' reply planning out by lane, leaving
+// the accepted per-lane index lists in r.laneIdxs and the accepted
+// lanes in r.active for the commit fan-out to reuse.
+func (r *Router) planJobs(jobs []job) {
+	for lane := range r.laneIdxs {
+		r.laneIdxs[lane] = r.laneIdxs[lane][:0]
+	}
+	active := r.active[:0]
+	for i := range jobs {
+		if jobs[i].p == nil {
+			continue // dropped, duplicate, or answered inline
+		}
+		lane := jobs[i].lane
+		if len(r.laneIdxs[lane]) == 0 {
+			active = append(active, lane)
+		}
+		r.laneIdxs[lane] = append(r.laneIdxs[lane], i)
+	}
+	r.active = active
+	if len(active) > 1 {
+		for _, lane := range active {
+			r.stats.ParallelPlans += len(r.laneIdxs[lane])
+		}
+	}
+	durs := r.planNs
+	for lane := range durs {
+		durs[lane] = 0
+	}
+	r.runPhase(active, durs, func(lane int) {
+		r.planLane(lane, jobs, r.laneIdxs[lane])
+	})
+	addPhase(&r.stats.PlanNs, &r.stats.PlanCritNs, durs)
+}
+
+// addPhase credits one phase's per-lane durations: every lane's time to
+// the total, the slowest lane's to the critical path.
+func addPhase(total, crit *int64, durs []int64) {
+	var slowest int64
+	for _, d := range durs {
+		*total += d
+		if d > slowest {
+			slowest = d
+		}
+	}
+	*crit += slowest
 }
 
 // mergeOut appends b's replies and counters to a, preserving order.
@@ -452,7 +732,9 @@ func mergeOut(a, b core.ServerOutput) core.ServerOutput {
 	return a
 }
 
-// Installed returns the serial position up to which ζS is complete.
+// Installed returns the serial position up to which ζS is complete
+// (buffered completions not yet installed are excluded; Flush first to
+// settle).
 func (r *Router) Installed() uint64 { return r.inner.Installed() }
 
 // Authoritative returns ζS.
@@ -470,7 +752,7 @@ func (r *Router) QueueLen() int { return r.inner.QueueLen() }
 func (r *Router) Metrics() metrics.ServerStats { return r.inner.Metrics() }
 
 // RouterMetrics snapshots the router's own counters: routing, epochs,
-// flush causes, and per-lane load.
+// flush causes, pipeline phase timings, and per-lane load.
 func (r *Router) RouterMetrics() metrics.RouterStats {
 	st := r.stats
 	st.PerLane = make([]metrics.LaneStats, r.n)

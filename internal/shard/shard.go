@@ -1,8 +1,9 @@
 // Package shard is the spatially partitioned sharded serializer: a
 // core.Engine that routes each submitted action to the shard lane owning
-// its read/write-set footprint, fans the expensive per-action analysis
-// (the Algorithm 6 closure walks) out over one goroutine per shard, and
-// merges the shard-local streams into one reproducible total order.
+// its read/write-set footprint, runs the per-action pipeline — stamping,
+// the Algorithm 6/7 analysis walks, and reply commit — on one persistent
+// worker per lane over that lane's own partition of engine state, and
+// merges the lane-local streams into one reproducible total order.
 //
 // The paper's thin server is a single sequential state machine; PR 1–3
 // made each of its operations cheap, but one lane is still the ceiling
@@ -10,7 +11,8 @@
 // giving up Theorem 1 is the paper's own: actions declare their read and
 // write sets up front, so whether two actions can conflict is statically
 // checkable per action. The router partitions object ownership over a
-// spatial grid (spatial.Partitioner) and keeps three invariants:
+// spatial grid (spatial.Partitioner behind a sticky spatial.LaneMap) and
+// keeps three invariants:
 //
 //   - Actions whose RS ∪ WS footprint is owned by a single lane are
 //     buffered on that lane within the current epoch.
@@ -21,23 +23,33 @@
 //     epoch), so per-recipient reply state never crosses lanes inside an
 //     epoch.
 //
-// An epoch flushes in three phases. Stamping — Algorithm 7 validity,
-// serial positions, enqueue, conflict indexing — runs sequentially in
-// the merge order (epoch, shardLane, localSeq). Reply planning — the
-// closure walks, the dominant per-submission cost — fans out over the
-// persistent lane workers, each processing its own lane in order against
-// the frozen queue with a lane-local sent() overlay. Commit then applies
-// every plan sequentially in merge order: sent() marks, blind-write ids,
-// per-client batch sequence numbers, replies. Because stamping and
-// commit are sequential and planning is read-only, the serial order and
-// every emitted byte are a pure function of the submission streams —
+// The engine's authoritative state is itself partitioned (see
+// core/lanes.go): each lane owns a segment of the uncommitted queue and
+// a lane-numbered reverse conflict index covering exactly its own
+// entries, and ζS is hash-segmented for parallel installs. An epoch
+// flushes in six passes — buffered completions install first, then
+//
+//	StampLane*  → SealStamp → PlanReply* → PreCommit → CommitLane* → SealCommit
+//
+// where the starred passes run one task per lane on the persistent lane
+// workers and the others are short sequential merges in the order
+// (epoch, shardLane, localSeq). Lane-local analysis is sound because of
+// lane closure: while no spanning entry is live in the queue, a
+// conflict chain seeded in lane L cannot leave L's segment, so the
+// lane-view walks visit exactly the entries the global walk would have
+// acted on. Whenever a spanning "bridge" IS live, the router flushes
+// through the global fallback pipeline (sequential stamp and commit,
+// parallel plan over the global view) until the bridge installs. Either
+// way, everything whose cross-lane order is observable — global Seqs,
+// blind-write ids, per-client batch sequences, reply emission — is
+// fixed by the sequential merge passes, so the serial order and every
+// emitted byte are a pure function of the submission streams —
 // independent of GOMAXPROCS and goroutine scheduling — and identical to
 // what the single-lane engine produces when driven through the same
 // effective order (TestShardedEquivalence).
 package shard
 
 import (
-	"seve/internal/action"
 	"seve/internal/core"
 	"seve/internal/geom"
 	"seve/internal/spatial"
@@ -55,41 +67,51 @@ func NewEngine(cfg core.Config, init *world.State) core.Engine {
 	return New(cfg, init)
 }
 
-// ownership is the sticky object→lane assignment. An object is placed
-// when first seen in a footprint: spatial actions pin it to the lane
-// owning their influence centre's grid region; non-spatial actions fall
-// back to a hash of the object id. Assignment happens on the sequential
-// routing path, so the table is deterministic given the submission
-// stream — a requirement for the reproducible merge order.
+// ownership is the sticky object→lane assignment, keyed by the engine
+// interner's dense object indices (the same indices Pending.Footprint
+// yields, so routing a buffered submission is pure array reads). An
+// object is placed when first seen in a footprint: spatial actions pin
+// it to the lane owning their influence centre's grid cell (through the
+// LaneMap, so a rebalanced cell keeps already-pinned objects put);
+// non-spatial actions fall back to a hash of the sparse object id.
+// Assignment happens on the sequential routing path, so the table is
+// deterministic given the submission stream — a requirement for the
+// reproducible merge order.
 type ownership struct {
-	part    *spatial.Partitioner
-	owner   map[world.ObjectID]int
+	lanes   *spatial.LaneMap
+	byDense []int32
 	perLane []int
 }
 
-func newOwnership(part *spatial.Partitioner) *ownership {
+func newOwnership(lanes *spatial.LaneMap) *ownership {
 	return &ownership{
-		part:    part,
-		owner:   make(map[world.ObjectID]int),
-		perLane: make([]int, part.Shards()),
+		lanes:   lanes,
+		perLane: make([]int, lanes.Shards()),
 	}
 }
 
-// ownerOf returns the owning lane of id, assigning one on first sight.
-func (t *ownership) ownerOf(id world.ObjectID, act action.Action) int {
-	if lane, ok := t.owner[id]; ok {
-		return lane
+// grow keeps the dense table in step with the engine's interner.
+func (t *ownership) grow(n int) {
+	for len(t.byDense) < n {
+		t.byDense = append(t.byDense, -1)
+	}
+}
+
+// ownerOf returns the owning lane of dense index o (sparse id `id`),
+// assigning one on first sight from the submission's influence centre
+// when it declares a meaningful one.
+func (t *ownership) ownerOf(o uint32, id world.ObjectID, hasPos bool, pos geom.Vec) int {
+	if lane := t.byDense[o]; lane >= 0 {
+		return int(lane)
 	}
 	lane := -1
-	if sp, ok := act.(action.Spatial); ok {
-		if c := sp.Influence(); c.R > 0 || c.Center != (geom.Vec{}) {
-			lane = t.part.Region(c.Center)
-		}
+	if hasPos {
+		lane = t.lanes.LaneOf(pos)
 	}
 	if lane < 0 {
-		lane = int(mix64(uint64(id)) % uint64(t.part.Shards()))
+		lane = int(mix64(uint64(id)) % uint64(t.lanes.Shards()))
 	}
-	t.owner[id] = lane
+	t.byDense[o] = int32(lane)
 	t.perLane[lane]++
 	return lane
 }

@@ -502,6 +502,21 @@ func TestRouterStats(t *testing.T) {
 	if st.ParallelPlans == 0 {
 		t.Fatal("no epoch planned on the lane workers")
 	}
+	if st.PartitionedEpochs == 0 {
+		t.Fatal("no epoch ran the partitioned per-lane pipeline")
+	}
+	if st.SpanningActions == 0 {
+		t.Fatal("workload with 20% cross actions recorded no spanning footprints")
+	}
+	if st.FallbackEpochs == 0 {
+		t.Fatal("live spanning bridges never forced a fallback epoch")
+	}
+	if st.PartitionedEpochs+st.FallbackEpochs != st.Epochs {
+		t.Fatalf("epoch split %d+%d != %d", st.PartitionedEpochs, st.FallbackEpochs, st.Epochs)
+	}
+	if st.LaneImbalance < 1 {
+		t.Fatalf("lane imbalance %.2f below the balanced floor of 1", st.LaneImbalance)
+	}
 	lanes := 0
 	owned := 0
 	for _, ls := range st.PerLane {

@@ -54,3 +54,83 @@ func (p *Partitioner) Region(v geom.Vec) int {
 func keyOf(v geom.Vec, cell float64) cellKey {
 	return cellKey{int32(math.Floor(v.X / cell)), int32(math.Floor(v.Y / cell))}
 }
+
+// LaneMap is the stable cell→lane ownership map the shard router (and
+// through it the partitioned store) keys object ownership by. A cell is
+// assigned on first lookup to the least-loaded lane — fewest pinned
+// cells, preferring the Partitioner's arithmetic Region on a tie and
+// the lowest lane index after that — and remembered, so a later
+// rebalance (MoveCell) changes only the cells explicitly moved: every
+// other cell — and every object already pinned through one — keeps its
+// lane. Least-loaded beats the bare Region hash because the lanes a
+// world actually uses are decided by a handful of occupied cells, not a
+// uniform scatter: hashing 2n cells onto n lanes leaves some lane
+// owning Θ(log n / log log n) of them, and the slowest lane bounds
+// every parallel phase of the epoch pipeline. First sight happens on
+// the router's sequential routing path, so assignments are a pure
+// function of the submission stream — the determinism the reproducible
+// merge order needs. That stability is what lets the router treat
+// object→lane assignments as sticky while still allowing an operator
+// (or a future load balancer) to migrate hot cells.
+type LaneMap struct {
+	part   *Partitioner
+	cells  map[cellKey]int
+	counts []int
+}
+
+// NewLaneMap returns a lane map over the partitioner's shards.
+func NewLaneMap(part *Partitioner) *LaneMap {
+	return &LaneMap{
+		part:   part,
+		cells:  make(map[cellKey]int),
+		counts: make([]int, part.Shards()),
+	}
+}
+
+// Shards reports the lane count.
+func (m *LaneMap) Shards() int { return m.part.Shards() }
+
+// LaneOf returns the owning lane of position v, pinning its cell on
+// first sight to the least-loaded lane (ties prefer the arithmetic
+// Region, then the lowest index).
+func (m *LaneMap) LaneOf(v geom.Vec) int {
+	k := keyOf(v, m.part.CellSize())
+	if lane, ok := m.cells[k]; ok {
+		return lane
+	}
+	lane := m.part.Region(v)
+	for l, c := range m.counts {
+		if c < m.counts[lane] {
+			lane = l
+		}
+	}
+	m.cells[k] = lane
+	m.counts[lane]++
+	return lane
+}
+
+// MoveCell reassigns the cell containing v to lane, pinning it if it
+// was never looked up. Future LaneOf calls for the cell return lane;
+// ownership already derived from the old assignment is not rewritten
+// (the caller decides when in-flight state makes that safe).
+func (m *LaneMap) MoveCell(v geom.Vec, lane int) {
+	if lane < 0 || lane >= m.part.Shards() {
+		return
+	}
+	k := keyOf(v, m.part.CellSize())
+	if prev, ok := m.cells[k]; ok {
+		if prev == lane {
+			return
+		}
+		m.counts[prev]--
+	}
+	m.cells[k] = lane
+	m.counts[lane]++
+}
+
+// CellCounts reports, per lane, how many pinned cells it owns.
+func (m *LaneMap) CellCounts() []int {
+	out := make([]int, len(m.counts))
+	copy(out, m.counts)
+	return out
+}

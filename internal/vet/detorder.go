@@ -38,6 +38,17 @@ var pushPlanFuncs = map[string]bool{
 	"pushGroup": true, "closureShared": true, "closureWalk": true,
 }
 
+// mergeFuncs are the partitioned pipeline's sequential merge passes
+// (core/lanes.go): each call stamps global Seqs, mints blind-write ids,
+// or emits replies, so invocation order IS the merge order (epoch,
+// lane, localSeq). Driving them out of map iteration reorders the
+// serial stream run to run. The lane-parallel phases (StampLane,
+// CommitLane, PlanReply) are deliberately absent: lanes are
+// independent, so their dispatch order is free.
+var mergeFuncs = map[string]bool{
+	"SealStamp": true, "PreCommit": true, "SealCommit": true, "StampPrepared": true,
+}
+
 // orderFields are sequence counters: stamping them inside an unordered
 // loop assigns serial order nondeterministically.
 var orderFields = map[string]bool{
@@ -89,6 +100,10 @@ func findOrderSink(u *Unit, body *ast.BlockStmt) string {
 				}
 				if strings.HasSuffix(pkg, "internal/core") && pushPlanFuncs[name] {
 					what = "push planning (" + name + ")"
+					return false
+				}
+				if strings.HasSuffix(pkg, "internal/core") && mergeFuncs[name] {
+					what = "epoch merge (" + name + ")"
 					return false
 				}
 			}

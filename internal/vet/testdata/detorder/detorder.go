@@ -6,6 +6,7 @@ package dettest
 import (
 	"sort"
 
+	"seve/internal/core"
 	"seve/internal/wire"
 )
 
@@ -121,4 +122,57 @@ func sliceEncode(msgs []wire.Msg, buf []byte) []byte {
 		buf = wire.AppendFrame(buf, m)
 	}
 	return buf
+}
+
+// sealUnordered drives the partitioned pipeline's sequential stamp seal
+// out of map iteration: global Seqs, counters, and Drop replies land in
+// map order instead of the merge order (epoch, lane, localSeq).
+func sealUnordered(srv *core.Server, jobs map[int]*core.Pending, out *core.ServerOutput) {
+	for _, p := range jobs { // want `epoch merge \(SealStamp\)`
+		srv.SealStamp(p, out)
+	}
+}
+
+// mintUnordered mints blind-write ids in map order — the ids are
+// client-visible, so the reply bytes differ run to run.
+func mintUnordered(srv *core.Server, jobs map[*core.Pending]*core.ReplyPlan) {
+	for p, plan := range jobs { // want `epoch merge \(PreCommit\)`
+		srv.PreCommit(p, plan)
+	}
+}
+
+// emitSealUnordered emits the staged replies in map order.
+func emitSealUnordered(srv *core.Server, jobs map[*core.Pending]*core.ReplyPlan, out *core.ServerOutput) {
+	for p, plan := range jobs { // want `epoch merge \(SealCommit\)`
+		srv.SealCommit(p, plan, out)
+	}
+}
+
+// stampGlobalUnordered runs the global-path stamp out of map iteration:
+// each call assigns the next serial position, so the total order
+// depends on map order.
+func stampGlobalUnordered(srv *core.Server, jobs map[int]*core.Pending, out *core.ServerOutput) {
+	for _, p := range jobs { // want `epoch merge \(StampPrepared\)`
+		srv.StampPrepared(p, out)
+	}
+}
+
+// sealByJobOrder is the sanctioned idiom: jobs collected lane-major
+// into a slice at flush start, every sequential seal pass walking it by
+// ascending index — the merge order. Clean.
+func sealByJobOrder(srv *core.Server, jobs []*core.Pending, plans []*core.ReplyPlan, out *core.ServerOutput) {
+	for i := range jobs {
+		if srv.SealStamp(jobs[i], out) {
+			srv.PreCommit(jobs[i], plans[i])
+			srv.SealCommit(jobs[i], plans[i], out)
+		}
+	}
+}
+
+// laneDispatchUnordered fans lane-affine stamping out of a map: the
+// lanes touch disjoint state, so dispatch order is free. Clean.
+func laneDispatchUnordered(srv *core.Server, lanes map[int][]*core.Pending) {
+	for lane, ps := range lanes {
+		srv.StampLane(lane, ps)
+	}
 }

@@ -1,0 +1,137 @@
+package world
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSegmentedBehaviorMatchesFlat drives the same operation sequence
+// through a flat state and states partitioned at several widths: every
+// observable — Get, Len, IDs order, Digest, Equal — must be independent
+// of the segment count. This is the deterministic-merge contract the
+// shard router's parallel install phase leans on.
+func TestSegmentedBehaviorMatchesFlat(t *testing.T) {
+	build := func(segs int) *State {
+		s := NewState()
+		if segs > 1 {
+			s.Partition(segs)
+		}
+		for i := 0; i < 300; i++ {
+			s.Set(ObjectID(i), Value{float64(i), float64(i * 2)})
+		}
+		for i := 0; i < 300; i += 3 {
+			s.SetInPlace(ObjectID(i), Value{float64(-i), float64(i)})
+		}
+		for i := 0; i < 300; i += 7 {
+			s.Delete(ObjectID(i))
+		}
+		return s
+	}
+	flat := build(1)
+	for _, n := range []int{2, 4, 8} {
+		seg := build(n)
+		if seg.Segments() < n {
+			t.Fatalf("Partition(%d): got %d segments", n, seg.Segments())
+		}
+		if seg.Len() != flat.Len() {
+			t.Fatalf("segs=%d: Len %d != flat %d", n, seg.Len(), flat.Len())
+		}
+		if got, want := seg.Digest(), flat.Digest(); got != want {
+			t.Fatalf("segs=%d: Digest %x != flat %x", n, got, want)
+		}
+		if !seg.Equal(flat) || !flat.Equal(seg) {
+			t.Fatalf("segs=%d: Equal not symmetric with flat", n)
+		}
+		segIDs, flatIDs := seg.IDs(), flat.IDs()
+		if len(segIDs) != len(flatIDs) {
+			t.Fatalf("segs=%d: IDs len mismatch", n)
+		}
+		for i := range segIDs {
+			if segIDs[i] != flatIDs[i] {
+				t.Fatalf("segs=%d: IDs[%d] = %d, flat %d", n, i, segIDs[i], flatIDs[i])
+			}
+		}
+	}
+}
+
+// TestSegmentedCrossSegmentIsolation writes to every segment from its
+// own goroutine — the shard router's parallel install shape. Under
+// -race this asserts that segment-disjoint writers never touch shared
+// map state; the final read-back asserts no write was lost or misrouted.
+func TestSegmentedCrossSegmentIsolation(t *testing.T) {
+	const segs, objs = 4, 400
+	s := NewState()
+	s.Partition(segs)
+	if s.Segments() != segs {
+		t.Fatalf("Segments() = %d, want %d", s.Segments(), segs)
+	}
+
+	bySeg := make([][]ObjectID, s.Segments())
+	for i := 0; i < objs; i++ {
+		id := ObjectID(i)
+		bySeg[s.SegmentOf(id)] = append(bySeg[s.SegmentOf(id)], id)
+	}
+
+	var wg sync.WaitGroup
+	for g, ids := range bySeg {
+		wg.Add(1)
+		go func(g int, ids []ObjectID) {
+			defer wg.Done()
+			for _, id := range ids {
+				s.Set(id, Value{float64(id) + float64(g)/10})
+				if v, ok := s.Get(id); !ok || v[0] != float64(id)+float64(g)/10 {
+					t.Errorf("seg %d: read-your-write failed for %d", g, id)
+				}
+			}
+		}(g, ids)
+	}
+	wg.Wait()
+
+	if s.Len() != objs {
+		t.Fatalf("Len = %d, want %d", s.Len(), objs)
+	}
+	for g, ids := range bySeg {
+		for _, id := range ids {
+			v, ok := s.Get(id)
+			if !ok || v[0] != float64(id)+float64(g)/10 {
+				t.Fatalf("object %d (seg %d): got %v ok=%v", id, g, v, ok)
+			}
+		}
+	}
+}
+
+// TestSegmentedCloneAndCopyFrom checks that Clone flattens to an equal
+// value and CopyFrom routes through segments, including the
+// delete-when-absent branch.
+func TestSegmentedCloneAndCopyFrom(t *testing.T) {
+	s := NewState()
+	s.Partition(4)
+	for i := 0; i < 50; i++ {
+		s.Set(ObjectID(i), Value{float64(i)})
+	}
+	c := s.Clone()
+	if c.Segments() != 1 {
+		t.Fatalf("Clone kept %d segments, want 1", c.Segments())
+	}
+	if !c.Equal(s) {
+		t.Fatal("Clone not Equal to source")
+	}
+
+	src := NewState()
+	src.Set(ObjectID(1), Value{99})
+	// id 2 absent from src: CopyFrom must delete it here.
+	s.CopyFrom(src, IDSet{1, 2})
+	if v, _ := s.Get(1); v[0] != 99 {
+		t.Fatalf("CopyFrom value: got %v", v)
+	}
+	if _, ok := s.Get(2); ok {
+		t.Fatal("CopyFrom kept an id absent from src")
+	}
+
+	// Repartitioning an already-partitioned state redistributes without loss.
+	want := s.Digest()
+	s.Partition(8)
+	if s.Digest() != want {
+		t.Fatal("repartition changed the digest")
+	}
+}

@@ -9,13 +9,19 @@
 # shardscale experiment sweep from the sharding PR.
 #
 # Writes the raw `go test -bench` output and a JSON summary to
-# BENCH_PR4.json at the repo root. BenchmarkServerSubmit grows the
+# BENCH_PR6.json at the repo root. BenchmarkServerSubmit grows the
 # uncommitted queue monotonically (no completions), so it runs with a
 # pinned iteration count: letting benchtime ramp b.N would measure a
 # queue three orders of magnitude deeper than the seed baseline did.
+# The shardscale sweep reports best-of-3 per configuration (one
+# measurement is tens of milliseconds of engine compute; see
+# internal/experiments/shardscale.go) across a uniform workload and a
+# flash-crowd skew variant; on a single-core host its wall_x column
+# shows only the pipeline's serial overhead and achievable_x carries
+# the scalability projection.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR6.json}"
 raw="$(mktemp)"
 sweep="$(mktemp)"
 trap 'rm -f "$raw" "$sweep"' EXIT
@@ -34,8 +40,9 @@ go test -run '^$' -bench 'BenchmarkFig6|BenchmarkFig7' -benchmem . | tee -a "$ra
 go run ./cmd/seve-bench -experiment shardscale -csv | tee "$sweep"
 
 # Fold the benchmark lines into JSON: {"benchmarks": [{name, iterations,
-# ns_per_op, bytes_per_op, allocs_per_op}, ...], "shardscale": [{shards,
-# submits_per_s, wall_x, plan_share, achievable_x, epochs}, ...]}.
+# ns_per_op, bytes_per_op, allocs_per_op}, ...], "shardscale":
+# [{workload, shards, submits_per_s, wall_x, achievable_x, epochs,
+# partitioned, imbalance}, ...]}.
 awk '
 BEGIN { print "{"; printf "  \"benchmarks\": [" ; n = 0 }
 /^Benchmark/ {
@@ -55,10 +62,10 @@ END { printf "\n  ],\n" }
 ' "$raw" > "$out"
 awk -F, '
 BEGIN { printf "  \"shardscale\": ["; n = 0 }
-/^[0-9]/ {
+/^(uniform|flash),/ {
     if (n++) printf ","
-    printf "\n    {\"shards\": %s, \"submits_per_s\": %s, \"wall_x\": %s, \"plan_share\": %s, \"achievable_x\": %s, \"epochs\": %s}",
-        $1, $2, $3, $4, $5, $6
+    printf "\n    {\"workload\": \"%s\", \"shards\": %s, \"submits_per_s\": %s, \"wall_x\": %s, \"achievable_x\": %s, \"epochs\": %s, \"partitioned\": %s, \"imbalance\": %s}",
+        $1, $2, $3, $4, $5, $6, $7, $8
 }
 END { print "\n  ]"; print "}" }
 ' "$sweep" >> "$out"
