@@ -11,9 +11,10 @@
 // serverstats (the engine's conflict-index and push-scheduler counters),
 // clientstats (the client fleet's reconciliation and divergence
 // counters), plus the extensions protocols, zoning, hybrid, shardscale
-// (sharded-serializer submit throughput vs shard count),
-// ablation-omega, ablation-threshold, ablation-gc (ablations = all
-// three), and all.
+// (sharded-serializer submit throughput vs shard count), adversarial
+// (superseding delivery queue vs drop-at-cap under flash-crowd,
+// trading-storm, and interest-churn stalls), ablation-omega,
+// ablation-threshold, ablation-gc (ablations = all three), and all.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|clientstats|protocols|zoning|hybrid|shardscale|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
+		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|clientstats|protocols|zoning|hybrid|shardscale|adversarial|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and move counts (seconds instead of minutes)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
@@ -59,6 +60,7 @@ func main() {
 		{"zoning", experiments.Zoning},
 		{"hybrid", experiments.Hybrid},
 		{"shardscale", experiments.Shardscale},
+		{"adversarial", experiments.Adversarial},
 		{"ablation-omega", experiments.AblationOmega},
 		{"ablation-threshold", experiments.AblationThreshold},
 		{"ablation-gc", experiments.AblationGC},

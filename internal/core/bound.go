@@ -145,6 +145,10 @@ type ReplyPlan struct {
 	// reserved for the blind write, positions' envelopes after it.
 	envs  []action.Envelope
 	stats walkStats
+	// footprint is the batch's covered-object set (planFootprint) — the
+	// supersession metadata the transport's delivery queue uses for
+	// per-client staleness accounting (DESIGN.md §13).
+	footprint []world.ObjectID
 }
 
 // Positions returns the queue positions the planned batch will carry,
@@ -197,7 +201,8 @@ func (s *Server) planPush(cid action.ClientID, window []int, nowMs float64, sc *
 	positions, writes, st := s.closureWalk(&v, seeds, sc,
 		func(_ int, e *entry) bool { return e.sent.has(slot) })
 	return ReplyPlan{active: true, positions: positions, writes: writes,
-		envs: planEnvs(&v, positions), stats: st}
+		envs: planEnvs(&v, positions), stats: st,
+		footprint: s.planFootprint(&v, positions, writes)}
 }
 
 // commitPush applies one client's plan: marks the batch entries sent,
@@ -212,9 +217,11 @@ func (s *Server) commitPush(cid action.ClientID, p *ReplyPlan, out *ServerOutput
 	}
 	v := s.globalView()
 	batch := s.commitBatch(&v, s.slotOf(cid), p)
+	b := s.sequence(cid, &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed})
 	out.Replies = append(out.Replies, Reply{
-		To:  cid,
-		Msg: s.sequence(cid, &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}),
+		To:      cid,
+		Msg:     b,
+		Deliver: Delivery{Class: DeliveryBatch, Footprint: p.footprint, Epoch: b.ClientSeq},
 	})
 }
 

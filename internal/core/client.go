@@ -90,6 +90,12 @@ type Client struct {
 	resumesSnapshot int
 	staleBatches    int
 	ownRedelivered  int
+	// Superseding delivery queue observables (DESIGN.md §13):
+	// coalescedBatches counts merged batches applied; supersededSeqs
+	// counts the batch sequence numbers whose individual frames never
+	// arrived because a merge or snapshot covered them.
+	coalescedBatches int
+	supersededSeqs   int
 }
 
 type pendingAction struct {
@@ -171,6 +177,8 @@ func (c *Client) Metrics() metrics.ClientStats {
 		ResumesSnapshot: c.resumesSnapshot,
 		StaleBatches:    c.staleBatches,
 		OwnRedelivered:  c.ownRedelivered,
+		Coalesced:       c.coalescedBatches,
+		Superseded:      c.supersededSeqs,
 	}
 }
 
@@ -243,11 +251,20 @@ func (c *Client) unqueue(i int) {
 // batch ahead of its turn is buffered; processing resumes — possibly
 // through several buffered batches — once the gap fills. Unsequenced
 // batches (ClientSeq 0, from baseline servers) process immediately.
+//
+// A coalesced batch (CoversFrom > 0, DESIGN.md §13) stands in for the
+// contiguous sequence range [CoversFrom, ClientSeq] the server's
+// delivery queue merged while undelivered: it applies when the range
+// contains the expected next sequence and advances past the whole range.
 func (c *Client) HandleBatch(b *wire.Batch) ClientOutput {
 	var out ClientOutput
 	if b.ClientSeq == 0 {
 		c.processBatch(b, &out)
 		return out
+	}
+	start := b.ClientSeq
+	if b.CoversFrom != 0 && b.CoversFrom < start {
+		start = b.CoversFrom
 	}
 	if b.ClientSeq < c.nextBatchSeq {
 		// Already applied: a resume's retained suffix can overlap batches
@@ -257,32 +274,43 @@ func (c *Client) HandleBatch(b *wire.Batch) ClientOutput {
 		c.staleBatches++
 		return out
 	}
-	if b.ClientSeq != c.nextBatchSeq {
+	if start > c.nextBatchSeq {
 		max := c.cfg.MaxPendingBatches
 		if max == 0 {
 			max = DefaultMaxPendingBatches
 		}
-		if _, dup := c.pendingBatches[b.ClientSeq]; !dup && max > 0 && len(c.pendingBatches) >= max {
+		// Buffered under the first sequence it covers, where the drain
+		// loop below will look for it.
+		if _, dup := c.pendingBatches[start]; !dup && max > 0 && len(c.pendingBatches) >= max {
 			c.droppedBatches++
 			out.Violations = append(out.Violations, fmt.Sprintf(
 				"client %d: pending-batch buffer full (%d buffered, next expected %d); dropping batch %d",
 				c.id, len(c.pendingBatches), c.nextBatchSeq, b.ClientSeq))
 			return out
 		}
-		c.pendingBatches[b.ClientSeq] = b
+		c.pendingBatches[start] = b
 		return out
 	}
-	c.processBatch(b, &out)
-	c.nextBatchSeq++
+	c.applySequenced(b, &out)
 	for {
 		next, ok := c.pendingBatches[c.nextBatchSeq]
 		if !ok {
 			return out
 		}
 		delete(c.pendingBatches, c.nextBatchSeq)
-		c.processBatch(next, &out)
-		c.nextBatchSeq++
+		c.applySequenced(next, &out)
 	}
+}
+
+// applySequenced processes an in-order batch and advances the expected
+// sequence past every number it covers, counting coalesced deliveries.
+func (c *Client) applySequenced(b *wire.Batch, out *ClientOutput) {
+	if b.CoversFrom != 0 && b.CoversFrom < b.ClientSeq {
+		c.coalescedBatches++
+		c.supersededSeqs += int(b.ClientSeq - b.CoversFrom)
+	}
+	c.processBatch(b, out)
+	c.nextBatchSeq = b.ClientSeq + 1
 }
 
 // processBatch applies one batch in envelope order.
@@ -610,6 +638,12 @@ func (c *Client) rebuildFromSnapshot(m *wire.CatchUp) {
 		res.CloneInto(&c.queue[i].optimistic)
 	}
 	// Batch numbering restarts; anything buffered predates the snapshot.
+	// A forward jump means the skipped numbers' frames were superseded
+	// (mid-session catch-up) or lost past the window — either way they
+	// were never individually delivered.
+	if m.NextBatchSeq > c.nextBatchSeq {
+		c.supersededSeqs += int(m.NextBatchSeq - c.nextBatchSeq)
+	}
 	c.nextBatchSeq = m.NextBatchSeq
 	clear(c.pendingBatches)
 	c.ownRedeliverFloor = m.LastActSeq

@@ -181,6 +181,13 @@ type Config struct {
 	// above: ModeBasic has no authoritative state to snapshot from.
 	ResumeWindow int
 
+	// DisableSuperseding forces the transport's per-client delivery queue
+	// back to plain bounded-FIFO-with-drops even when ResumeWindow would
+	// allow the superseding queue (DESIGN.md §13). Exists for the
+	// supersession ablation and the differential equivalence tests
+	// (TestSupersedingEquivalence); leave false in real deployments.
+	DisableSuperseding bool
+
 	// CrossCheck makes the server compare redundant completion reports
 	// for the same action against the accepted result and flag clients
 	// whose reports disagree — the paper's Section II-B observation that

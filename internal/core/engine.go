@@ -62,6 +62,19 @@ type Resumer interface {
 	SessionToken(id action.ClientID) uint64
 }
 
+// Superseder is implemented by engines that can rebuild a connected
+// client mid-session: SnapshotCatchUp issues the blind-write catch-up
+// (Algorithm 6 / Theorem 1, the same primitive the resume path uses)
+// whose replies replace everything queued, undelivered, for that
+// client. The transport's superseding delivery queue (DESIGN.md §13)
+// calls it when a slow client's queue overflows with frames that
+// cannot be superseded in place. Requires Config.ResumeWindow > 0;
+// without a live session the output is empty and the transport must
+// fall back to dropping.
+type Superseder interface {
+	SnapshotCatchUp(id action.ClientID, nowMs float64) ServerOutput
+}
+
 // Flusher is implemented by engines that buffer submissions internally
 // (the shard router's epoch batching). Transports should call Flush
 // whenever their event queue drains so buffered replies are not held
@@ -72,6 +85,7 @@ type Flusher interface {
 
 // Engine conformance is part of the package contract.
 var (
-	_ Engine  = (*Server)(nil)
-	_ Resumer = (*Server)(nil)
+	_ Engine     = (*Server)(nil)
+	_ Resumer    = (*Server)(nil)
+	_ Superseder = (*Server)(nil)
 )

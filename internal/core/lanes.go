@@ -180,9 +180,11 @@ func (s *Server) CommitLane(p *Pending, plan *ReplyPlan) {
 		}
 		batch = plan.envs
 	}
+	b := s.sequence(p.from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed})
 	p.reply = Reply{
-		To:  p.from,
-		Msg: s.sequence(p.from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
+		To:      p.from,
+		Msg:     b,
+		Deliver: Delivery{Class: DeliveryBatch, Footprint: plan.footprint, Epoch: b.ClientSeq},
 	}
 	p.hasReply = true
 }

@@ -3,12 +3,56 @@ package core
 import (
 	"seve/internal/action"
 	"seve/internal/wire"
+	"seve/internal/world"
 )
+
+// DeliveryClass tells the transport's superseding delivery queue
+// (DESIGN.md §13) how a reply may be replaced while it waits,
+// undelivered, in a slow client's queue. The classes form the
+// supersedable-vs-snapshot decision rule: the soundness argument for
+// each is the sent-bit/idempotency analysis in §13, not the footprint —
+// footprints feed staleness accounting only.
+type DeliveryClass uint8
+
+const (
+	// DeliveryOrdered frames carry session-critical control flow
+	// (Welcome, CatchUp verdicts, lock grants, relays) and are never
+	// superseded, merged, or dropped by the queue. The zero value, so an
+	// untagged reply is always handled conservatively.
+	DeliveryOrdered DeliveryClass = iota
+	// DeliveryBatch frames are sequenced state batches (closure replies
+	// and First Bound pushes). Contiguous same-flag batches may be
+	// coalesced in place (wire.CoalesceFrames); a later DeliverySnapshot
+	// supersedes them entirely.
+	DeliveryBatch
+	// DeliveryCovered frames are drop notices — information a later
+	// snapshot re-delivers through the CatchUp's DroppedActs replay, so a
+	// snapshot supersedes them.
+	DeliveryCovered
+	// DeliverySnapshot frames are blind-write catch-ups (Algorithm 6 as a
+	// delivery primitive): self-contained replacements for everything the
+	// queue holds below them, and for any earlier queued snapshot — the
+	// literal UQP replace-in-place case.
+	DeliverySnapshot
+)
+
+// Delivery is the supersession metadata the engine's plan phase attaches
+// to a reply: the class, the covered-object footprint (the write sets
+// the reply communicates — staleness accounting), and the epoch (the
+// batch sequence number the frame advances the client to).
+type Delivery struct {
+	Class     DeliveryClass
+	Footprint []world.ObjectID
+	Epoch     uint64
+}
 
 // Reply is a message the server wants delivered to a specific client.
 type Reply struct {
 	To  action.ClientID
 	Msg wire.Msg
+	// Deliver carries the supersession metadata for the transport's
+	// delivery queue. The zero value (DeliveryOrdered) is always safe.
+	Deliver Delivery
 }
 
 // ServerOutput is everything a server engine call produced. The engines

@@ -182,7 +182,8 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 		}})
 		for _, b := range sess.retained {
 			if b.ClientSeq > m.LastBatchSeq {
-				out.Replies = append(out.Replies, Reply{To: cid, Msg: b})
+				out.Replies = append(out.Replies, Reply{To: cid, Msg: b,
+					Deliver: Delivery{Class: DeliveryBatch, Epoch: b.ClientSeq}})
 			}
 		}
 		return cid, out
@@ -191,6 +192,17 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 	// Snapshot fallback. The client rebuilds from ζS at the install
 	// point, so every sent() bit it holds is void.
 	s.resumesSnapshot++
+	s.snapshotOut(cid, ci, sess, &out)
+	return cid, out
+}
+
+// snapshotOut appends the blind-write catch-up for cid to out: the
+// CatchUp verdict carrying W(S, ζS(S)) at the install point, followed —
+// when the client still has uncommitted actions queued — by one closure
+// batch re-delivering them with their Algorithm 6 dependencies. Shared
+// by the resume snapshot fallback and the transport's mid-session
+// SnapshotCatchUp; either way Theorem 1 covers the rebuild.
+func (s *Server) snapshotOut(cid action.ClientID, ci *clientInfo, sess *session, out *ServerOutput) {
 	var seeds []int
 	for i, e := range s.queue {
 		e.sent.clear(ci.slot)
@@ -198,15 +210,24 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 			seeds = append(seeds, i)
 		}
 	}
-	out.Replies = append(out.Replies, Reply{To: cid, Msg: &wire.CatchUp{
-		OK:            true,
-		Snapshot:      true,
-		InstalledUpTo: s.installed,
-		NextBatchSeq:  ci.nextBatchSeq + 1,
-		LastActSeq:    sess.lastActSeq,
-		DroppedActs:   drops,
-		Writes:        s.snapshotWrites(),
-	}})
+	writes := s.snapshotWrites()
+	fp := make([]world.ObjectID, len(writes))
+	for i, w := range writes {
+		fp[i] = w.ID
+	}
+	out.Replies = append(out.Replies, Reply{
+		To: cid,
+		Msg: &wire.CatchUp{
+			OK:            true,
+			Snapshot:      true,
+			InstalledUpTo: s.installed,
+			NextBatchSeq:  ci.nextBatchSeq + 1,
+			LastActSeq:    sess.lastActSeq,
+			DroppedActs:   slices.Clone(sess.drops),
+			Writes:        writes,
+		},
+		Deliver: Delivery{Class: DeliverySnapshot, Footprint: fp, Epoch: ci.nextBatchSeq + 1},
+	})
 
 	// Re-deliver the client's own uncommitted actions as one closure
 	// batch: Algorithm 6 with the still-queued submissions as seeds. The
@@ -215,28 +236,51 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 	// actions commit in submission order.
 	if len(seeds) > 0 {
 		v := s.globalView()
-		positions, writes, st := s.closureWalk(&v, seeds, s.scratchFor(0), func(j int, e *entry) bool {
+		positions, ws, st := s.closureWalk(&v, seeds, s.scratchFor(0), func(j int, e *entry) bool {
 			return e.sent.has(ci.slot)
 		})
-		s.noteWalk(st, &out)
+		s.noteWalk(st, out)
 		envs := make([]action.Envelope, 0, len(positions)+1)
-		if len(writes) > 0 {
+		if len(ws) > 0 {
 			envs = append(envs, action.Envelope{
 				Seq:    s.installed,
 				Origin: action.OriginServer,
-				Act:    action.NewBlindWrite(s.nextBlindID(), writes),
+				Act:    action.NewBlindWrite(s.nextBlindID(), ws),
 			})
 		}
 		for _, j := range positions {
 			s.queue[j].sent.set(ci.slot)
 			envs = append(envs, s.queue[j].env)
 		}
+		b := s.sequence(cid, &wire.Batch{Envs: envs, InstalledUpTo: s.installed})
 		out.Replies = append(out.Replies, Reply{
-			To:  cid,
-			Msg: s.sequence(cid, &wire.Batch{Envs: envs, InstalledUpTo: s.installed}),
+			To:      cid,
+			Msg:     b,
+			Deliver: Delivery{Class: DeliveryBatch, Footprint: s.planFootprint(&v, positions, ws), Epoch: b.ClientSeq},
 		})
 	}
-	return cid, out
+}
+
+// SnapshotCatchUp issues a mid-session blind-write catch-up for a
+// connected client (Superseder contract): the same Algorithm 6
+// primitive the resume path degrades to, invoked by the transport when
+// a client's delivery queue overflows with frames that cannot be
+// superseded safely. The replies replace everything queued for the
+// client: the snapshot re-seeds its stable store at the install point,
+// the seeds batch re-delivers its own uncommitted actions, sent() bits
+// are cleared so future closures re-deliver what the discarded frames
+// carried, and the CatchUp's DroppedActs replay covers discarded Drop
+// notices. Returns an empty output when the client has no live session
+// or registration (superseding requires Config.ResumeWindow > 0).
+func (s *Server) SnapshotCatchUp(id action.ClientID, nowMs float64) ServerOutput {
+	var out ServerOutput
+	ci, sess := s.clients[id], s.sessions[id]
+	if ci == nil || sess == nil {
+		return out
+	}
+	s.snapshotFallbacks++
+	s.snapshotOut(id, ci, sess, &out)
+	return out
 }
 
 // snapshotWrites flattens ζS into the CatchUp blind-write payload:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"seve/internal/action"
 	"seve/internal/geom"
@@ -126,10 +127,11 @@ type Server struct {
 	tokenOwner map[uint64]action.ClientID
 	sessionSeq uint64
 
-	resumesSuffix    int
-	resumesSnapshot  int
-	resumesRejected  int
-	duplicateSubmits int
+	resumesSuffix     int
+	resumesSnapshot   int
+	resumesRejected   int
+	duplicateSubmits  int
+	snapshotFallbacks int
 }
 
 // crossCheckWindow is how many installed results the server retains for
@@ -565,8 +567,9 @@ func (s *Server) recordDropOf(p *Pending, out *ServerOutput) {
 		p.sess.recordDrop(p.e.env.Act.ID())
 	}
 	out.Replies = append(out.Replies, Reply{
-		To:  p.from,
-		Msg: &wire.Drop{ActID: p.e.env.Act.ID()},
+		To:      p.from,
+		Msg:     &wire.Drop{ActID: p.e.env.Act.ID()},
+		Deliver: Delivery{Class: DeliveryCovered},
 	})
 }
 
@@ -589,7 +592,35 @@ func (s *Server) PlanReply(p *Pending, w int, overlay func(pos int) bool) ReplyP
 	v := s.viewFor(p)
 	positions, writes, st := s.closureWalk(&v, []int{p.pos}, s.scratchFor(w), already)
 	return ReplyPlan{active: true, positions: positions, writes: writes,
-		envs: planEnvs(&v, positions), stats: st}
+		envs: planEnvs(&v, positions), stats: st,
+		footprint: s.planFootprint(&v, positions, writes)}
+}
+
+// planFootprint collects the planned batch's covered-object set — the
+// union of the blind write's targets and every batch entry's declared
+// write set, as sorted deduplicated sparse ids. This is the supersession
+// metadata (DESIGN.md §13) the transport's delivery queue charges to a
+// slow client's staleness accounting. Read-only over the frozen view and
+// the interner, so it runs on the planning worker with the walk.
+func (s *Server) planFootprint(v *walkView, positions []int, writes []world.Write) []world.ObjectID {
+	n := len(writes)
+	for _, j := range positions {
+		n += len(v.queue[j].wsd)
+	}
+	if n == 0 {
+		return nil
+	}
+	fp := make([]world.ObjectID, 0, n)
+	for _, w := range writes {
+		fp = append(fp, w.ID)
+	}
+	for _, j := range positions {
+		for _, o := range v.queue[j].wsd {
+			fp = append(fp, s.intern.ID(o))
+		}
+	}
+	slices.Sort(fp)
+	return slices.Compact(fp)
 }
 
 // planEnvs copies the batch positions' envelopes on the planning worker
@@ -631,9 +662,11 @@ func (s *Server) CommitReply(p *Pending, plan *ReplyPlan, out *ServerOutput) {
 	s.noteWalk(plan.stats, out)
 	v := s.viewFor(p)
 	batch := s.commitBatch(&v, p.slot, plan)
+	b := s.sequence(p.from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed})
 	out.Replies = append(out.Replies, Reply{
-		To:  p.from,
-		Msg: s.sequence(p.from, &wire.Batch{Envs: batch, InstalledUpTo: s.installed}),
+		To:      p.from,
+		Msg:     b,
+		Deliver: Delivery{Class: DeliveryBatch, Footprint: plan.footprint, Epoch: b.ClientSeq},
 	})
 }
 
@@ -917,6 +950,7 @@ func (s *Server) Metrics() metrics.ServerStats {
 		ResumesRejected:   s.resumesRejected,
 		DuplicateSubmits:  s.duplicateSubmits,
 		RetainedBatches:   s.retainedBatches(),
+		SnapshotFallbacks: s.snapshotFallbacks,
 	}
 }
 

@@ -41,6 +41,17 @@ type ClientStats struct {
 	StaleBatches      int
 	OwnRedelivered    int
 	ReconnectAttempts int
+
+	// Superseding delivery queue (DESIGN.md §13), observed from the
+	// client's side of the stream. Coalesced counts merged batches
+	// applied (CoversFrom < ClientSeq); Superseded counts the individual
+	// batch sequence numbers whose frames never arrived because a merge
+	// or snapshot replaced them; SnapshotFallbacks counts mid-session
+	// catch-ups accepted while the connection stayed up (folded in by
+	// transport.Client.Metrics; zero under the simulator glue).
+	Coalesced         int
+	Superseded        int
+	SnapshotFallbacks int
 }
 
 // Merge accumulates o into st. Gauges (queue length, buffered batches,
@@ -65,6 +76,9 @@ func (st *ClientStats) Merge(o ClientStats) {
 	st.StaleBatches += o.StaleBatches
 	st.OwnRedelivered += o.OwnRedelivered
 	st.ReconnectAttempts += o.ReconnectAttempts
+	st.Coalesced += o.Coalesced
+	st.Superseded += o.Superseded
+	st.SnapshotFallbacks += o.SnapshotFallbacks
 }
 
 // Table renders the snapshot as a two-column table.
@@ -87,6 +101,9 @@ func (st ClientStats) Table() *Table {
 	row("stale batches dropped", st.StaleBatches)
 	row("own actions re-delivered", st.OwnRedelivered)
 	row("reconnect attempts", st.ReconnectAttempts)
+	row("coalesced batches applied", st.Coalesced)
+	row("superseded batch seqs", st.Superseded)
+	row("snapshot fallbacks", st.SnapshotFallbacks)
 	return t
 }
 

@@ -53,6 +53,20 @@ type ServerStats struct {
 	// drain its connection). Maintained by the transport layer, not the
 	// engine; zero under the simulator.
 	WriteQueueDrops int
+
+	// Superseding delivery queue (DESIGN.md §13). FramesSuperseded counts
+	// queued frames released because a newer frame replaced their content
+	// in place; FramesCoalesced counts in-queue merges of contiguous
+	// batches; SnapshotFallbacks counts mid-session blind-write catch-ups
+	// issued when an overflowing queue could not be superseded safely.
+	// MaxStaleObjects gauges the largest covered-object footprint any
+	// client's queue accumulated while stale. The first two and the gauge
+	// are transport-maintained; SnapshotFallbacks is counted by the
+	// engine (it issues the Algorithm 6 rebuild).
+	FramesSuperseded  int
+	FramesCoalesced   int
+	SnapshotFallbacks int
+	MaxStaleObjects   int
 }
 
 // Table renders the snapshot as a two-column table.
@@ -80,6 +94,10 @@ func (st ServerStats) Table() *Table {
 	row("duplicate submits swallowed", st.DuplicateSubmits)
 	row("retained batches", st.RetainedBatches)
 	row("write queue drops", st.WriteQueueDrops)
+	row("frames superseded", st.FramesSuperseded)
+	row("frames coalesced", st.FramesCoalesced)
+	row("snapshot fallbacks", st.SnapshotFallbacks)
+	row("max stale objects", st.MaxStaleObjects)
 	return t
 }
 

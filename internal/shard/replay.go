@@ -20,6 +20,8 @@ func Replay(eng core.Engine, log []LogEntry) []core.ServerOutput {
 			outs = append(outs, core.ServerOutput{})
 		case le.Tick:
 			outs = append(outs, eng.Tick(le.NowMs))
+		case le.Snap:
+			outs = append(outs, eng.(core.Superseder).SnapshotCatchUp(le.From, le.NowMs))
 		default:
 			outs = append(outs, eng.HandleMsg(le.From, le.Msg, le.NowMs))
 		}

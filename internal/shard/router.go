@@ -124,6 +124,8 @@ type LogEntry struct {
 	Mask  uint64
 	Leave bool
 	Tick  bool
+	// Snap marks a mid-session SnapshotCatchUp barrier for From.
+	Snap bool
 }
 
 // New returns a sharded router over cfg.Shards lanes. The configuration
@@ -432,6 +434,17 @@ func (r *Router) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, c
 // SessionToken returns the resume token for a registered client (see
 // core.Server.SessionToken).
 func (r *Router) SessionToken(id action.ClientID) uint64 { return r.inner.SessionToken(id) }
+
+// SnapshotCatchUp issues a mid-session blind-write catch-up
+// (core.Superseder). Like a resume, it is an epoch barrier: the pending
+// epoch flushes first so the snapshot cuts settled state, and the
+// recorded Snap entry replays the call at exactly the same point.
+func (r *Router) SnapshotCatchUp(id action.ClientID, nowMs float64) core.ServerOutput {
+	out := r.takePending()
+	out = r.flushInto(out, &r.stats.BarrierFlushes)
+	r.record(LogEntry{From: id, NowMs: nowMs, Snap: true})
+	return mergeOut(out, r.inner.SnapshotCatchUp(id, nowMs))
+}
 
 // Tick runs the First Bound push cycle over settled state: the epoch
 // flushes first (its actions belong to the push window), then the
@@ -773,9 +786,11 @@ func (r *Router) SetInstallHook(fn func(seq uint64, res action.Result)) {
 // core.Server.Suspects).
 func (r *Router) Suspects() map[action.ClientID]int { return r.inner.Suspects() }
 
-// Engine conformance (plus the Flusher and Resumer extensions).
+// Engine conformance (plus the Flusher, Resumer, and Superseder
+// extensions).
 var (
-	_ core.Engine  = (*Router)(nil)
-	_ core.Flusher = (*Router)(nil)
-	_ core.Resumer = (*Router)(nil)
+	_ core.Engine     = (*Router)(nil)
+	_ core.Flusher    = (*Router)(nil)
+	_ core.Resumer    = (*Router)(nil)
+	_ core.Superseder = (*Router)(nil)
 )

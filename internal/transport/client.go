@@ -55,6 +55,11 @@ type Client struct {
 	engine            *core.Client
 	closed            bool
 	reconnectAttempts int
+	// snapshotFallbacks counts CatchUp snapshots that arrived mid-session
+	// on a live connection — the server's delivery queue overflowed and
+	// superseded our backlog with a blind-write rebuild (DESIGN.md §13),
+	// as opposed to the snapshots we asked for by resuming.
+	snapshotFallbacks int
 }
 
 // Dial connects, performs the Hello/Welcome handshake, and returns a
@@ -131,6 +136,7 @@ func (c *Client) Metrics() metrics.ClientStats {
 	defer c.mu.Unlock()
 	st := c.engine.Metrics()
 	st.ReconnectAttempts = c.reconnectAttempts
+	st.SnapshotFallbacks = c.snapshotFallbacks
 	return st
 }
 
@@ -173,6 +179,9 @@ func (c *Client) Run() error {
 			continue
 		}
 		c.mu.Lock()
+		if cu, ok := msg.(*wire.CatchUp); ok && cu.OK && cu.Snapshot {
+			c.snapshotFallbacks++
+		}
 		out := c.engine.HandleMsg(msg)
 		conn = c.conn
 		c.mu.Unlock()

@@ -216,6 +216,25 @@ func TestWriterPumpNoLeak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Park live frames in the delivery queue: closure replies the
+		// client never reads, so the teardown (leave event closing the
+		// queue) races dispatch enqueues and the pump's drain. Replaced
+		// or still-queued frames must all return to the pool — the pool
+		// sentinels panic on a double release.
+		avatar := manhattan.AvatarID(int(cl.ID()))
+		for m := 0; m < 3; m++ {
+			var mv *manhattan.MoveAction
+			var merr error
+			cl.Engine(func(e *core.Client) {
+				mv, merr = w.NewMove(e.NextActionID(), avatar, e.Optimistic())
+			})
+			if merr != nil {
+				break
+			}
+			if _, err := cl.Submit(mv); err != nil {
+				break
+			}
+		}
 		// Vanish without reading a single frame: the reader pump sees the
 		// close, and the writer pump must follow via connDone rather than
 		// waiting for a write error that may never come.

@@ -18,9 +18,10 @@ import (
 func TestWriteQueueDropCounter(t *testing.T) {
 	srv := NewServer(ServerConfig{Core: protocolConfig(), Init: world.NewState()})
 	// A writer whose pump never runs: one slot, then the queue is full.
-	ch := make(chan *wire.Frame, 1)
+	// Built non-superseding so a full queue drops (the FIFO ladder rung).
+	q := NewSendQueue(1, false, &srv.ctrs)
 	srv.mu.Lock()
-	srv.writers[7] = ch
+	srv.writers[7] = q
 	srv.mu.Unlock()
 
 	var out core.ServerOutput
@@ -39,7 +40,7 @@ func TestWriteQueueDropCounter(t *testing.T) {
 	if got := srv.Metrics().WriteQueueDrops; got != 3 {
 		t.Fatalf("WriteQueueDrops = %d after second burst, want 3", got)
 	}
-	(<-ch).Release()
+	q.Close()
 }
 
 // TestReadTimeoutDisconnectsSilentClient: with ReadTimeout set, a

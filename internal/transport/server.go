@@ -18,6 +18,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"slices"
 	"sync"
 	"time"
 
@@ -28,6 +29,15 @@ import (
 	"seve/internal/shard"
 	"seve/internal/wire"
 	"seve/internal/world"
+)
+
+const (
+	// sendQueueCap bounds each client's delivery queue in frames; at
+	// capacity the SendQueue's superseding ladder (or, without sessions,
+	// the historical drop) engages.
+	sendQueueCap = 256
+	// coalesceBytes caps one coalesced pump write.
+	coalesceBytes = 256 << 10
 )
 
 // ServerConfig configures a TCP SEVE server.
@@ -57,16 +67,25 @@ type ServerConfig struct {
 type Server struct {
 	cfg    ServerConfig
 	engine core.Engine
+	// superseding selects the SendQueue delivery mode (DESIGN.md §13):
+	// true when the engine retains sessions (ResumeWindow > 0), can
+	// answer a mid-session SnapshotCatchUp, and the ablation knob
+	// Config.DisableSuperseding is off. HybridRelay fan-out bypasses the
+	// per-client plan metadata, so it also forces plain FIFO.
+	superseding bool
 
 	events chan serverEvent
 	done   chan struct{}
 
-	mu              sync.Mutex
-	writers         map[action.ClientID]chan *wire.Frame
-	nextID          action.ClientID
-	started         time.Time
-	closed          bool
-	writeQueueDrops int
+	mu      sync.Mutex
+	writers map[action.ClientID]*SendQueue
+	nextID  action.ClientID
+	started time.Time
+	closed  bool
+
+	// ctrs is shared by every client's SendQueue so supersession totals
+	// survive disconnects.
+	ctrs DeliveryCounters
 
 	wg sync.WaitGroup
 }
@@ -91,7 +110,7 @@ type serverEvent struct {
 	// tears the client down only if this queue is still the registered
 	// one, so a stale disconnect racing a resumed successor cannot
 	// unregister the new connection.
-	writeQ chan *wire.Frame
+	writeQ *SendQueue
 }
 
 // NewServer returns an unstarted server.
@@ -104,8 +123,12 @@ func NewServer(cfg ServerConfig) *Server {
 		engine:  shard.NewEngine(cfg.Core, cfg.Init),
 		events:  make(chan serverEvent, 1024),
 		done:    make(chan struct{}),
-		writers: make(map[action.ClientID]chan *wire.Frame),
+		writers: make(map[action.ClientID]*SendQueue),
 		started: time.Now(),
+	}
+	if _, ok := s.engine.(core.Superseder); ok {
+		s.superseding = cfg.Core.ResumeWindow > 0 &&
+			!cfg.Core.DisableSuperseding && !cfg.Core.HybridRelay
 	}
 	if cfg.Durable != nil {
 		every := cfg.SnapshotEvery
@@ -177,12 +200,15 @@ func (s *Server) Installed() uint64 {
 }
 
 // Metrics snapshots the engine's cumulative counters, folding in the
-// transport-level ones (write-queue drops).
+// transport-level delivery-queue ones.
 func (s *Server) Metrics() metrics.ServerStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.engine.Metrics()
-	st.WriteQueueDrops = s.writeQueueDrops
+	s.mu.Unlock()
+	st.WriteQueueDrops = int(s.ctrs.Drops.Load())
+	st.FramesSuperseded = int(s.ctrs.Superseded.Load())
+	st.FramesCoalesced = int(s.ctrs.Coalesced.Load())
+	st.MaxStaleObjects = int(s.ctrs.MaxStale.Load())
 	return st
 }
 
@@ -259,9 +285,12 @@ func (s *Server) handleEvent(ev serverEvent) {
 		if ev.writeQ == nil || s.writers[ev.from] == ev.writeQ {
 			s.engine.UnregisterClient(ev.from)
 			delete(s.writers, ev.from)
-			// The writer pump has exited (or is about to); release
-			// anything dispatch enqueued after it stopped draining.
-			drainFrames(ev.writeQ)
+			// The writer pump has exited (or is about to); closing the
+			// queue releases anything dispatch enqueued after it stopped
+			// draining and makes later enqueues self-releasing no-ops.
+			if ev.writeQ != nil {
+				ev.writeQ.Close()
+			}
 		}
 		s.mu.Unlock()
 	case ev.resume != nil:
@@ -292,7 +321,7 @@ func (s *Server) handleResume(ev serverEvent) {
 			// The previous connection is still registered (its reader has
 			// not noticed the death yet). The resumed connection wins;
 			// the stale leave will no-op against the new queue.
-			drainFrames(old)
+			old.Close()
 		}
 		s.writers[cid] = ev.writeQ
 	}
@@ -303,51 +332,80 @@ func (s *Server) handleResume(ev serverEvent) {
 	}
 }
 
-// drainFrames releases everything buffered on a dead writer queue so the
-// pooled frames return to the pool. Nil-safe; callers hold s.mu, which
-// excludes concurrent dispatch enqueues.
-func drainFrames(ch chan *wire.Frame) {
-	if ch == nil {
+// dispatch fans an engine output out to the writers, then settles any
+// snapshot requests the delivery queues raised: for each client whose
+// queue overflowed with unsupersedable frames, it asks the engine for a
+// blind-write SnapshotCatchUp and dispatches those replies too. The
+// snapshot replies go through the same enqueue path; the
+// DeliverySnapshot frame replaces the stale queue content in place,
+// which is what clears the request.
+func (s *Server) dispatch(out core.ServerOutput) {
+	needSnap := s.dispatchReplies(out.Replies)
+	if len(needSnap) == 0 {
 		return
 	}
-	for {
-		select {
-		case f := <-ch:
-			f.Release()
-		default:
-			return
+	sup, ok := s.engine.(core.Superseder)
+	if !ok {
+		return
+	}
+	for _, cid := range needSnap {
+		s.mu.Lock()
+		if _, live := s.writers[cid]; !live {
+			s.mu.Unlock()
+			continue
 		}
+		snap := sup.SnapshotCatchUp(cid, s.nowMs())
+		s.mu.Unlock()
+		// The snapshot empties the queue it lands on, so a second
+		// NeedSnapshot here is impossible in practice; if one did
+		// surface, the queue's wantSnap flag persists and the next
+		// dispatch retries.
+		s.dispatchReplies(snap.Replies)
 	}
 }
 
-// dispatch encodes every reply once into a pooled frame and hands it to
-// the recipient's writer. Sibling push batches share their envelope
-// section through the per-call EncodeCache, so a fan-out of n recipients
-// serializes the (large) envelope bytes exactly once plus n small
-// headers. Each frame carries one reference, owned by the writer channel
-// until its pump writes and releases it.
-func (s *Server) dispatch(out core.ServerOutput) {
+// dispatchReplies encodes every reply once into a pooled frame and
+// enqueues it on the recipient's delivery queue, returning the clients
+// whose queues requested a snapshot catch-up. Sibling push batches share
+// their envelope section through the per-call EncodeCache, so a fan-out
+// of n recipients serializes the (large) envelope bytes exactly once
+// plus n small headers. Each frame carries one reference, consumed by
+// the queue; s.mu is held only to snapshot the writer map — encoding and
+// enqueueing run outside it, so a fan-out to thousands of clients no
+// longer blocks handshakes, metrics readers, and the resume path.
+func (s *Server) dispatchReplies(reps []core.Reply) []action.ClientID {
+	if len(reps) == 0 {
+		return nil
+	}
+	queues := make([]*SendQueue, len(reps))
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	for i := range reps {
+		queues[i] = s.writers[reps[i].To]
+	}
+	s.mu.Unlock()
 	var cache wire.EncodeCache
 	defer cache.Reset()
-	for _, rep := range out.Replies {
-		ch, ok := s.writers[rep.To]
-		if !ok {
+	var needSnap []action.ClientID
+	for i := range reps {
+		rep := &reps[i]
+		q := queues[i]
+		if q == nil {
 			continue
 		}
 		f := wire.NewFrameCached(&cache, rep.Msg)
-		select {
-		case ch <- f:
-		default:
-			// A client that cannot drain its queue is effectively
-			// dead; dropping here instead of blocking keeps one slow
-			// client from stalling the world.
-			f.Release()
-			s.writeQueueDrops++
+		switch q.Enqueue(f, rep.Deliver) {
+		case NeedSnapshot:
+			if !slices.Contains(needSnap, rep.To) {
+				needSnap = append(needSnap, rep.To)
+			}
+		case Dropped:
+			// A client that cannot drain its queue is effectively dead;
+			// dropping here instead of blocking keeps one slow client
+			// from stalling the world.
 			s.cfg.Logf("transport: client %d write queue full; dropping message", rep.To)
 		}
 	}
+	return needSnap
 }
 
 // handleConn performs the opening handshake — Hello/Welcome for a fresh
@@ -363,7 +421,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
-	writeQ := make(chan *wire.Frame, 256)
+	writeQ := NewSendQueue(sendQueueCap, s.superseding, &s.ctrs)
 	// connDone unblocks the writer pump when this reader exits, so a
 	// vanished client cannot strand the pump goroutine (and the pooled
 	// frames queued behind it) until server shutdown.
@@ -419,43 +477,40 @@ func (s *Server) handleConn(conn net.Conn) {
 	// Writer pump: coalesce whatever has queued since the last write
 	// into one pooled buffer and hand the kernel a single Write —
 	// per-tick fan-out becomes one syscall per connection instead of one
-	// per frame. Frames are released as they are copied out; anything
-	// still queued at exit is released so its buffers return to the pool.
+	// per frame. PopAll transfers frame ownership here; closing the queue
+	// on exit releases anything still buffered so it returns to the pool.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		defer func() {
-			for {
-				select {
-				case f := <-writeQ:
-					f.Release()
-				default:
-					return
-				}
-			}
-		}()
-		// Cap one coalesced write; a pathological backlog flushes in
-		// several writes rather than growing an unpoolable buffer.
-		const coalesceBytes = 256 << 10
+		defer writeQ.Close()
+		var frames []*wire.Frame
 		for {
 			select {
-			case f := <-writeQ:
-				buf := wire.GetBuf(f.Len())
-				buf = append(buf, f.Bytes()...)
-				f.Release()
-			drain:
-				for len(buf) < coalesceBytes {
-					select {
-					case f := <-writeQ:
+			case <-writeQ.Notify():
+				for {
+					// Cap one coalesced write; a pathological backlog
+					// flushes in several writes rather than growing an
+					// unpoolable buffer.
+					frames = writeQ.PopAll(frames[:0], coalesceBytes)
+					if len(frames) == 0 {
+						break
+					}
+					size := 0
+					for _, f := range frames {
+						size += f.Len()
+					}
+					buf := wire.GetBuf(size)
+					for _, f := range frames {
 						buf = append(buf, f.Bytes()...)
 						f.Release()
-					default:
-						break drain
+					}
+					_, err := conn.Write(buf)
+					wire.PutBuf(buf)
+					if err != nil {
+						return
 					}
 				}
-				_, err := conn.Write(buf)
-				wire.PutBuf(buf)
-				if err != nil {
+				if writeQ.IsClosed() {
 					return
 				}
 			case <-connDone:

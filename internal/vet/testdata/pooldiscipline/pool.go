@@ -126,3 +126,42 @@ type stash struct {
 func (s *stash) fill() {
 	s.f = wire.NewFrame(&wire.Hello{})
 }
+
+// supersedeInPlace is the superseding enqueue shape (DESIGN.md §13):
+// retain the fresh frame for the slot it takes over, release the
+// displaced frame's slot reference, drop the creation reference. Clean.
+func supersedeInPlace(slot []*wire.Frame, i int) {
+	f := wire.NewFrame(&wire.Hello{})
+	f.Retain()
+	old := slot[i]
+	slot[i] = f
+	old.Release()
+	f.Release()
+}
+
+// supersedePending replaces a locally pending frame: the displaced
+// reference is released before the name is rebound, and the
+// replacement's reference travels out on the channel. Clean.
+func supersedePending(ch chan *wire.Frame) {
+	pending := wire.NewFrame(&wire.Hello{})
+	pending.Release()
+	pending = wire.NewFrame(&wire.Hello{InterestMask: 1})
+	ch <- pending
+}
+
+// supersedeLeak rebinds the pending frame without releasing the
+// displaced reference — the classic replace-in-queue leak: the stale
+// frame never returns to the pool.
+func supersedeLeak(ch chan *wire.Frame) {
+	pending := wire.NewFrame(&wire.Hello{}) // want `frame "pending" is not released on every path`
+	pending = wire.NewFrame(&wire.Hello{InterestMask: 1})
+	ch <- pending
+}
+
+// supersedeUseAfter reads the displaced frame after its reference went
+// back to the pool — a drain racing a replacement.
+func supersedeUseAfter() int {
+	f := wire.NewFrame(&wire.Hello{})
+	f.Release()
+	return f.Len() // want `use of frame "f" after its final Release`
+}

@@ -17,6 +17,13 @@ func FuzzDecode(f *testing.F) {
 	}
 	// A few hostile shapes: huge counts with tiny bodies.
 	f.Add(byte(TypeBatch), []byte{0, 9, 9, 9, 9, 9, 9, 9, 9, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add(byte(TypeBatch), []byte{
+		1,                      // push flag
+		9, 9, 9, 9, 9, 9, 9, 9, // installedUpTo
+		4, 0, 0, 0, 0, 0, 0, 0, // clientSeq
+		2, 0, 0, 0, 0, 0, 0, 0, // coversFrom (coalesced range start)
+		255, 255, 255, 255, // huge count, tiny body
+	})
 	f.Add(byte(TypeCompletion), []byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 1, 255, 255, 255, 255})
 	f.Add(byte(TypeWelcome), []byte{1, 0, 0, 0, 255, 255, 255, 255})
 	f.Add(byte(TypeRelay), []byte{255, 255, 255, 255})

@@ -163,10 +163,79 @@ func AppendFrame(buf []byte, msg Msg) []byte {
 	return buf
 }
 
+// batchFrameHeader is the frame header plus the fixed Batch payload
+// header (push flag, installedUpTo, clientSeq, coversFrom, count) — the
+// prefix CoalesceFrames parses and rewrites.
+const batchFrameHeader = frameHeaderSize + 1 + 8 + 8 + 8 + 4
+
+// CoalesceFrames merges two encoded, undelivered Batch frames into one
+// — the superseding writer queue's in-place replacement for contiguous
+// sequenced batches (DESIGN.md §13). Both frames must carry TypeBatch
+// payloads with the same Push flag, and b must continue exactly where a
+// ends: the first sequence b covers (its CoversFrom, or its ClientSeq
+// when it is unmerged) must be a.ClientSeq+1. The merged frame keeps
+// a's starting sequence as CoversFrom, takes b's ClientSeq and
+// InstalledUpTo (the newer batch's, monotonic), and concatenates the
+// envelope sections in order — applying it atomically is equivalent to
+// applying a then b.
+//
+// On success the returned frame carries one fresh reference and the
+// caller still owns its references on a and b (release them to complete
+// the replacement). Returns (nil, false), touching nothing, when the
+// frames are not mergeable.
+func CoalesceFrames(a, b *Frame) (*Frame, bool) {
+	ab, bb := a.Bytes(), b.Bytes()
+	if len(ab) < batchFrameHeader || len(bb) < batchFrameHeader {
+		return nil, false
+	}
+	if ab[4] != byte(TypeBatch) || bb[4] != byte(TypeBatch) {
+		return nil, false
+	}
+	if ab[5] != bb[5] { // push flag: merged envelopes must process identically
+		return nil, false
+	}
+	aSeq := binary.LittleEndian.Uint64(ab[14:])
+	bSeq := binary.LittleEndian.Uint64(bb[14:])
+	if aSeq == 0 || bSeq == 0 {
+		return nil, false // unsequenced batches have no contiguity to merge on
+	}
+	aFrom := binary.LittleEndian.Uint64(ab[22:])
+	if aFrom == 0 {
+		aFrom = aSeq
+	}
+	bFrom := binary.LittleEndian.Uint64(bb[22:])
+	if bFrom == 0 {
+		bFrom = bSeq
+	}
+	if bFrom != aSeq+1 {
+		return nil, false
+	}
+	aCount := binary.LittleEndian.Uint32(ab[30:])
+	bCount := binary.LittleEndian.Uint32(bb[30:])
+
+	f := framePool.Get().(*Frame)
+	buf := f.b
+	if cap(buf) == 0 {
+		buf = GetBuf(minBufCap)
+	}
+	buf = append(buf[:0], 0, 0, 0, 0, byte(TypeBatch))
+	buf = append(buf, ab[5])                                       // push flag
+	buf = binary.LittleEndian.AppendUint64(buf, binary.LittleEndian.Uint64(bb[6:])) // b's InstalledUpTo
+	buf = binary.LittleEndian.AppendUint64(buf, bSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, aFrom)
+	buf = binary.LittleEndian.AppendUint32(buf, aCount+bCount)
+	buf = append(buf, ab[batchFrameHeader:]...)
+	buf = append(buf, bb[batchFrameHeader:]...)
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-frameHeaderSize))
+	f.b = buf
+	f.refs.Store(1)
+	return f, true
+}
+
 // EncodeCache memoizes the envelope section of the last Batch (or Relay
 // inner) it encoded, keyed by the identity of the Envs slice. Sibling
 // batches built for a push fan-out share one Envs backing array and
-// differ only in the 21-byte per-recipient header, so the envelope
+// differ only in the 29-byte per-recipient header, so the envelope
 // bytes — the bulk of the frame — are encoded exactly once per tick and
 // every further recipient costs a memcpy.
 //

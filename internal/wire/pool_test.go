@@ -22,6 +22,7 @@ func sampleMsgs() []Msg {
 			Push:          true,
 			InstalledUpTo: 9,
 			ClientSeq:     4,
+			CoversFrom:    2,
 		},
 		&Completion{Seq: 77, By: 4, Res: action.Result{OK: true,
 			Writes: []world.Write{{ID: 1, Val: world.Value{9.25}}}}},
@@ -148,6 +149,96 @@ func TestEncodeCacheFanOut(t *testing.T) {
 		t.Fatal("cache served stale envelope section for a different batch")
 	}
 	f.Release()
+}
+
+// TestCoalesceFrames proves the in-place merge primitive of the
+// superseding writer queue: coalescing two contiguous batch frames
+// yields a frame whose decoded content is exactly the concatenation of
+// the inputs, carrying the covered-range metadata, and every frame —
+// inputs and output — returns cleanly to the pool.
+func TestCoalesceFrames(t *testing.T) {
+	ta := &testAct{id: action.ID{Client: 2, Seq: 1}, A: 1}
+	tb := &testAct{id: action.ID{Client: 3, Seq: 2}, B: 7}
+	mkBatch := func(seq, covers, installed uint64, push bool, envs ...action.Envelope) *Frame {
+		return NewFrame(&Batch{Envs: envs, Push: push, InstalledUpTo: installed,
+			ClientSeq: seq, CoversFrom: covers})
+	}
+	a := mkBatch(5, 0, 10, true, env(30, 2, ta))
+	b := mkBatch(6, 0, 12, true, env(31, 3, tb))
+	m, ok := CoalesceFrames(a, b)
+	if !ok {
+		t.Fatal("contiguous batches did not coalesce")
+	}
+	a.Release()
+	b.Release()
+	got, err := Decode(TypeBatch, m.Bytes()[frameHeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := got.(*Batch)
+	if mb.ClientSeq != 6 || mb.CoversFrom != 5 || mb.InstalledUpTo != 12 || !mb.Push {
+		t.Fatalf("merged header = seq %d covers %d installed %d push %v",
+			mb.ClientSeq, mb.CoversFrom, mb.InstalledUpTo, mb.Push)
+	}
+	if len(mb.Envs) != 2 || mb.Envs[0].Seq != 30 || mb.Envs[1].Seq != 31 {
+		t.Fatalf("merged envs = %+v", mb.Envs)
+	}
+
+	// A merged frame keeps merging: appending seq 7 extends the range.
+	c := mkBatch(7, 0, 12, true, env(32, 2, ta))
+	m2, ok := CoalesceFrames(m, c)
+	if !ok {
+		t.Fatal("merged frame did not coalesce with its successor")
+	}
+	m.Release()
+	c.Release()
+	got2, err := Decode(TypeBatch, m2.Bytes()[frameHeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2b := got2.(*Batch)
+	if m2b.ClientSeq != 7 || m2b.CoversFrom != 5 || len(m2b.Envs) != 3 {
+		t.Fatalf("chained merge = seq %d covers %d envs %d",
+			m2b.ClientSeq, m2b.CoversFrom, len(m2b.Envs))
+	}
+	m2.Release()
+}
+
+// TestCoalesceFramesRefusals pins every gate that must refuse a merge:
+// wrong type, mismatched push flags, unsequenced batches, and sequence
+// gaps all return (nil, false) without touching the inputs.
+func TestCoalesceFramesRefusals(t *testing.T) {
+	ta := &testAct{id: action.ID{Client: 2, Seq: 1}}
+	batch := func(seq uint64, push bool) *Frame {
+		return NewFrame(&Batch{Envs: []action.Envelope{env(40, 2, ta)},
+			Push: push, ClientSeq: seq})
+	}
+	cases := []struct {
+		name string
+		mk   func() (*Frame, *Frame)
+	}{
+		{"non-batch first", func() (*Frame, *Frame) { return NewFrame(&Hello{}), batch(2, true) }},
+		{"non-batch second", func() (*Frame, *Frame) {
+			return batch(1, true), NewFrame(&Drop{ActID: action.ID{Client: 1, Seq: 1}})
+		}},
+		{"push mismatch", func() (*Frame, *Frame) { return batch(1, true), batch(2, false) }},
+		{"unsequenced first", func() (*Frame, *Frame) { return batch(0, true), batch(2, true) }},
+		{"unsequenced second", func() (*Frame, *Frame) { return batch(1, true), batch(0, true) }},
+		{"gap", func() (*Frame, *Frame) { return batch(1, true), batch(3, true) }},
+		{"reversed", func() (*Frame, *Frame) { return batch(2, true), batch(1, true) }},
+	}
+	for _, tc := range cases {
+		fa, fb := tc.mk()
+		before := append([]byte(nil), fa.Bytes()...)
+		if f, ok := CoalesceFrames(fa, fb); ok || f != nil {
+			t.Errorf("%s: merged, want refusal", tc.name)
+		}
+		if !bytes.Equal(fa.Bytes(), before) {
+			t.Errorf("%s: refusal mutated input", tc.name)
+		}
+		fa.Release()
+		fb.Release()
+	}
 }
 
 func putLen(frame []byte) {

@@ -73,6 +73,14 @@ type Batch struct {
 	// sent() assumptions. Zero marks an unsequenced batch (baseline
 	// architectures), processed immediately.
 	ClientSeq uint64
+	// CoversFrom, when non-zero, marks a coalesced batch: the transport's
+	// superseding writer queue merged the undelivered batches numbered
+	// CoversFrom..ClientSeq (contiguous, same Push flag) into this one,
+	// envelopes concatenated in the original order. Applying the merged
+	// batch atomically equals applying the originals in sequence, so the
+	// client treats it as satisfying every covered sequence number. Zero
+	// marks an ordinary single-sequence batch.
+	CoversFrom uint64
 }
 
 // Type returns TypeBatch.
@@ -80,7 +88,7 @@ func (m *Batch) Type() MsgType { return TypeBatch }
 
 // WireSize returns the encoded size.
 func (m *Batch) WireSize() int {
-	n := 1 + 8 + 8 + 4 // push flag + installedUpTo + clientSeq + count
+	n := 1 + 8 + 8 + 8 + 4 // push flag + installedUpTo + clientSeq + coversFrom + count
 	for _, e := range m.Envs {
 		n += envelopeSize(e)
 	}
@@ -502,10 +510,10 @@ func appendMsgCached(buf []byte, msg Msg, c *EncodeCache) []byte {
 	}
 }
 
-// appendBatch appends a Batch payload: the 21-byte per-recipient header
-// (push flag, installedUpTo, clientSeq, count) followed by the envelope
-// section, which sibling batches share and a non-nil cache serializes
-// only once.
+// appendBatch appends a Batch payload: the 29-byte per-recipient header
+// (push flag, installedUpTo, clientSeq, coversFrom, count) followed by
+// the envelope section, which sibling batches share and a non-nil cache
+// serializes only once.
 func appendBatch(buf []byte, m *Batch, c *EncodeCache) []byte {
 	flag := byte(0)
 	if m.Push {
@@ -514,6 +522,7 @@ func appendBatch(buf []byte, m *Batch, c *EncodeCache) []byte {
 	buf = append(buf, flag)
 	buf = binary.LittleEndian.AppendUint64(buf, m.InstalledUpTo)
 	buf = binary.LittleEndian.AppendUint64(buf, m.ClientSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, m.CoversFrom)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Envs)))
 	if c != nil && len(m.Envs) > 0 {
 		return append(buf, c.envTail(m.Envs)...)
@@ -534,16 +543,17 @@ func Decode(t MsgType, buf []byte) (Msg, error) {
 		}
 		return &Submit{Env: env}, nil
 	case TypeBatch:
-		if len(buf) < 21 {
+		if len(buf) < 29 {
 			return nil, fmt.Errorf("wire: batch header truncated")
 		}
 		m := &Batch{
 			Push:          buf[0] == 1,
 			InstalledUpTo: binary.LittleEndian.Uint64(buf[1:]),
 			ClientSeq:     binary.LittleEndian.Uint64(buf[9:]),
+			CoversFrom:    binary.LittleEndian.Uint64(buf[17:]),
 		}
-		n := int(binary.LittleEndian.Uint32(buf[17:]))
-		off := 21
+		n := int(binary.LittleEndian.Uint32(buf[25:]))
+		off := 29
 		for i := 0; i < n; i++ {
 			env, sz, err := decodeEnvelope(buf[off:])
 			if err != nil {

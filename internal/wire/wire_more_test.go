@@ -300,12 +300,12 @@ func TestWelcomeTokenSurvives(t *testing.T) {
 }
 
 func TestBatchClientSeqSurvives(t *testing.T) {
-	m := &Batch{ClientSeq: 77, InstalledUpTo: 3}
+	m := &Batch{ClientSeq: 77, InstalledUpTo: 3, CoversFrom: 70}
 	got, err := Decode(TypeBatch, Encode(m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.(*Batch).ClientSeq != 77 {
-		t.Fatalf("ClientSeq = %d", got.(*Batch).ClientSeq)
+	if b := got.(*Batch); b.ClientSeq != 77 || b.CoversFrom != 70 {
+		t.Fatalf("ClientSeq = %d, CoversFrom = %d", b.ClientSeq, b.CoversFrom)
 	}
 }

@@ -5,11 +5,14 @@
 # BenchmarkTickManyClients), the delivery-path microbenches from the
 # pooled-encoding PR (BenchmarkEncodeBatch, BenchmarkPushFanOut,
 # BenchmarkClientReconcileDeepQueue), and the sharded-serializer round
-# benches (BenchmarkShardedSubmit, BenchmarkShardedTick) plus the
-# shardscale experiment sweep from the sharding PR.
+# benches (BenchmarkShardedSubmit, BenchmarkShardedTick), the
+# shardscale experiment sweep from the sharding PR, and the adversarial
+# delivery sweep from the superseding-queue PR (drop-at-cap vs
+# in-place supersession under flash-crowd, trading-storm, and
+# interest-churn stalls; see internal/experiments/adversarial.go).
 #
 # Writes the raw `go test -bench` output and a JSON summary to
-# BENCH_PR6.json at the repo root. BenchmarkServerSubmit grows the
+# BENCH_PR7.json at the repo root. BenchmarkServerSubmit grows the
 # uncommitted queue monotonically (no completions), so it runs with a
 # pinned iteration count: letting benchtime ramp b.N would measure a
 # queue three orders of magnitude deeper than the seed baseline did.
@@ -21,10 +24,11 @@
 # the scalability projection.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 raw="$(mktemp)"
 sweep="$(mktemp)"
-trap 'rm -f "$raw" "$sweep"' EXIT
+adv="$(mktemp)"
+trap 'rm -f "$raw" "$sweep" "$adv"' EXIT
 
 go test -run '^$' -bench 'BenchmarkServerSubmit$' -benchmem -benchtime 10000x . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkClosureDeepQueue|BenchmarkTickManyClients' \
@@ -38,6 +42,11 @@ go test -run '^$' -bench 'BenchmarkFig6|BenchmarkFig7' -benchmem . | tee -a "$ra
 # The shardscale sweep: sharded submit throughput and the phase-timing
 # scalability projection per shard count (see internal/experiments).
 go run ./cmd/seve-bench -experiment shardscale -csv | tee "$sweep"
+
+# The adversarial delivery sweep: superseding on/off row pairs per
+# stall scenario; bytes_x on an "on" row is the stalled-cohort byte
+# reduction against its "off" twin.
+go run ./cmd/seve-bench -experiment adversarial -csv | tee "$adv"
 
 # Fold the benchmark lines into JSON: {"benchmarks": [{name, iterations,
 # ns_per_op, bytes_per_op, allocs_per_op}, ...], "shardscale":
@@ -67,6 +76,15 @@ BEGIN { printf "  \"shardscale\": ["; n = 0 }
     printf "\n    {\"workload\": \"%s\", \"shards\": %s, \"submits_per_s\": %s, \"wall_x\": %s, \"achievable_x\": %s, \"epochs\": %s, \"partitioned\": %s, \"imbalance\": %s}",
         $1, $2, $3, $4, $5, $6, $7, $8
 }
-END { print "\n  ]"; print "}" }
+END { print "\n  ],\n" }
 ' "$sweep" >> "$out"
+awk -F, '
+BEGIN { printf "  \"adversarial\": ["; n = 0 }
+/^(uniform|flash|auction|churn),(off|on),/ {
+    if (n++) printf ","
+    printf "\n    {\"workload\": \"%s\", \"superseding\": \"%s\", \"delivered_kb\": %s, \"stalled_kb\": %s, \"frames\": %s, \"avg_envs\": %s, \"enqueued\": %s, \"drops\": %s, \"drop_pct\": %s, \"superseded\": %s, \"coalesced\": %s, \"snapshots\": %s, \"max_stale\": %s, \"bytes_x\": %s}",
+        $1, $2, $3, $4, $5, $6, $7, $8, $9, $10, $11, $12, $13, $14
+}
+END { print "\n  ]"; print "}" }
+' "$adv" >> "$out"
 echo "wrote $out"
