@@ -49,8 +49,9 @@ func (s *BroadcastServer) HandleSubmit(from action.ClientID, m *wire.Submit) Out
 	}
 	for _, cid := range s.clients {
 		out.Replies = append(out.Replies, core.Reply{
-			To:  cid,
-			Msg: &wire.Batch{Envs: []action.Envelope{env}},
+			To:      cid,
+			Msg:     &wire.Batch{Envs: []action.Envelope{env}},
+			Deliver: core.Delivery{Class: core.DeliveryOrdered},
 		})
 	}
 	return out

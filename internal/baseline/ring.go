@@ -86,8 +86,9 @@ func (s *RingServer) HandleSubmit(from action.ClientID, m *wire.Submit) Output {
 		}
 		s.forwarded++
 		out.Replies = append(out.Replies, core.Reply{
-			To:  cid,
-			Msg: &wire.Batch{Envs: []action.Envelope{env}},
+			To:      cid,
+			Msg:     &wire.Batch{Envs: []action.Envelope{env}},
+			Deliver: core.Delivery{Class: core.DeliveryOrdered},
 		})
 	}
 	return out

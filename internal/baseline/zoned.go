@@ -124,8 +124,9 @@ func (s *ZoneServer) HandleSubmit(from action.ClientID, m *wire.Submit) ZoneOutp
 	out.Executed = append(out.Executed, env.Act)
 
 	out.Replies = append(out.Replies, core.Reply{
-		To:  from,
-		Msg: &wire.Completion{Seq: env.Seq, By: action.OriginServer, Res: res},
+		To:      from,
+		Msg:     &wire.Completion{Seq: env.Seq, By: action.OriginServer, Res: res},
+		Deliver: core.Delivery{Class: core.DeliveryOrdered},
 	})
 	if len(res.Writes) > 0 {
 		bw := action.NewBlindWrite(action.ID{Client: action.OriginServer, Seq: uint32(env.Seq)}, res.Writes)
@@ -134,7 +135,10 @@ func (s *ZoneServer) HandleSubmit(from action.ClientID, m *wire.Submit) ZoneOutp
 		}}}
 		for _, cid := range s.clients {
 			if cid != from {
-				out.Replies = append(out.Replies, core.Reply{To: cid, Msg: batch})
+				out.Replies = append(out.Replies, core.Reply{
+					To: cid, Msg: batch,
+					Deliver: core.Delivery{Class: core.DeliveryOrdered},
+				})
 			}
 		}
 		out.PeerUpdates = append(out.PeerUpdates, batch)

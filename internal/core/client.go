@@ -520,7 +520,10 @@ func (c *Client) HandleRelay(m *wire.Relay) ClientOutput {
 		if i < len(m.TargetSeqs) {
 			fwd.ClientSeq = m.TargetSeqs[i]
 		}
-		out.ToPeers = append(out.ToPeers, Reply{To: t, Msg: fwd})
+		out.ToPeers = append(out.ToPeers, Reply{
+			To: t, Msg: fwd,
+			Deliver: Delivery{Class: DeliveryOrdered},
+		})
 	}
 	inner := c.HandleBatch(m.Inner)
 	out.ToServer = append(out.ToServer, inner.ToServer...)

@@ -105,7 +105,11 @@ func (s *Server) pushGroup(members []action.ClientID, windowStart, nowMs float64
 	batch := s.closureShared(members, seeds, out)
 	inner := &wire.Batch{Envs: batch, Push: true, InstalledUpTo: s.installed}
 	if len(members) == 1 {
-		out.Replies = append(out.Replies, Reply{To: members[0], Msg: s.sequence(members[0], inner)})
+		b := s.sequence(members[0], inner)
+		out.Replies = append(out.Replies, Reply{
+			To: members[0], Msg: b,
+			Deliver: Delivery{Class: DeliveryBatch, Epoch: b.ClientSeq},
+		})
 		return
 	}
 	seqs := make([]uint64, len(members))
@@ -128,6 +132,9 @@ func (s *Server) pushGroup(members []action.ClientID, windowStart, nowMs float64
 	out.Replies = append(out.Replies, Reply{
 		To:  members[0],
 		Msg: &wire.Relay{Targets: members, TargetSeqs: seqs, Inner: inner},
+		// A relay fans out to peers the queue cannot see past the first
+		// hop; it must arrive exactly once, in order.
+		Deliver: Delivery{Class: DeliveryOrdered},
 	})
 }
 

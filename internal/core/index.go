@@ -96,6 +96,8 @@ func (s *Server) scratchFor(w int) *closureScratch {
 }
 
 // growWriters keeps the writer-list tables in step with the interner.
+//
+//seve:lane-seal
 func (s *Server) growWriters() {
 	for len(s.writers) < s.intern.Len() {
 		s.writers = append(s.writers, nil)

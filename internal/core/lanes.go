@@ -54,6 +54,8 @@ type laneSeg struct {
 // it once at construction, before any submission; it requires an empty
 // queue and an incomplete-world mode (ModeBasic keeps no queue to
 // partition).
+//
+//seve:lane-seal
 func (s *Server) EnablePartition(n int) {
 	if n < 2 || s.cfg.Mode < ModeIncomplete {
 		return
@@ -67,6 +69,8 @@ func (s *Server) EnablePartition(n int) {
 }
 
 // Partitioned reports whether per-lane segments are maintained.
+//
+//seve:lane-seal
 func (s *Server) Partitioned() bool { return s.lanes != nil }
 
 // laneView is lane's segment as an analysis view: lane-local numbering
@@ -125,6 +129,8 @@ func (s *Server) StampLane(lane int, ps []*Pending) {
 // merge order on the sequential path: counters, walk stats, the Drop
 // reply, the global Seq, and the global queue/index/history. It reports
 // whether a reply plan is owed.
+//
+//seve:lane-seal
 func (s *Server) SealStamp(p *Pending, out *ServerOutput) bool {
 	s.totalSubmitted++
 	if p.dup {
@@ -153,6 +159,8 @@ func (s *Server) SealStamp(p *Pending, out *ServerOutput) bool {
 // writes — the one commit-side output whose cross-lane order is
 // observable before the reply itself. Runs in merge order on the
 // sequential path, between the plan and commit fan-outs.
+//
+//seve:lane-seal
 func (s *Server) PreCommit(p *Pending, plan *ReplyPlan) {
 	if plan.active && len(plan.writes) > 0 {
 		p.blind = s.nextBlindID()
@@ -166,6 +174,8 @@ func (s *Server) PreCommit(p *Pending, plan *ReplyPlan) {
 // submitting client is lane-pinned, so sequence/retainBatch are
 // lane-affine). The reply is staged for SealCommit to emit in merge
 // order.
+//
+//seve:lane-affine
 func (s *Server) CommitLane(p *Pending, plan *ReplyPlan) {
 	v := s.viewFor(p)
 	for _, j := range plan.positions {
@@ -191,6 +201,8 @@ func (s *Server) CommitLane(p *Pending, plan *ReplyPlan) {
 
 // SealCommit emits one pending's staged reply and walk stats in merge
 // order on the sequential path.
+//
+//seve:lane-seal
 func (s *Server) SealCommit(p *Pending, plan *ReplyPlan, out *ServerOutput) {
 	s.noteWalk(plan.stats, out)
 	if p.hasReply {
@@ -203,6 +215,8 @@ func (s *Server) SealCommit(p *Pending, plan *ReplyPlan, out *ServerOutput) {
 // and inline cross-shard stamps. No-op for unpartitioned engines and
 // spanning (lane < 0) entries — the latter are exactly the bridges that
 // force the router's fallback path while live.
+//
+//seve:lane-seal
 func (s *Server) laneEnqueue(p *Pending) {
 	if s.lanes == nil || p.lane < 0 {
 		return
@@ -218,6 +232,8 @@ func (s *Server) laneEnqueue(p *Pending) {
 // laneIndexEntry records e's writes in the lane-numbered conflict
 // index. Safe on a lane worker: each object is written only by its
 // owner lane's entries, so the rows it touches are lane-affine.
+//
+//seve:lane-affine
 func (s *Server) laneIndexEntry(ls *laneSeg, e *entry) {
 	seq := e.laneSeq
 	for _, o := range e.wsd {
@@ -236,6 +252,8 @@ func (s *Server) laneIndexEntry(ls *laneSeg, e *entry) {
 // laneInstall pops an entry just installed from its lane segment.
 // Called by InstallContiguous in global install order; lane segments
 // are ordered by global Seq, so the entry is always the lane head.
+//
+//seve:lane-seal
 func (s *Server) laneInstall(e *entry) {
 	if s.lanes == nil || e.lane < 0 {
 		return
@@ -257,6 +275,8 @@ func (s *Server) laneInstall(e *entry) {
 
 // pruneLaneWriters trims the lane writer rows of a just-installed
 // entry, mirroring pruneWriters under the lane numbering.
+//
+//seve:lane-seal
 func (s *Server) pruneLaneWriters(ls *laneSeg, e *entry) {
 	for _, o := range e.wsd {
 		lst := s.laneWriters[o]

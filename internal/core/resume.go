@@ -152,7 +152,11 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 	sess := s.sessions[cid]
 	if !ok || sess == nil || sess.token != m.Token || m.LastBatchSeq > sess.lastSeq {
 		s.resumesRejected++
-		out.Replies = append(out.Replies, Reply{To: 0, Msg: &wire.CatchUp{}})
+		out.Replies = append(out.Replies, Reply{
+			To: 0, Msg: &wire.CatchUp{},
+			// Resume verdicts are session control flow: never shed.
+			Deliver: Delivery{Class: DeliveryOrdered},
+		})
 		return 0, out
 	}
 
@@ -179,7 +183,9 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 			InstalledUpTo: s.installed,
 			LastActSeq:    sess.lastActSeq,
 			DroppedActs:   drops,
-		}})
+		},
+			// Resume verdicts are session control flow: never shed.
+			Deliver: Delivery{Class: DeliveryOrdered}})
 		for _, b := range sess.retained {
 			if b.ClientSeq > m.LastBatchSeq {
 				out.Replies = append(out.Replies, Reply{To: cid, Msg: b,

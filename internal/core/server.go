@@ -374,6 +374,8 @@ func (s *Server) HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) Se
 // the higher modes. It is the single-lane composition of the sharding
 // SPI: a sequential stamp, an (elsewhere parallelizable) reply plan, and
 // a sequential commit.
+//
+//seve:lane-seal
 func (s *Server) HandleSubmit(from action.ClientID, m *wire.Submit, nowMs float64) ServerOutput {
 	var out ServerOutput
 	p := s.StampSubmit(from, m, nowMs, &out)
@@ -433,6 +435,8 @@ func (p *Pending) Seq() uint64 { return p.e.env.Seq }
 func (p *Pending) From() action.ClientID { return p.from }
 
 // viewFor resolves the view a pending's positions refer to.
+//
+//seve:lane-affine
 func (s *Server) viewFor(p *Pending) walkView {
 	if p.viewLane >= 0 {
 		return s.laneView(p.viewLane)
@@ -508,6 +512,8 @@ func (s *Server) StampSubmit(from action.ClientID, m *wire.Submit, nowMs float64
 // bookkeeping when the engine is partitioned, keeping the segments
 // complete for later partitioned flushes). It reports whether a reply
 // plan is owed.
+//
+//seve:lane-seal
 func (s *Server) StampPrepared(p *Pending, out *ServerOutput) bool {
 	s.totalSubmitted++
 
@@ -584,6 +590,8 @@ func (s *Server) recordDropOf(p *Pending, out *ServerOutput) {
 // entries count as sent even though their sent() bits are only applied
 // when that earlier plan commits. The shard lanes use it to keep
 // plan-phase results identical to fully sequential processing.
+//
+//seve:lane-affine
 func (s *Server) PlanReply(p *Pending, w int, overlay func(pos int) bool) ReplyPlan {
 	already := func(j int, e *entry) bool { return e.sent.has(p.slot) }
 	if overlay != nil {
@@ -658,6 +666,8 @@ func (s *Server) commitBatch(v *walkView, slot int, plan *ReplyPlan) []action.En
 // Commits must run on the engine's sequential entry points in stamp
 // order — that, not the planning schedule, is what fixes ids and batch
 // numbering.
+//
+//seve:lane-seal
 func (s *Server) CommitReply(p *Pending, plan *ReplyPlan, out *ServerOutput) {
 	s.noteWalk(plan.stats, out)
 	v := s.viewFor(p)
@@ -701,9 +711,11 @@ func (s *Server) replyBasic(from action.ClientID, out *ServerOutput) {
 	envs := make([]action.Envelope, s.nextSeq-ci.posC)
 	copy(envs, s.log[ci.posC:s.nextSeq])
 	ci.posC = s.nextSeq
+	b := s.sequence(from, &wire.Batch{Envs: envs})
 	out.Replies = append(out.Replies, Reply{
-		To:  from,
-		Msg: s.sequence(from, &wire.Batch{Envs: envs}),
+		To:      from,
+		Msg:     b,
+		Deliver: Delivery{Class: DeliveryBatch, Epoch: b.ClientSeq},
 	})
 }
 
@@ -754,6 +766,8 @@ func (s *Server) TakeCompletion(m *wire.Completion) {
 // so they touch disjoint state; per-object write order (queue order)
 // is preserved within each segment, making the final values — and
 // every later observable — identical to the sequential cascade.
+//
+//seve:lane-seal
 func (s *Server) InstallContiguous(exec func(tasks []func())) {
 	n := 0
 	for n < len(s.queue) {
@@ -922,6 +936,8 @@ func (s *Server) internEntry(e *entry) {
 // Metrics returns a consistent snapshot of the engine's cumulative
 // counters. Callers must hold whatever synchronization guards the other
 // engine entry points (the engine itself is single-goroutine).
+//
+//seve:lane-seal
 func (s *Server) Metrics() metrics.ServerStats {
 	workers := s.cfg.PushWorkers
 	queueComp, writerComp := s.queueCompactions, s.writerCompactions

@@ -245,6 +245,7 @@ func (r *Router) execTasks(tasks []func()) {
 // is rare (a client resubmitting within one epoch), so its map traffic
 // is gated on a same-client pre-scan: the common all-distinct-clients
 // epoch plans with no overlay reads or writes at all.
+//seve:lane-affine
 func (r *Router) planLane(w int, jobs []job, idxs []int) {
 	type ovKey struct {
 		cid action.ClientID
@@ -343,6 +344,7 @@ func (r *Router) handleCompletion(from action.ClientID, m *wire.Completion, nowM
 	return out
 }
 
+//seve:lane-seal
 func (r *Router) handleSubmit(from action.ClientID, m *wire.Submit, nowMs float64) core.ServerOutput {
 	out := r.takePending()
 	p := r.inner.PrepareSubmit(from, m, nowMs)
@@ -566,6 +568,8 @@ func (r *Router) installComps() {
 // The parallel passes touch only lane-affine state; every output whose
 // cross-lane order is observable is fixed by the sequential merges, so
 // the bytes are identical to the fallback path and the single lane.
+//
+//seve:lane-seal
 func (r *Router) flushPartitioned(out core.ServerOutput) core.ServerOutput {
 	jobs := r.jobs[:0]
 	stampActive := r.active[:0]
@@ -650,6 +654,8 @@ func (r *Router) flushPartitioned(out core.ServerOutput) core.ServerOutput {
 // correct with spanning entries live in the queue, because every walk
 // runs over the global view. The sequential phases charge both the
 // totals and the critical path: nothing about them parallelizes.
+//
+//seve:lane-seal
 func (r *Router) flushFallback(out core.ServerOutput) core.ServerOutput {
 	start := time.Now()
 	jobs := r.jobs[:0]

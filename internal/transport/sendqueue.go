@@ -231,6 +231,10 @@ func (q *SendQueue) Enqueue(f *wire.Frame, d core.Delivery) Verdict {
 	// At capacity.
 	if !q.sup {
 		q.mu.Unlock()
+		// Non-superseding queues keep the pre-§13 drop-on-full contract:
+		// the caller sees Dropped and owns recovery, and retaining
+		// Ordered frames here would grow the queue without bound.
+		//seve:vet-ignore deliveryclass non-superseding drop-on-full is the documented pre-supersession contract; the caller observes Dropped
 		f.Release()
 		q.ctrs.Drops.Add(1)
 		return Dropped

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader turns a module tree into type-checked analysis units using
@@ -41,25 +42,34 @@ type Unit struct {
 	Loader *Loader
 }
 
-// Loader loads and caches module packages.
+// Loader loads and caches module packages. It is safe for concurrent
+// LoadDir calls: token.FileSet serializes internally, the standard
+// library importer (which keeps an unguarded package cache) is wrapped
+// in stdMu, and the module package cache single-flights concurrent
+// loads of the same package — the first goroutine builds it, the rest
+// wait on the entry's done channel.
 type Loader struct {
 	Fset    *token.FileSet
 	ModRoot string
 	ModPath string
 
-	std     types.Importer
-	base    map[string]*basePkg
-	loading map[string]bool
+	std   types.Importer
+	stdMu sync.Mutex
+
+	mu   sync.Mutex
+	base map[string]*basePkg
 }
 
 // basePkg is a cached dependency package: the directory's non-test
 // files. Type info is retained so checkers can analyze method bodies
-// promoted into analyzed types from dependency packages.
+// promoted into analyzed types from dependency packages. done closes
+// when the load completes; fields are immutable afterwards.
 type basePkg struct {
 	pkg   *types.Package
 	files []*ast.File
 	info  *types.Info
 	err   error
+	done  chan struct{}
 }
 
 // NewLoader returns a loader rooted at the module containing dir.
@@ -75,7 +85,6 @@ func NewLoader(dir string) (*Loader, error) {
 		ModPath: modPath,
 		std:     importer.ForCompiler(fset, "source", nil),
 		base:    make(map[string]*basePkg),
-		loading: make(map[string]bool),
 	}, nil
 }
 
@@ -103,13 +112,39 @@ func findModule(dir string) (root, modPath string, err error) {
 	}
 }
 
-// Import implements types.Importer: module packages load from source
-// inside the module tree, everything else is standard library.
+// Import implements types.Importer for sequential use; concurrent
+// loads go through per-request importView chains that carry the cycle
+// detection set.
 func (l *Loader) Import(path string) (*types.Package, error) {
-	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
-		bp := l.loadBase(path)
+	return l.newView().Import(path)
+}
+
+// importView is one import-resolution chain: a view of the loader that
+// remembers the packages this goroutine's recursion is already inside,
+// so a module import cycle is reported instead of deadlocking on the
+// in-flight cache entry.
+type importView struct {
+	l        *Loader
+	visiting map[string]bool
+}
+
+func (l *Loader) newView() *importView {
+	return &importView{l: l, visiting: make(map[string]bool)}
+}
+
+func (v *importView) Import(path string) (*types.Package, error) {
+	if path == v.l.ModPath || strings.HasPrefix(path, v.l.ModPath+"/") {
+		bp := v.l.loadBase(v, path)
 		return bp.pkg, bp.err
 	}
+	return v.l.stdImport(path)
+}
+
+// stdImport guards the source importer, whose internal cache is not
+// safe for concurrent use.
+func (l *Loader) stdImport(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
@@ -137,22 +172,30 @@ func (l *Loader) PathFor(dir string) (string, error) {
 	return l.ModPath + "/" + filepath.ToSlash(rel), nil
 }
 
-// loadBase parses and type-checks the non-test files of a module package,
-// caching the result for import resolution.
-func (l *Loader) loadBase(path string) *basePkg {
+// loadBase parses and type-checks the non-test files of a module
+// package, caching the result for import resolution. Concurrent loads
+// of the same package single-flight on the cache entry; a re-entrant
+// load within one view's chain is an import cycle.
+func (l *Loader) loadBase(v *importView, path string) *basePkg {
+	l.mu.Lock()
 	if bp, ok := l.base[path]; ok {
+		l.mu.Unlock()
+		if v.visiting[path] {
+			// Waiting on our own in-flight entry would deadlock: the
+			// chain re-entered the package it is building.
+			return &basePkg{err: fmt.Errorf("vet: import cycle through %s", path)}
+		}
+		<-bp.done
 		return bp
 	}
-	if l.loading[path] {
-		bp := &basePkg{err: fmt.Errorf("vet: import cycle through %s", path)}
-		l.base[path] = bp
-		return bp
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-
-	bp := &basePkg{}
+	bp := &basePkg{done: make(chan struct{})}
 	l.base[path] = bp
+	l.mu.Unlock()
+	defer close(bp.done)
+
+	v.visiting[path] = true
+	defer delete(v.visiting, path)
+
 	files, _, err := l.parseDir(l.dirFor(path), false)
 	if err != nil {
 		bp.err = err
@@ -160,16 +203,29 @@ func (l *Loader) loadBase(path string) *basePkg {
 	}
 	bp.files = files
 	bp.info = newInfo()
-	bp.pkg, bp.err = l.check(path, files, bp.info)
+	bp.pkg, bp.err = l.checkWith(v, path, files, bp.info)
 	return bp
 }
 
-// EachLoaded visits every cached dependency package's files with their
-// type info, for cross-package declaration lookups.
+// EachLoaded visits every completed dependency package's files with
+// their type info, for cross-package declaration lookups. In-flight
+// loads are skipped: a unit's own dependencies always completed before
+// its checkers run, and other goroutines' half-built packages are not
+// this unit's business.
 func (l *Loader) EachLoaded(visit func(files []*ast.File, info *types.Info)) {
+	l.mu.Lock()
+	snap := make([]*basePkg, 0, len(l.base))
 	for _, bp := range l.base {
-		if bp.err == nil && len(bp.files) > 0 {
-			visit(bp.files, bp.info)
+		snap = append(snap, bp)
+	}
+	l.mu.Unlock()
+	for _, bp := range snap {
+		select {
+		case <-bp.done:
+			if bp.err == nil && len(bp.files) > 0 {
+				visit(bp.files, bp.info)
+			}
+		default:
 		}
 	}
 }
@@ -217,12 +273,13 @@ func (l *Loader) parseDir(dir string, withTests bool) (files, xtest []*ast.File,
 	return files, xtest, nil
 }
 
-// check type-checks files as package path. info may be nil for
-// dependency loads where only the package scope matters.
-func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+// checkWith type-checks files as package path, resolving imports
+// through the given view's chain. info may be nil for dependency loads
+// where only the package scope matters.
+func (l *Loader) checkWith(v *importView, path string, files []*ast.File, info *types.Info) (*types.Package, error) {
 	var firstErr error
 	conf := types.Config{
-		Importer: l,
+		Importer: v,
 		Error: func(err error) {
 			if firstErr == nil {
 				firstErr = err
@@ -263,7 +320,7 @@ func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
 	var units []*Unit
 	if len(files) > 0 {
 		info := newInfo()
-		pkg, err := l.check(path, files, info)
+		pkg, err := l.checkWith(l.newView(), path, files, info)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
@@ -273,10 +330,10 @@ func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
 		// The external test package imports the base package; make sure
 		// the cache holds the test-free variant before checking it.
 		if len(files) > 0 && !underTestdata(dir) {
-			l.loadBase(path)
+			l.loadBase(l.newView(), path)
 		}
 		info := newInfo()
-		pkg, err := l.check(path+"_test", xtest, info)
+		pkg, err := l.checkWith(l.newView(), path+"_test", xtest, info)
 		if err != nil {
 			return nil, fmt.Errorf("%s_test: %w", path, err)
 		}

@@ -1,0 +1,200 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable reporting: a stable JSON finding format that doubles
+// as the checked-in baseline, and a minimal SARIF 2.1.0 envelope for CI
+// annotation surfaces. File paths are module-relative with forward
+// slashes so a baseline written on one machine gates every other.
+
+// JSONFinding is one finding in the interchange format.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// JSONReport is the artifact format seve-vet -json emits and -baseline
+// consumes.
+type JSONReport struct {
+	Findings []JSONFinding `json:"findings"`
+}
+
+// relPath renders a finding path module-relative with forward slashes.
+func relPath(modRoot, file string) string {
+	if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// ToJSONFindings converts findings to the interchange shape.
+func ToJSONFindings(modRoot string, findings []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			File:    relPath(modRoot, f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Checker: f.Checker,
+			Message: f.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the findings artifact.
+func WriteJSON(w io.Writer, modRoot string, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(JSONReport{Findings: ToJSONFindings(modRoot, findings)})
+}
+
+// WriteSARIF writes a minimal SARIF 2.1.0 log: one run, one rule per
+// checker, one result per finding.
+func WriteSARIF(w io.Writer, modRoot string, findings []Finding) error {
+	type sarifRule struct {
+		ID string `json:"id"`
+	}
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifArtifact struct {
+		URI string `json:"uri"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type sarifPhysical struct {
+		ArtifactLocation sarifArtifact `json:"artifactLocation"`
+		Region           sarifRegion   `json:"region"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	type sarifDriver struct {
+		Name           string      `json:"name"`
+		InformationURI string      `json:"informationUri,omitempty"`
+		Rules          []sarifRule `json:"rules"`
+	}
+	type sarifTool struct {
+		Driver sarifDriver `json:"driver"`
+	}
+	type sarifRun struct {
+		Tool    sarifTool     `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}
+	type sarifLog struct {
+		Schema  string     `json:"$schema"`
+		Version string     `json:"version"`
+		Runs    []sarifRun `json:"runs"`
+	}
+
+	seen := make(map[string]bool)
+	var rules []sarifRule
+	for _, c := range AllCheckers() {
+		rules = append(rules, sarifRule{ID: c.Name()})
+		seen[c.Name()] = true
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		if !seen[f.Checker] { // the "directive" pseudo-checker
+			rules = append(rules, sarifRule{ID: f.Checker})
+			seen[f.Checker] = true
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Checker,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relPath(modRoot, f.Pos.Filename)},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "seve-vet", Rules: rules}}, Results: results}},
+	})
+}
+
+// ReadBaseline loads a findings baseline written by WriteJSON.
+func ReadBaseline(path string) (*JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("vet: baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// DiffBaseline compares current findings against the baseline. Both
+// directions fail CI: fresh findings are regressions, and baseline
+// entries the code no longer produces are paid-off debt that must be
+// deleted from the baseline rather than silently kept as headroom.
+func DiffBaseline(base *JSONReport, modRoot string, findings []Finding) (fresh, gone []JSONFinding) {
+	key := func(f JSONFinding) string {
+		return fmt.Sprintf("%s:%d:%s:%s", f.File, f.Line, f.Checker, f.Message)
+	}
+	inBase := make(map[string]int)
+	for _, f := range base.Findings {
+		inBase[key(f)]++
+	}
+	for _, f := range ToJSONFindings(modRoot, findings) {
+		k := key(f)
+		if inBase[k] > 0 {
+			inBase[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	left := make(map[string]int, len(inBase))
+	for k, n := range inBase {
+		left[k] = n
+	}
+	for _, f := range base.Findings {
+		k := key(f)
+		if left[k] > 0 {
+			left[k]--
+			gone = append(gone, f)
+		}
+	}
+	sortJSON := func(fs []JSONFinding) {
+		sort.Slice(fs, func(i, j int) bool {
+			a, b := fs[i], fs[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Checker < b.Checker
+		})
+	}
+	sortJSON(fresh)
+	sortJSON(gone)
+	return fresh, gone
+}

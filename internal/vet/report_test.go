@@ -1,0 +1,122 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func testFindings() []Finding {
+	return []Finding{
+		{Pos: token.Position{Filename: "/mod/internal/a/a.go", Line: 10, Column: 3}, Checker: "lockscope", Message: "channel send while s.mu is held"},
+		{Pos: token.Position{Filename: "/mod/internal/b/b.go", Line: 4, Column: 1}, Checker: "deliveryclass", Message: "bare reply"},
+	}
+}
+
+// TestWriteJSONRoundTrip pins the artifact format: module-relative
+// forward-slash paths, decodable as a baseline.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", testFindings()); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %v", rep.Findings)
+	}
+	if got := rep.Findings[0]; got.File != "internal/a/a.go" || got.Line != 10 || got.Checker != "lockscope" {
+		t.Errorf("first finding = %+v", got)
+	}
+}
+
+// TestDiffBaseline pins both gate directions: fresh findings are
+// regressions, vanished baseline entries are paid-off debt.
+func TestDiffBaseline(t *testing.T) {
+	fs := testFindings()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", fs); err != nil {
+		t.Fatal(err)
+	}
+	var base JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical run: clean in both directions.
+	fresh, gone := DiffBaseline(&base, "/mod", fs)
+	if len(fresh) != 0 || len(gone) != 0 {
+		t.Fatalf("identical diff: fresh=%v gone=%v", fresh, gone)
+	}
+
+	// One finding fixed, one new one introduced.
+	next := []Finding{
+		fs[0],
+		{Pos: token.Position{Filename: "/mod/internal/c/c.go", Line: 7, Column: 2}, Checker: "laneaffinity", Message: "cross-lane access"},
+	}
+	fresh, gone = DiffBaseline(&base, "/mod", next)
+	if len(fresh) != 1 || fresh[0].File != "internal/c/c.go" {
+		t.Errorf("fresh = %v", fresh)
+	}
+	if len(gone) != 1 || gone[0].File != "internal/b/b.go" {
+		t.Errorf("gone = %v", gone)
+	}
+}
+
+// TestWriteSARIF pins the envelope shape CI annotation surfaces need:
+// version, one run, a rule per checker, results with physical locations.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", testFindings()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "seve-vet" || len(run.Tool.Driver.Rules) != len(AllCheckers()) {
+		t.Errorf("driver = %s with %d rules", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "lockscope" || r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/a/a.go" ||
+		r.Locations[0].PhysicalLocation.Region.StartLine != 10 {
+		t.Errorf("first result = %+v", r)
+	}
+	if strings.Contains(buf.String(), "/mod/") {
+		t.Error("SARIF output leaked absolute paths")
+	}
+}

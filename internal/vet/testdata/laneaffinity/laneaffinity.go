@@ -1,0 +1,99 @@
+// Corpus for the laneaffinity checker. Lines with a `// want` comment
+// must be flagged with a message matching the regexp; everything else
+// must stay clean. The types mirror the engine's lane-partitioned state:
+// a lanes []laneSeg field is the per-lane segment array the checker
+// guards, laneWriters the lane-numbered conflict index.
+package lanetest
+
+type laneSeg struct {
+	queue     []int
+	installed uint64
+}
+
+type engine struct {
+	lanes       []laneSeg
+	laneWriters [][]uint64
+}
+
+type pending struct {
+	lane     int
+	viewLane int
+}
+
+// StampLane is implicitly lane-affine: an int parameter named "lane".
+func (e *engine) StampLane(lane int, ps []*pending) {
+	ls := &e.lanes[lane]
+	ls.queue = append(ls.queue, lane)
+}
+
+// CommitLane reaches its own lane through the pending's owner field.
+//
+//seve:lane-affine
+func (e *engine) CommitLane(p *pending) {
+	ls := &e.lanes[p.viewLane]
+	ls.installed++
+	e.indexLane(&e.lanes[p.lane])
+}
+
+//seve:lane-affine
+func (e *engine) indexLane(ls *laneSeg) {
+	rows := e.laneWriters[0]
+	_ = append(rows, ls.installed)
+}
+
+// SealInstall runs between phases and may range the whole array.
+//
+//seve:lane-seal
+func (e *engine) SealInstall() {
+	for i := range e.lanes {
+		e.lanes[i].queue = nil
+	}
+	e.laneWriters = append(e.laneWriters, nil)
+	e.CommitLane(&pending{}) // a seal pass may drive any lane
+}
+
+// touchUnannotated has no declared context at all.
+func (e *engine) touchUnannotated(p *pending) {
+	e.lanes[0].installed++                // want `lane segment e.lanes indexed outside a lane worker or seal pass`
+	n := len(e.lanes)                     // want `lane segments e.lanes touched outside a lane worker or seal pass`
+	e.laneWriters[0] = nil                // want `lane conflict index e.laneWriters touched outside a lane worker or seal pass`
+	e.StampLane(0, nil)                   // want `lane-affine function StampLane called outside a lane worker or seal pass`
+	e.CommitLane(p)                       // want `lane-affine function CommitLane called outside a lane worker or seal pass`
+	_ = n
+}
+
+// crossLane indexes a neighbour's segment from an affine context.
+func (e *engine) crossLane(lane int, p *pending) {
+	e.lanes[lane].installed++
+	e.lanes[lane+1].installed++ // want `cross-lane access: e.lanes\[<expr>\] from a lane-affine context`
+	e.lanes[0].installed++      // want `cross-lane access: e.lanes\[0\] from a lane-affine context`
+	e.StampLane(lane, nil)
+	e.StampLane(p.lane, nil)
+	e.StampLane(0, nil) // want `cross-lane call: StampLane given lane 0 from a lane-affine context`
+	for range e.lanes { // want `whole-slice access to e.lanes from a lane-affine context`
+	}
+	e.SealInstall() // want `seal-pass function SealInstall called from a lane-affine context`
+}
+
+// phaseClosure is the router's fan-out shape: the literal's own lane
+// parameter makes it affine, and the captured engine is indexed by it.
+func (e *engine) phaseClosure(run func(fn func(lane int))) {
+	run(func(lane int) {
+		e.lanes[lane].installed++
+		e.StampLane(lane, nil)
+	})
+	run(func(lane int) {
+		e.lanes[lane-1].installed++ // want `cross-lane access: e.lanes\[<expr>\] from a lane-affine context`
+	})
+}
+
+// otherLanes is a field also named lanes but not of []laneSeg; the
+// type-based matcher must leave it alone.
+type router struct {
+	lanes [][]int
+}
+
+func (r *router) buffers() int {
+	r.lanes[0] = nil
+	return len(r.lanes)
+}

@@ -1,0 +1,168 @@
+// Corpus for the lockscope checker. Lines with a `// want` comment must
+// be flagged with a message matching the regexp; everything else must
+// stay clean.
+package locktest
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"seve/internal/wire"
+)
+
+type hub struct {
+	mu    sync.Mutex
+	smu   sync.RWMutex
+	wg    sync.WaitGroup
+	conn  net.Conn
+	out   chan wire.Msg
+	peers map[int]net.Conn
+}
+
+// dispatchClean is the PR 7 fix shape: snapshot under the lock, release
+// it, then fan the frames out over the network.
+func (h *hub) dispatchClean(msgs []wire.Msg) {
+	h.mu.Lock()
+	conn := h.conn
+	h.mu.Unlock()
+	for _, m := range msgs {
+		wire.WriteFrame(conn, m)
+	}
+}
+
+// dispatchRogue is the historical PR 7 dispatchReplies bug: the encode
+// fan-out loop runs with the hub lock held, so one stalled peer convoys
+// every connection behind the mutex.
+func (h *hub) dispatchRogue(msgs []wire.Msg) {
+	h.mu.Lock()
+	for _, m := range msgs {
+		wire.WriteFrame(h.conn, m) // want `wire.WriteFrame while h.mu is held`
+	}
+	h.mu.Unlock()
+}
+
+// sendUnderLock blocks on an unbuffered channel inside the region.
+func (h *hub) sendUnderLock(m wire.Msg) {
+	h.mu.Lock()
+	h.out <- m // want `channel send while h.mu is held`
+	h.mu.Unlock()
+}
+
+// sendAfterUnlock releases first.
+func (h *hub) sendAfterUnlock(m wire.Msg) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.out <- m
+}
+
+// recvUnderLock blocks on a receive in value position.
+func (h *hub) recvUnderLock() wire.Msg {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.out // want `channel receive while h.mu is held`
+}
+
+// deferredRegion: defer Unlock keeps the region open to function end,
+// so the late conn write is still inside it.
+func (h *hub) deferredRegion(b []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.conn.Write(b) // want `net\.Write while h.mu is held`
+}
+
+// rangeChanUnderLock parks on the channel between elements.
+func (h *hub) rangeChanUnderLock() {
+	h.mu.Lock()
+	for range h.out { // want `range over channel while h.mu is held`
+	}
+	h.mu.Unlock()
+}
+
+// selectNoDefault parks the goroutine; selectDefault never does.
+func (h *hub) selectNoDefault() {
+	h.mu.Lock()
+	select { // want `select without default while h.mu is held`
+	case m := <-h.out:
+		_ = m
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) selectDefault() {
+	h.mu.Lock()
+	select {
+	case m := <-h.out:
+		_ = m
+	default:
+	}
+	h.mu.Unlock()
+}
+
+// selfDeadlock re-enters its own region.
+func (h *hub) selfDeadlock() {
+	h.mu.Lock()
+	h.mu.Lock() // want `h\.mu\.Lock while h\.mu is already held on this path`
+	h.mu.Unlock()
+}
+
+// readUnderWrite downgrades without releasing.
+func (h *hub) readUnderWrite() {
+	h.smu.Lock()
+	h.smu.RLock() // want `h\.smu\.RLock while h\.smu is write-held on this path`
+	h.smu.RUnlock()
+	h.smu.Unlock()
+}
+
+// waitUnderLock holds the region across a rendezvous.
+func (h *hub) waitUnderLock() {
+	h.mu.Lock()
+	h.wg.Wait() // want `sync Wait while h.mu is held`
+	h.mu.Unlock()
+}
+
+// sleepUnderLock stalls every other goroutine contending for mu.
+func (h *hub) sleepUnderLock() {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while h.mu is held`
+	h.mu.Unlock()
+}
+
+// branchMerge: the lock is held on one arm of the if, so the merge is
+// held-biased and the send after the join is flagged.
+func (h *hub) branchMerge(cond bool, m wire.Msg) {
+	if cond {
+		h.mu.Lock()
+	}
+	h.out <- m // want `channel send while h.mu is held`
+	if cond {
+		h.mu.Unlock()
+	}
+}
+
+// goroutineEscapes: spawning does not block, and the literal starts
+// from an empty lock set — its send is on its own schedule.
+func (h *hub) goroutineEscapes(m wire.Msg) {
+	h.mu.Lock()
+	go func() {
+		h.out <- m
+	}()
+	h.mu.Unlock()
+}
+
+// literalOwnRegion: a lock taken inside a literal is the literal's own
+// region, and sinks inside it are checked there.
+func (h *hub) literalOwnRegion(m wire.Msg) func() {
+	return func() {
+		h.mu.Lock()
+		h.out <- m // want `channel send while h.mu is held`
+		h.mu.Unlock()
+	}
+}
+
+// rlockBlocks: read regions convoy writers just the same.
+func (h *hub) rlockBlocks() (wire.Msg, error) {
+	h.smu.RLock()
+	defer h.smu.RUnlock()
+	return wire.ReadFrame(h.conn) // want `wire.ReadFrame while h.smu is held`
+}

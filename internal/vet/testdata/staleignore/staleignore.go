@@ -1,0 +1,27 @@
+// Corpus for the stale-suppression audit. The first directive
+// suppresses a real lockscope finding and must survive the audit; the
+// second excuses code that no longer exists and must be reported stale.
+package staletest
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// usedDirective suppresses a live finding.
+func (b *box) usedDirective() {
+	b.mu.Lock()
+	//seve:vet-ignore lockscope corpus fixture: the send below is the suppressed finding
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+// staleDirective suppresses nothing: the blocking op it once excused
+// was fixed, and the suppression is rotting in place.
+func (b *box) staleDirective() {
+	b.mu.Lock()
+	//seve:vet-ignore lockscope nothing here blocks anymore
+	b.mu.Unlock()
+}

@@ -1,5 +1,5 @@
 // Package vet implements seve-vet, the engine's domain-specific static
-// analyzer. Four checkers turn the engine's informal contracts into
+// analyzer. Seven checkers turn the engine's informal contracts into
 // compile-time gates:
 //
 //   - rwset: an action's Apply/Eval body must confine its Tx accesses to
@@ -19,21 +19,36 @@
 //     order assignment or push planning injects map-iteration
 //     nondeterminism into paths whose byte-identity the engine proves
 //     (TestTickParallelDeterminism, TestEncodeCacheFanOut).
+//   - lockscope: no blocking operation (channel ops, frame/net I/O,
+//     sync waits) inside a sync.Mutex/RWMutex region — an abstract
+//     interpretation of lock regions over the statement tree.
+//   - laneaffinity: per-lane engine state is only touched from its
+//     lane's worker (//seve:lane-affine, or an int "lane" parameter)
+//     or the sequential seal passes (//seve:lane-seal).
+//   - deliveryclass: transport-bound replies carry explicit
+//     core.Delivery metadata, and DeliveryOrdered frames are provably
+//     unreachable from shed/coalesce paths (a path-constraint
+//     interpreter over the delivery escalation ladder).
 //
 // Audited exceptions are allowed with a directive on the offending line
 // or the line above it:
 //
 //	//seve:vet-ignore <checker> <reason>
 //
-// The reason is mandatory: an unexplained suppression is itself flagged.
+// The reason is mandatory: an unexplained suppression is itself
+// flagged, and RunDirsAudit reports directives that no longer suppress
+// anything so suppressions cannot outlive the code they excused.
 package vet
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Finding is one diagnostic.
@@ -53,9 +68,12 @@ type Checker interface {
 	Check(u *Unit, report func(pos token.Pos, format string, args ...any))
 }
 
-// AllCheckers returns the four production checkers.
+// AllCheckers returns the production checkers.
 func AllCheckers() []Checker {
-	return []Checker{rwsetChecker{}, poolChecker{}, nocopyChecker{}, detorderChecker{}}
+	return []Checker{
+		rwsetChecker{}, poolChecker{}, nocopyChecker{}, detorderChecker{},
+		lockscopeChecker{}, laneAffinityChecker{}, deliveryClassChecker{},
+	}
 }
 
 // CheckerNames lists the valid checker names.
@@ -67,11 +85,27 @@ func CheckerNames() []string {
 	return names
 }
 
-// ignoreDirective is one parsed //seve:vet-ignore comment.
+// ignoreDirective is one parsed //seve:vet-ignore comment. used is set
+// when the directive suppresses at least one raw finding, the input to
+// the stale-suppression audit.
 type ignoreDirective struct {
 	checker string
 	file    string
 	line    int
+	col     int
+	used    bool
+}
+
+// StaleIgnore is a //seve:vet-ignore directive that no longer
+// suppresses anything: the code it excused was fixed or moved, and the
+// suppression is rotting in place.
+type StaleIgnore struct {
+	Pos     token.Position
+	Checker string
+}
+
+func (s StaleIgnore) String() string {
+	return fmt.Sprintf("%s: stale //seve:vet-ignore %s suppresses nothing; delete it", s.Pos, s.Checker)
 }
 
 const directivePrefix = "//seve:vet-ignore"
@@ -80,8 +114,8 @@ const directivePrefix = "//seve:vet-ignore"
 // Malformed directives (missing checker or reason, unknown checker) are
 // reported as findings of the pseudo-checker "directive" so they cannot
 // rot silently.
-func parseDirectives(u *Unit, known map[string]bool, report func(pos token.Pos, format string, args ...any)) []ignoreDirective {
-	var dirs []ignoreDirective
+func parseDirectives(u *Unit, known map[string]bool, report func(pos token.Pos, format string, args ...any)) []*ignoreDirective {
+	var dirs []*ignoreDirective
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -100,7 +134,7 @@ func parseDirectives(u *Unit, known map[string]bool, report func(pos token.Pos, 
 					continue
 				}
 				pos := u.Fset.Position(c.Pos())
-				dirs = append(dirs, ignoreDirective{checker: fields[0], file: pos.Filename, line: pos.Line})
+				dirs = append(dirs, &ignoreDirective{checker: fields[0], file: pos.Filename, line: pos.Line, col: pos.Column})
 			}
 		}
 	}
@@ -109,21 +143,49 @@ func parseDirectives(u *Unit, known map[string]bool, report func(pos token.Pos, 
 
 // suppressed reports whether a finding is covered by a directive: same
 // checker, same file, and the directive sits on the finding's line or
-// the line directly above it.
-func suppressed(f Finding, dirs []ignoreDirective) bool {
+// the line directly above it. Matching directives are marked used for
+// the stale audit.
+func suppressed(f Finding, dirs []*ignoreDirective) bool {
+	hit := false
 	for _, d := range dirs {
 		if d.checker == f.Checker && d.file == f.Pos.Filename &&
 			(d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
-			return true
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // RunDirs loads every directory and runs the given checkers, returning
 // surviving findings sorted by position. A nil checker list runs all of
 // them.
 func RunDirs(l *Loader, dirs []string, checkers []Checker) ([]Finding, error) {
+	findings, _, err := runDirs(l, dirs, checkers, false)
+	return findings, err
+}
+
+// RunDirsAudit runs every checker and additionally returns the stale
+// //seve:vet-ignore directives — those that no longer suppress any raw
+// finding of their named checker. The audit is only meaningful with the
+// full checker set, so the checker list is not a parameter.
+func RunDirsAudit(l *Loader, dirs []string) ([]Finding, []StaleIgnore, error) {
+	return runDirs(l, dirs, nil, true)
+}
+
+// dirResult is one directory's outcome, kept per-index so the parallel
+// run reassembles deterministic output.
+type dirResult struct {
+	findings []Finding
+	stale    []StaleIgnore
+	err      error
+}
+
+// runDirs fans the directories over GOMAXPROCS workers: package loading
+// dominates the wall time and the loader is safe for concurrent loads
+// (see load.go), so directories check independently and the findings
+// are reassembled in a deterministic order.
+func runDirs(l *Loader, dirs []string, checkers []Checker, audit bool) ([]Finding, []StaleIgnore, error) {
 	if checkers == nil {
 		checkers = AllCheckers()
 	}
@@ -131,15 +193,49 @@ func RunDirs(l *Loader, dirs []string, checkers []Checker) ([]Finding, error) {
 	for _, c := range AllCheckers() {
 		known[c.Name()] = true
 	}
+
+	results := make([]dirResult, len(dirs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(dirs) {
+					return
+				}
+				units, err := l.LoadDir(dirs[i])
+				if err != nil {
+					results[i].err = err
+					continue
+				}
+				for _, u := range units {
+					fs, st := checkUnit(u, checkers, known, audit)
+					results[i].findings = append(results[i].findings, fs...)
+					results[i].stale = append(results[i].stale, st...)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
 	var findings []Finding
-	for _, dir := range dirs {
-		units, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
+	var stale []StaleIgnore
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
 		}
-		for _, u := range units {
-			findings = append(findings, checkUnit(u, checkers, known)...)
-		}
+		findings = append(findings, r.findings...)
+		stale = append(stale, r.stale...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -154,12 +250,20 @@ func RunDirs(l *Loader, dirs []string, checkers []Checker) ([]Finding, error) {
 		}
 		return a.Checker < b.Checker
 	})
-	return findings, nil
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return findings, stale, nil
 }
 
-// checkUnit runs checkers over one unit and filters out suppressed
-// findings.
-func checkUnit(u *Unit, checkers []Checker, known map[string]bool) []Finding {
+// checkUnit runs checkers over one unit, filters out suppressed
+// findings, and (when auditing) reports directives that suppressed
+// nothing.
+func checkUnit(u *Unit, checkers []Checker, known map[string]bool, audit bool) ([]Finding, []StaleIgnore) {
 	var raw []Finding
 	collect := func(name string) func(pos token.Pos, format string, args ...any) {
 		return func(pos token.Pos, format string, args ...any) {
@@ -181,7 +285,18 @@ func checkUnit(u *Unit, checkers []Checker, known map[string]bool) []Finding {
 		}
 		out = append(out, f)
 	}
-	return out
+	var stale []StaleIgnore
+	if audit {
+		for _, d := range dirs {
+			if !d.used {
+				stale = append(stale, StaleIgnore{
+					Pos:     token.Position{Filename: d.file, Line: d.line, Column: d.col},
+					Checker: d.checker,
+				})
+			}
+		}
+	}
+	return out, stale
 }
 
 // funcBodies visits every function or method body in the unit, handing

@@ -123,6 +123,18 @@ func TestDetOrderCorpus(t *testing.T) {
 	runCorpus(t, "testdata/detorder", detorderChecker{})
 }
 
+func TestLockScopeCorpus(t *testing.T) {
+	runCorpus(t, "testdata/lockscope", lockscopeChecker{})
+}
+
+func TestLaneAffinityCorpus(t *testing.T) {
+	runCorpus(t, "testdata/laneaffinity", laneAffinityChecker{})
+}
+
+func TestDeliveryClassCorpus(t *testing.T) {
+	runCorpus(t, "testdata/deliveryclass", deliveryClassChecker{})
+}
+
 // TestDirectives locks in the suppression machinery: a valid directive
 // silences its finding, an unknown checker or missing reason is itself
 // reported, and an invalid directive suppresses nothing.
@@ -149,19 +161,42 @@ func TestDirectives(t *testing.T) {
 	}
 }
 
-// TestRepoClean asserts seve-vet exits clean on the real module — the
-// same gate scripts/ci.sh enforces.
+// TestStaleIgnoreAudit locks in the stale-suppression audit: a
+// directive that suppresses a live finding survives, one that
+// suppresses nothing is reported.
+func TestStaleIgnoreAudit(t *testing.T) {
+	findings, stale, err := RunDirsAudit(sharedLoader(t), []string{"testdata/staleignore"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("stale ignores = %v, want exactly the staleDirective one", stale)
+	}
+	if got := stale[0]; got.Checker != "lockscope" || !strings.Contains(got.String(), "suppresses nothing") {
+		t.Errorf("stale ignore = %v, want a lockscope suppresses-nothing report", got)
+	}
+}
+
+// TestRepoClean asserts seve-vet exits clean on the real module — zero
+// unsuppressed findings and zero stale suppressions, the same gates
+// scripts/ci.sh enforces.
 func TestRepoClean(t *testing.T) {
 	l := sharedLoader(t)
 	dirs, err := ListPackageDirs(l.ModRoot)
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := RunDirs(l, dirs, nil)
+	findings, stale, err := RunDirsAudit(l, dirs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range findings {
 		t.Errorf("repo not clean: %s", f)
+	}
+	for _, s := range stale {
+		t.Errorf("repo not clean: %s", s)
 	}
 }

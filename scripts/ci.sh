@@ -8,16 +8,25 @@
 # sharded-vs-single-lane byte-identity differential;
 # -shuffle=on keeps tests honest about shared state
 # (the wire pool is process-global); seve-vet enforces the action
-# read/write-set, pool-ownership, nocopy and determinism contracts
-# (DESIGN.md §9); the fuzz pass keeps Decode honest against hostile
-# frames beyond the checked-in corpus; the coverage gate keeps the
-# protocol engine and the reconnect-capable transport from losing test
-# reach as they grow (baselines sit a little under the measured
-# coverage so legitimate refactors don't trip on noise).
+# read/write-set, pool-ownership, nocopy, determinism, lock-region,
+# lane-affinity and delivery-class contracts (DESIGN.md §9, §14); the
+# fuzz pass keeps Decode honest against hostile frames beyond the
+# checked-in corpus; the coverage gate keeps the protocol engine and
+# the reconnect-capable transport from losing test reach as they grow
+# (baselines sit a little under the measured coverage so legitimate
+# refactors don't trip on noise).
 set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
-go run ./cmd/seve-vet ./...
+
+# seve-vet: one run produces the machine-readable findings artifact,
+# diffs it against the checked-in baseline (failing on regressions AND
+# on paid-off entries that should be deleted from the baseline), and
+# audits for //seve:vet-ignore directives that suppress nothing. To
+# intentionally accept a finding, prefer a reasoned //seve:vet-ignore;
+# the baseline is for debt that cannot be suppressed at a single line.
+go run ./cmd/seve-vet -json -baseline vet-baseline.json -audit-ignores ./... > seve-vet.json
+echo "seve-vet: clean against vet-baseline.json (artifact: seve-vet.json)"
 go test -race ./...
 go test -shuffle=on ./...
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/wire
