@@ -7,6 +7,8 @@ package seve_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"seve/internal/action"
@@ -256,8 +258,14 @@ func BenchmarkSegmentIndexCountWithin(b *testing.B) {
 
 // --- Durability layer ---
 
-func BenchmarkDurableAppend(b *testing.B) {
-	st, err := durable.Open(b.TempDir())
+// BenchmarkDurableCommitGroup measures the engine-side cost of feeding
+// the journal: encode into a pooled buffer plus a channel send (the
+// committer fsyncs on its own schedule under FsyncInterval).
+func BenchmarkDurableCommitGroup(b *testing.B) {
+	st, _, err := durable.Open(b.TempDir(), nil, durable.Options{
+		Fsync:         durable.FsyncInterval,
+		SnapshotEvery: 1 << 60,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -265,18 +273,27 @@ func BenchmarkDurableAppend(b *testing.B) {
 	res := action.Result{OK: true, Writes: []world.Write{
 		{ID: 1, Val: world.Value{1, 2, 3, 4}},
 	}}
+	recs := make([]core.CommitRecord, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := st.Append(uint64(i+1), res); err != nil {
-			b.Fatal(err)
-		}
+		recs[0] = core.CommitRecord{Seq: uint64(i + 1), Res: res}
+		st.CommitGroup(uint64(i+1), 0, recs)
+	}
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
 	}
 }
 
+// BenchmarkDurableRecover measures crash recovery: Open against a
+// 5000-record log tail (each iteration replays a fresh copy of the
+// crashed directory, copied off the clock).
 func BenchmarkDurableRecover(b *testing.B) {
-	dir := b.TempDir()
-	st, err := durable.Open(dir)
+	src := b.TempDir()
+	st, _, err := durable.Open(src, nil, durable.Options{
+		Fsync:         durable.FsyncCheckpoint,
+		SnapshotEvery: 1 << 60,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -284,17 +301,47 @@ func BenchmarkDurableRecover(b *testing.B) {
 		{ID: 1, Val: world.Value{1, 2, 3, 4}},
 	}}
 	for i := 0; i < 5000; i++ {
-		if err := st.Append(uint64(i+1), res); err != nil {
+		st.CommitGroup(uint64(i+1), 0, []core.CommitRecord{{Seq: uint64(i + 1), Res: res}})
+	}
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	// Capture the crash image before Close's shutdown checkpoint would
+	// flatten the tail away.
+	files := map[string][]byte{}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
 			b.Fatal(err)
 		}
+		files[e.Name()] = raw
 	}
 	st.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, upTo, err := durable.Recover(dir); err != nil || upTo != 5000 {
-			b.Fatalf("recover: %v (upTo %d)", err, upTo)
+		b.StopTimer()
+		dir := b.TempDir()
+		for name, raw := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+				b.Fatal(err)
+			}
 		}
+		b.StartTimer()
+		st2, rec, err := durable.Open(dir, nil, durable.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Restore.UpTo != 5000 {
+			b.Fatalf("recovered up to %d", rec.Restore.UpTo)
+		}
+		b.StopTimer()
+		st2.Close()
+		b.StartTimer()
 	}
 }
 

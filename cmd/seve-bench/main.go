@@ -13,8 +13,10 @@
 // counters), plus the extensions protocols, zoning, hybrid, shardscale
 // (sharded-serializer submit throughput vs shard count), adversarial
 // (superseding delivery queue vs drop-at-cap under flash-crowd,
-// trading-storm, and interest-churn stalls), ablation-omega,
-// ablation-threshold, ablation-gc (ablations = all three), and all.
+// trading-storm, and interest-churn stalls), durablecommit (engine
+// submit-path overhead of the attached journal per fsync policy),
+// ablation-omega, ablation-threshold, ablation-gc (ablations = all
+// three), and all.
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|clientstats|protocols|zoning|hybrid|shardscale|adversarial|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
+		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|clientstats|protocols|zoning|hybrid|shardscale|adversarial|durablecommit|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and move counts (seconds instead of minutes)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
@@ -61,6 +63,7 @@ func main() {
 		{"hybrid", experiments.Hybrid},
 		{"shardscale", experiments.Shardscale},
 		{"adversarial", experiments.Adversarial},
+		{"durablecommit", experiments.Durablecommit},
 		{"ablation-omega", experiments.AblationOmega},
 		{"ablation-threshold", experiments.AblationThreshold},
 		{"ablation-gc", experiments.AblationGC},

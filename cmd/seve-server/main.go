@@ -17,6 +17,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"seve/internal/core"
 	"seve/internal/durable"
@@ -34,6 +35,10 @@ func main() {
 		mode    = flag.String("mode", "infobound", "protocol level: basic|incomplete|firstbound|infobound")
 		rtt     = flag.Float64("rtt", 100, "assumed client RTT in ms (bound models)")
 		data    = flag.String("data", "", "directory for the durability journal and checkpoints (empty = in-memory only)")
+		fsync   = flag.String("fsync", "batch", "journal fsync policy: batch|interval|checkpoint")
+		fsyncMs = flag.Int("fsync-interval-ms", 50, "fsync period for -fsync=interval")
+		snapEvr = flag.Uint64("snapshot-every", 4096, "installed actions between epoch checkpoints")
+		degrade = flag.String("wal-degrade", "block", "behavior when the journal cannot keep up: block (backpressure, stop acknowledging on error) | shed (drop records, keep serving)")
 		shards  = flag.Int("shards", 0, "shard lanes for the sharded serializer (0 or 1 = single-lane engine)")
 		resume  = flag.Int("resume-window", 16, "committed batches retained per client for session resume (0 = disconnects are final)")
 		verbose = flag.Bool("v", false, "log client joins and drops")
@@ -75,27 +80,48 @@ func main() {
 		scfg.Logf = log.Printf
 	}
 	if *data != "" {
-		// Recover the world committed by previous runs, then journal on.
-		recovered, upTo, err := durable.Recover(*data)
-		if err != nil {
-			log.Fatalf("seve-server: recovering %s: %v", *data, err)
+		opts := durable.Options{
+			FsyncEvery:    time.Duration(*fsyncMs) * time.Millisecond,
+			SnapshotEvery: *snapEvr,
+			ResumeWindow:  *resume,
 		}
-		if upTo > 0 {
-			// Overlay recovered values onto the generated world: objects
-			// never written keep their seeded tuples.
-			for _, id := range recovered.IDs() {
-				v, _ := recovered.Get(id)
-				init.Set(id, v)
-			}
-			log.Printf("seve-server: recovered %d objects through action %d from %s",
-				recovered.Len(), upTo, *data)
+		switch *fsync {
+		case "batch":
+			opts.Fsync = durable.FsyncBatch
+		case "interval":
+			opts.Fsync = durable.FsyncInterval
+		case "checkpoint":
+			opts.Fsync = durable.FsyncCheckpoint
+		default:
+			fmt.Fprintf(os.Stderr, "seve-server: unknown fsync policy %q\n", *fsync)
+			os.Exit(2)
 		}
-		store, err := durable.Open(*data)
+		switch *degrade {
+		case "block":
+			opts.Degrade = durable.DegradeBlock
+		case "shed":
+			opts.Degrade = durable.DegradeShed
+		default:
+			fmt.Fprintf(os.Stderr, "seve-server: unknown degrade policy %q\n", *degrade)
+			os.Exit(2)
+		}
+		if *verbose {
+			opts.Logf = log.Printf
+		}
+		// Boot-time recovery: rebuild the durable point from the journal
+		// (the generated world seeds a virgin store), rewind the engine
+		// to it, then journal on. Crash-restart = resume.
+		store, recovery, err := durable.Open(*data, init, opts)
 		if err != nil {
-			log.Fatalf("seve-server: opening journal: %v", err)
+			log.Fatalf("seve-server: opening journal %s: %v", *data, err)
 		}
 		defer store.Close()
 		scfg.Durable = store
+		scfg.Recovery = recovery
+		if up := recovery.Restore.UpTo; up > 0 {
+			log.Printf("seve-server: recovered %d objects through action %d (%d sessions, boot %d) from %s",
+				recovery.State.Len(), up, len(recovery.Restore.Sessions), recovery.Restore.Boot, *data)
+		}
 	}
 	srv := transport.NewServer(scfg)
 

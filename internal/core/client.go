@@ -78,6 +78,21 @@ type Client struct {
 	sentCompletions   []*wire.Completion
 	ackedInstalled    uint64
 	ownRedeliverFloor uint32
+	// installPending retains each own committed action alongside its
+	// completion until a batch's InstalledUpTo acknowledges the
+	// installation. A commit is provisional until then: if the server
+	// crashes before the epoch seals, the position is rolled back and
+	// re-issued, and the boot fence re-queues the action from here —
+	// without it the action would be lost (it left the queue at commit
+	// time) while the client still counted it as committed.
+	installPending []pendingInstall
+	// boot is the server's recovery generation, learned from the Welcome
+	// and updated by CatchUp verdicts. A CatchUp whose Boot differs means
+	// the server restarted from its journal: serial positions above its
+	// InstalledUpTo were lost and will be re-issued to different actions,
+	// so completions retained for them are fenced (dropped, not re-sent)
+	// rather than allowed to ack state the crash rolled back.
+	boot uint64
 
 	// stats
 	reconciliations int
@@ -103,6 +118,16 @@ type pendingAction struct {
 	optimistic action.Result
 	// wsd is the action's declared write set, interned at enqueue time,
 	// backing the wsq multiset updates.
+	wsd []uint32
+}
+
+// pendingInstall is one own action committed by a closure reply whose
+// installation has not yet been acknowledged by a batch's
+// InstalledUpTo — the window in which a server crash revokes the
+// commit.
+type pendingInstall struct {
+	act action.Action
+	seq uint64
 	wsd []uint32
 }
 
@@ -344,7 +369,8 @@ func (c *Client) processBatch(b *wire.Batch, out *ClientOutput) {
 	}
 	if c.cfg.ResumeWindow > 0 && b.InstalledUpTo > c.ackedInstalled {
 		// The server has installed through InstalledUpTo: the retained
-		// completions at or below it did their job.
+		// completions at or below it did their job, and the commits at or
+		// below it are no longer provisional.
 		c.ackedInstalled = b.InstalledUpTo
 		i := 0
 		for i < len(c.sentCompletions) && c.sentCompletions[i].Seq <= c.ackedInstalled {
@@ -353,6 +379,7 @@ func (c *Client) processBatch(b *wire.Batch, out *ClientOutput) {
 		if i > 0 {
 			c.sentCompletions = append(c.sentCompletions[:0], c.sentCompletions[i:]...)
 		}
+		c.pruneInstallPending(c.ackedInstalled)
 	}
 	if b.InstalledUpTo > c.prunedBelow && !c.cfg.DisableGC {
 		// Server-driven garbage collection (Section III-C): versions at
@@ -444,9 +471,30 @@ func (c *Client) handleOwn(env action.Envelope, out *ClientOutput) {
 			// Retain until a batch's InstalledUpTo covers it: if this
 			// completion is lost with the connection, the resume re-sends
 			// it (the server installs nothing past env.Seq-1 without it).
+			// The action itself is retained alongside — if the server
+			// crashes before installing, the boot fence re-queues it.
 			c.sentCompletions = append(c.sentCompletions, cm)
+			c.installPending = append(c.installPending, pendingInstall{act: head.act, seq: env.Seq, wsd: head.wsd})
 		}
 	}
+}
+
+// pruneInstallPending drops provisional-commit records at or below the
+// acknowledged install point, zeroing vacated slots so the backing
+// array does not pin resolved actions.
+func (c *Client) pruneInstallPending(upTo uint64) {
+	j := 0
+	for j < len(c.installPending) && c.installPending[j].seq <= upTo {
+		j++
+	}
+	if j == 0 {
+		return
+	}
+	n := copy(c.installPending, c.installPending[j:])
+	for k := n; k < len(c.installPending); k++ {
+		c.installPending[k] = pendingInstall{}
+	}
+	c.installPending = c.installPending[:n]
 }
 
 // inQueue reports whether an own action is still pending in Q.
@@ -590,14 +638,26 @@ func (c *Client) HandleCatchUp(m *wire.CatchUp) ClientOutput {
 		}
 	}
 
+	if m.Boot != c.boot {
+		// The server restarted from its journal: serial positions above
+		// its recovery floor were rolled back and will be re-issued.
+		// Everything the previous boot placed above the floor is void —
+		// retained completions, provisional commits, stable versions.
+		c.boot = m.Boot
+		c.fenceBoot(m, &out)
+	}
+
 	if m.Snapshot {
 		c.resumesSnapshot++
 		c.rebuildFromSnapshot(m)
 	}
 
 	// Re-submit in-flight actions the server never accepted — their
-	// uploads were lost. Queue order is submission order, so the server
-	// re-stamps them in the original relative order.
+	// uploads were lost, or the crash rolled their positions back. Queue
+	// order is submission order (the boot fence re-queues revoked
+	// actions at the front, where their action sequence numbers keep it
+	// that way), so the server re-stamps them in the original relative
+	// order.
 	for i := range c.queue {
 		if c.queue[i].act.ID().Seq > m.LastActSeq {
 			out.ToServer = append(out.ToServer, &wire.Submit{
@@ -614,6 +674,67 @@ func (c *Client) HandleCatchUp(m *wire.CatchUp) ClientOutput {
 	}
 	return out
 }
+
+// fenceBoot rolls the client back to the restarted server's recovery
+// floor. Completions retained for rolled-back positions are dropped
+// (re-sending them could poison the re-issued positions), own actions
+// whose commits the crash revoked go back to the front of the queue —
+// their commits are withdrawn through out.Revoked and they re-commit
+// at their re-issued positions — and, on the suffix path, stable
+// versions above the floor are truncated and the optimistic state is
+// rebuilt over what survived (the snapshot path rebuilds wholesale in
+// rebuildFromSnapshot instead).
+func (c *Client) fenceBoot(m *wire.CatchUp, out *ClientOutput) {
+	i := 0
+	for i < len(c.sentCompletions) && c.sentCompletions[i].Seq <= m.BootFloor {
+		i++
+	}
+	c.sentCompletions = c.sentCompletions[:i]
+
+	j := 0
+	for j < len(c.installPending) && c.installPending[j].seq <= m.BootFloor {
+		j++
+	}
+	revoked := c.installPending[j:]
+	if len(revoked) == 0 {
+		return
+	}
+	// Re-queue in original submission order, ahead of everything still
+	// queued (all of which was submitted later), restoring each write
+	// set to the WS(Q) multiset.
+	requeued := make([]pendingAction, 0, len(revoked)+len(c.queue))
+	c.wsq.Grow(c.intern.Len())
+	for _, p := range revoked {
+		out.Revoked = append(out.Revoked, Commit{ActID: p.act.ID(), Seq: p.seq})
+		for _, o := range p.wsd {
+			c.wsq.Inc(o)
+		}
+		requeued = append(requeued, pendingAction{act: p.act, wsd: p.wsd})
+	}
+	c.queue = append(requeued, c.queue...)
+	c.installPending = c.installPending[:j]
+
+	if !m.Snapshot {
+		// Suffix resume: the session numbering continues, but every
+		// stable version above the floor — own, remote, or blind, all
+		// delivered by the dead boot for positions that no longer exist —
+		// must go. ζCO restarts from the surviving latest versions with
+		// the (now extended) queue re-applied on top, mirroring the
+		// rebuildFromSnapshot tail.
+		c.cs.TruncateAbove(m.BootFloor)
+		c.co = c.cs.LatestState()
+		c.div.Reset(c.intern.Len())
+		for i := range c.queue {
+			res := c.applyOptimistic(c.queue[i].act)
+			res.CloneInto(&c.queue[i].optimistic)
+		}
+	}
+}
+
+// SetBoot records the server's recovery generation from the handshake
+// (Welcome.Boot, or the CatchUp of a resume against a restarted
+// server); see the boot field for the fencing it arms.
+func (c *Client) SetBoot(b uint64) { c.boot = b }
 
 // rebuildFromSnapshot replaces both world versions with the CatchUp's
 // blind-write snapshot: ζCS restarts as a fresh multiversion store
@@ -650,8 +771,9 @@ func (c *Client) rebuildFromSnapshot(m *wire.CatchUp) {
 	c.nextBatchSeq = m.NextBatchSeq
 	clear(c.pendingBatches)
 	c.ownRedeliverFloor = m.LastActSeq
-	// Retained completions at or below the install point are obsolete
-	// (the pruning in processBatch may not have seen the latest marker).
+	// Retained completions and provisional commits at or below the
+	// install point are obsolete (the pruning in processBatch may not
+	// have seen the latest marker).
 	i := 0
 	for i < len(c.sentCompletions) && c.sentCompletions[i].Seq <= m.InstalledUpTo {
 		i++
@@ -659,6 +781,7 @@ func (c *Client) rebuildFromSnapshot(m *wire.CatchUp) {
 	if i > 0 {
 		c.sentCompletions = append(c.sentCompletions[:0], c.sentCompletions[i:]...)
 	}
+	c.pruneInstallPending(m.InstalledUpTo)
 }
 
 // HandleMsg dispatches any server message.

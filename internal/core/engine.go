@@ -42,9 +42,10 @@ type Engine interface {
 	QueueLen() int
 	// Metrics snapshots the engine's cumulative counters.
 	Metrics() metrics.ServerStats
-	// SetInstallHook registers fn to observe every installation into ζS
-	// in serial order (the durability feed). Pass nil to remove.
-	SetInstallHook(fn func(seq uint64, res action.Result))
+	// SetJournal registers the durable commit feed (feed.go): grouped
+	// install records at seal boundaries plus the session-layer records
+	// the resume rebuild needs. Pass nil to remove.
+	SetJournal(j Journal)
 }
 
 // Resumer is implemented by engines that retain client sessions
@@ -88,4 +89,5 @@ var (
 	_ Engine     = (*Server)(nil)
 	_ Resumer    = (*Server)(nil)
 	_ Superseder = (*Server)(nil)
+	_ Restorer   = (*Server)(nil)
 )

@@ -177,6 +177,13 @@ func (lb *loopback) stepClient(cid action.ClientID) bool {
 }
 
 func (lb *loopback) absorb(cid action.ClientID, out ClientOutput) {
+	// A revoked provisional commit withdraws the Commit record absorbed
+	// when its closure batch landed; the action re-commits at a
+	// re-issued position within the same drain.
+	for _, rv := range out.Revoked {
+		lb.commits = removeCommit(lb.commits, rv)
+		lb.commitBy[cid] = removeCommit(lb.commitBy[cid], rv)
+	}
 	for _, m := range out.ToServer {
 		lb.toServer = append(lb.toServer, fromMsg{from: cid, msg: m})
 	}
@@ -187,6 +194,15 @@ func (lb *loopback) absorb(cid action.ClientID, out ClientOutput) {
 	lb.commitBy[cid] = append(lb.commitBy[cid], out.Commits...)
 	lb.drops = append(lb.drops, out.DroppedLocal...)
 	lb.violations = append(lb.violations, out.Violations...)
+}
+
+func removeCommit(cs []Commit, rv Commit) []Commit {
+	for i := len(cs) - 1; i >= 0; i-- {
+		if cs[i].ActID == rv.ActID && cs[i].Seq == rv.Seq {
+			return append(cs[:i], cs[i+1:]...)
+		}
+	}
+	return cs
 }
 
 // tick runs the server's First Bound push cycle.

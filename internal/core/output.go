@@ -92,6 +92,12 @@ type ClientOutput struct {
 	Applied []action.Action
 	// Commits lists locally originated actions resolved during this call.
 	Commits []Commit
+	// Revoked lists previously reported Commits withdrawn by a boot
+	// fence: the server restarted and the committed serial position was
+	// rolled back before it became durable. Each revoked action is
+	// back in the queue and re-submitted in the same call; it will be
+	// reported through Commits again at its re-issued position.
+	Revoked []Commit
 	// DroppedLocal lists locally originated actions the server dropped.
 	DroppedLocal []action.ID
 	// ToPeers carries hybrid-relay forwards: batches this client must

@@ -33,6 +33,14 @@ const dropRingCap = 4096
 type session struct {
 	token uint64
 	mask  uint64
+	// seqNo is the mint order the token was derived from, journaled so
+	// a restarted server resumes the token counter past it.
+	seqNo uint64
+	// recovered marks a session rebuilt from the durable journal: its
+	// first resume may legitimately present a LastBatchSeq ahead of the
+	// recovered window (the crash lost the journal tail), which degrades
+	// to the snapshot path instead of a rejection.
+	recovered bool
 	// lastSeq is the ClientSeq of the newest batch ever sent (the high
 	// end of the retained window).
 	lastSeq uint64
@@ -81,7 +89,7 @@ func (s *Server) openSession(id action.ClientID, mask uint64) {
 	sess := s.sessions[id]
 	if sess == nil {
 		s.sessionSeq++
-		sess = &session{token: mixToken(s.sessionSeq)}
+		sess = &session{token: mixToken(s.sessionSeq), seqNo: s.sessionSeq}
 		s.sessions[id] = sess
 		s.tokenOwner[sess.token] = id
 	}
@@ -90,6 +98,13 @@ func (s *Server) openSession(id action.ClientID, mask uint64) {
 	sess.lastActSeq = 0
 	sess.retained = nil
 	sess.drops = nil
+	sess.recovered = false
+	if s.journal != nil {
+		// stampFloor scopes the recovered dedup floor to this
+		// registration: everything stamped so far belongs to previous
+		// generations of the client id.
+		s.journal.SessionOpen(id, sess.token, mask, sess.seqNo, s.nextSeq)
+	}
 }
 
 // SessionToken returns the resume token for a registered client, or 0
@@ -110,6 +125,11 @@ func (s *Server) retainBatch(cid action.ClientID, b *wire.Batch) {
 		return
 	}
 	sess.lastSeq = b.ClientSeq
+	if s.journal != nil {
+		// May run on a lane worker (CommitLane sequences batches there);
+		// the Journal contract admits concurrent BatchRetained calls.
+		s.journal.BatchRetained(cid, b)
+	}
 	if len(sess.retained) >= s.cfg.ResumeWindow {
 		n := copy(sess.retained, sess.retained[1:])
 		sess.retained[n] = b
@@ -150,7 +170,13 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 	var out ServerOutput
 	cid, ok := s.tokenOwner[m.Token]
 	sess := s.sessions[cid]
-	if !ok || sess == nil || sess.token != m.Token || m.LastBatchSeq > sess.lastSeq {
+	// A LastBatchSeq ahead of anything ever sent is a protocol violation
+	// on a live session — but the expected shape of the first resume
+	// against a restarted server, whose journal may have lost the tail
+	// of the window. Recovered sessions degrade to the snapshot path
+	// instead of rejecting.
+	ahead := sess != nil && m.LastBatchSeq > sess.lastSeq
+	if !ok || sess == nil || sess.token != m.Token || (ahead && !sess.recovered) {
 		s.resumesRejected++
 		out.Replies = append(out.Replies, Reply{
 			To: 0, Msg: &wire.CatchUp{},
@@ -162,24 +188,33 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 
 	// Revive the client if the disconnect unregistered it. claimSlot
 	// restores the old sent-bitmap slot, and nextBatchSeq continues the
-	// session's numbering.
+	// session's numbering — from the client's own high-water mark when
+	// the recovered journal runs behind it, so ClientSeq stays monotonic
+	// for the client across the restart.
 	ci := s.clients[cid]
 	if ci == nil {
-		ci = &clientInfo{interest: sess.mask, slot: s.claimSlot(cid), nextBatchSeq: sess.lastSeq}
+		ci = &clientInfo{interest: sess.mask, slot: s.claimSlot(cid), nextBatchSeq: max(sess.lastSeq, m.LastBatchSeq)}
 		s.clients[cid] = ci
 	}
+	recovered := sess.recovered
+	sess.recovered = false // one restart, one degraded resume
 
 	drops := slices.Clone(sess.drops)
 
 	// The window covers the gap when there is no gap at all, or when the
 	// oldest retained batch is at or before the first one missing. The
 	// retained slice is contiguous and ends at lastSeq by construction.
-	covered := m.LastBatchSeq == sess.lastSeq ||
-		(len(sess.retained) > 0 && sess.retained[0].ClientSeq <= m.LastBatchSeq+1)
+	covered := !ahead && (m.LastBatchSeq == sess.lastSeq ||
+		(len(sess.retained) > 0 && sess.retained[0].ClientSeq <= m.LastBatchSeq+1))
 	if covered {
 		s.resumesSuffix++
+		if recovered {
+			s.resumesRecovered++
+		}
 		out.Replies = append(out.Replies, Reply{To: cid, Msg: &wire.CatchUp{
 			OK:            true,
+			Boot:          s.boot,
+			BootFloor:     s.bootFloor,
 			InstalledUpTo: s.installed,
 			LastActSeq:    sess.lastActSeq,
 			DroppedActs:   drops,
@@ -198,6 +233,9 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 	// Snapshot fallback. The client rebuilds from ζS at the install
 	// point, so every sent() bit it holds is void.
 	s.resumesSnapshot++
+	if recovered {
+		s.resumesRecovered++
+	}
 	s.snapshotOut(cid, ci, sess, &out)
 	return cid, out
 }
@@ -225,6 +263,8 @@ func (s *Server) snapshotOut(cid action.ClientID, ci *clientInfo, sess *session,
 		To: cid,
 		Msg: &wire.CatchUp{
 			OK:            true,
+			Boot:          s.boot,
+			BootFloor:     s.bootFloor,
 			Snapshot:      true,
 			InstalledUpTo: s.installed,
 			NextBatchSeq:  ci.nextBatchSeq + 1,

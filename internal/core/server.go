@@ -97,10 +97,23 @@ type Server struct {
 	recentResults map[uint64]action.Result
 	suspects      map[action.ClientID]int
 
-	// installHook, when set, observes every installation into ζS in
-	// serial order — the integration point for the durability layer
-	// (package durable) and any other change feed.
-	installHook func(seq uint64, res action.Result)
+	// journal, when set, receives the commit feed: one grouped record
+	// per InstallContiguous pass plus the session-layer records — the
+	// integration point for the durability pipeline (package durable).
+	// feedRecs is the reusable group-assembly scratch; installEpoch
+	// numbers the passes.
+	journal      Journal
+	feedRecs     []CommitRecord
+	installEpoch uint64
+
+	// boot is the recovery generation (RestoreState.Boot); CatchUp
+	// verdicts carry it so clients can fence completions retained
+	// against a previous boot. bootFloor is the install point this boot
+	// recovered at (RestoreState.UpTo): the fence below which serial
+	// positions survived the restart, carried in CatchUp verdicts so a
+	// resuming client can roll back everything it holds above it.
+	boot      uint64
+	bootFloor uint64
 
 	// planExec, when set, runs read-only planning fan-outs on the
 	// caller's worker pool instead of ad-hoc goroutines (SetPlanExecutor).
@@ -132,6 +145,8 @@ type Server struct {
 	resumesRejected   int
 	duplicateSubmits  int
 	snapshotFallbacks int
+	staleCompletions  int
+	resumesRecovered  int
 }
 
 // crossCheckWindow is how many installed results the server retains for
@@ -247,12 +262,13 @@ func NewServer(cfg Config, init *world.State) *Server {
 	}
 }
 
-// SetInstallHook registers fn to be called synchronously for every
-// action installed into ζS, in serial order. Pass nil to remove. The
-// Section II transaction layer "commits at periodic checkpoints" to a
-// database through exactly this feed (see package durable).
-func (s *Server) SetInstallHook(fn func(seq uint64, res action.Result)) {
-	s.installHook = fn
+// SetJournal registers the durable commit feed. Pass nil to remove.
+// The Section II transaction layer "commits at periodic checkpoints"
+// to a database through exactly this feed (see package durable): one
+// CommitGroup per install pass, SessionOpen per session mint/reset,
+// BatchRetained per batch entering a resume window.
+func (s *Server) SetJournal(j Journal) {
+	s.journal = j
 }
 
 // Suspects reports, per client, how many of its completion reports
@@ -746,6 +762,15 @@ func (s *Server) TakeCompletion(m *wire.Completion) {
 		s.crossCheck(m)
 		return
 	}
+	if m.Seq > s.nextSeq {
+		// No action has been stamped at that position: the completion
+		// references a serial timeline this server never issued — a
+		// stale re-send minted against a previous boot, racing ahead of
+		// the client's catch-up fencing. Accepting it would poison the
+		// position when a fresh stamp reuses it.
+		s.staleCompletions++
+		return
+	}
 	if accepted, dup := s.pendingRes[m.Seq]; dup {
 		if s.cfg.CrossCheck && !m.Res.Equal(accepted) {
 			s.suspects[m.By]++
@@ -783,13 +808,17 @@ func (s *Server) InstallContiguous(exec func(tasks []func())) {
 
 	s.applyWrites(batch, exec)
 
+	// One install pass = one journal group: the grouped record carries
+	// the whole contiguous prefix in serial order, so durability
+	// preserves exactly the seal boundaries the pipeline commits at.
+	if s.journal != nil {
+		s.emitCommitGroup(batch)
+	}
+
 	for _, e := range batch {
 		seq := e.env.Seq
 		res := s.pendingRes[seq]
 		s.installed = seq
-		if s.installHook != nil {
-			s.installHook(seq, res)
-		}
 		delete(s.pendingRes, seq)
 		if s.cfg.CrossCheck {
 			s.recentResults[seq] = res
@@ -967,6 +996,8 @@ func (s *Server) Metrics() metrics.ServerStats {
 		DuplicateSubmits:  s.duplicateSubmits,
 		RetainedBatches:   s.retainedBatches(),
 		SnapshotFallbacks: s.snapshotFallbacks,
+		StaleCompletions:  s.staleCompletions,
+		ResumesRecovered:  s.resumesRecovered,
 	}
 }
 

@@ -1,0 +1,383 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"seve/internal/action"
+	"seve/internal/wire"
+)
+
+func segmentName(lane int32, start uint64) string {
+	return fmt.Sprintf("wal-%d-%020d.log", lane, start)
+}
+
+func metaName(start uint64) string {
+	return fmt.Sprintf("meta-%020d.log", start)
+}
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("snapshot-%020d.state", seq)
+}
+
+// committer owns all file I/O and the shadow replica. One goroutine,
+// fed by Store.jobs; records arrive pre-framed in pooled buffers whose
+// ownership arrived with the job.
+type committer struct {
+	s  *Store
+	sh *shadow
+
+	// files maps lane -> current segment (laneMeta -> the meta
+	// lineage's append handle); dirty tracks unfsynced writes.
+	files map[int32]*os.File
+	dirty map[int32]bool
+	// segStart names the current segment generation; lastCkpt is the
+	// install point of the last checkpoint.
+	segStart uint64
+	lastCkpt uint64
+
+	// group assembles the in-flight install pass: per-lane records
+	// accumulate here until the end-marked job closes the group, which
+	// is applied to the shadow as one unit (the group commit).
+	group      []walEntry
+	groupBlind uint32
+
+	failed bool
+	gapped bool
+}
+
+func (c *committer) run() {
+	defer close(c.s.closed)
+	var tick <-chan time.Time
+	if c.s.opts.Fsync == FsyncInterval {
+		t := time.NewTicker(c.s.opts.FsyncEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	gate := c.s.opts.testGate
+	for {
+		if gate != nil {
+			<-gate
+		}
+		select {
+		case j := <-c.s.jobs:
+			switch j.op {
+			case opAppend:
+				c.append(j)
+			case opBarrier:
+				j.done <- c.barrier()
+			case opCheckpoint:
+				j.done <- c.forcedCheckpoint()
+			case opStop:
+				j.done <- c.shutdown()
+				return
+			}
+		case <-tick:
+			c.fsyncDirty()
+		}
+	}
+}
+
+func (c *committer) fail(err error) {
+	c.s.appendErrors.Add(1)
+	if !c.failed {
+		c.failed = true
+		c.s.errv.Store(err)
+		c.s.opts.Logf("durable: committer failed, log frozen: %v", err)
+	}
+}
+
+func (c *committer) file(lane int32) (*os.File, error) {
+	if f := c.files[lane]; f != nil {
+		return f, nil
+	}
+	name := segmentName(lane, c.segStart)
+	if lane == laneMeta {
+		name = metaName(c.lastCkpt)
+	}
+	f, err := os.OpenFile(filepath.Join(c.s.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening %s: %w", name, err)
+	}
+	c.files[lane] = f
+	return f, nil
+}
+
+// append writes one record and replays it into the shadow. The
+// committer is a single goroutine that owns every lane's segment file
+// — a sequential any-lane context, like the engine's merge passes.
+//
+//seve:lane-seal
+func (c *committer) append(j job) {
+	defer wire.PutBuf(j.buf)
+	body := j.buf[frameHdrLen:]
+	kind := body[0]
+	if c.failed || (c.gapped && kind == recCommit) {
+		// A frozen log must stay a faithful prefix of the feed; writing
+		// anything past the freeze point would only mislead recovery.
+		if kind == recCommit && j.end {
+			c.group = c.group[:0]
+			c.groupBlind = 0
+		}
+		return
+	}
+	f, err := c.file(j.lane)
+	if err == nil {
+		_, err = f.Write(j.buf)
+	}
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.dirty[j.lane] = true
+	switch kind {
+	case recCommit:
+		g, derr := decodeCommitRecord(body)
+		if derr != nil {
+			c.fail(derr) // our own encoding failed to decode: a bug, freeze loudly
+		} else {
+			c.group = append(c.group, g.entries...)
+			if g.nextBlind > c.groupBlind {
+				c.groupBlind = g.nextBlind
+			}
+		}
+		if j.end {
+			c.endGroup()
+		}
+	case recSession:
+		if rec, _, derr := decodeSessionFields(body, 1); derr == nil {
+			c.sh.open(rec)
+		}
+	case recBatch:
+		if rec, derr := decodeBatchRecord(body); derr == nil {
+			c.sh.retain(rec, true)
+		}
+	}
+	if !c.failed && !c.gapped && c.sh.applied-c.lastCkpt >= c.s.opts.SnapshotEvery {
+		if err := c.checkpoint(); err != nil {
+			c.s.opts.Logf("durable: checkpoint: %v", err)
+		}
+	}
+}
+
+// endGroup closes the in-flight install pass: the assembled entries
+// must continue the shadow exactly (per-lane records of one pass merge
+// back into a contiguous serial run). A hole means a shed record —
+// the shadow freezes so no checkpoint can ever claim coverage past it.
+func (c *committer) endGroup() {
+	defer func() {
+		c.group = c.group[:0]
+		c.groupBlind = 0
+	}()
+	if c.failed || c.gapped || len(c.group) == 0 {
+		return
+	}
+	sort.Slice(c.group, func(i, j int) bool { return c.group[i].seq < c.group[j].seq })
+	want := c.sh.applied + 1
+	for _, e := range c.group {
+		if e.seq != want {
+			c.gapped = true
+			c.s.gapped.Store(true)
+			c.s.opts.Logf("durable: journal gap at seq %d (expected %d); shadow frozen, checkpoints disabled", e.seq, want)
+			return
+		}
+		want++
+	}
+	for _, e := range c.group {
+		c.sh.applyEntry(e)
+	}
+	if c.groupBlind > c.sh.nextBlind {
+		c.sh.nextBlind = c.groupBlind
+	}
+	c.s.durableSeq.Store(c.sh.applied)
+	if c.s.opts.Fsync == FsyncBatch {
+		c.fsyncDirty()
+	}
+	c.s.groupCommits.Add(1)
+}
+
+// barrier is the Sync implementation: flush everything written so far.
+func (c *committer) barrier() error {
+	if err := c.fsyncDirty(); err != nil {
+		return err
+	}
+	return c.s.Err()
+}
+
+func (c *committer) fsyncDirty() error {
+	for lane, d := range c.dirty {
+		if !d {
+			continue
+		}
+		if f := c.files[lane]; f != nil {
+			if err := f.Sync(); err != nil {
+				c.fail(err)
+				return err
+			}
+		}
+		c.dirty[lane] = false
+	}
+	return nil
+}
+
+func (c *committer) forcedCheckpoint() error {
+	if c.failed {
+		return c.s.Err()
+	}
+	if c.gapped {
+		return fmt.Errorf("durable: journal gapped; checkpoint would claim coverage it does not have")
+	}
+	return c.checkpoint()
+}
+
+// checkpoint cuts an epoch snapshot from the shadow at its current
+// group boundary, rewrites the meta lineage, rolls the segments, and
+// collects old generations — strictly in that order (keep-then-gc):
+// nothing is deleted until its replacement is durably renamed, so a
+// crash between any two steps leaves the previous generation intact
+// and recovery simply picks the newest pair that survived.
+func (c *committer) checkpoint() error {
+	// The log must be durable up to the point the snapshot claims:
+	// under the interval and checkpoint fsync policies this is where
+	// those bytes hit stable storage.
+	if err := c.fsyncDirty(); err != nil {
+		return err
+	}
+	if err := c.publish(); err != nil {
+		c.fail(err)
+		return err
+	}
+	c.gc()
+	c.s.checkpoints.Add(1)
+	return nil
+}
+
+// publish writes the snapshot and meta files for the shadow's install
+// point and rolls the segment generation.
+func (c *committer) publish() error {
+	seq := c.sh.applied
+
+	// Snapshot: temp + fsync + rename, the seed's atomic-publish shape.
+	body := encodeState(seq, c.sh.state)
+	framed := make([]byte, 0, len(body)+4)
+	framed = appendCRC(framed, body)
+	if err := writeDurably(filepath.Join(c.s.dir, snapshotName(seq)), framed); err != nil {
+		return err
+	}
+
+	// Meta lineage: watermarks plus every session baked with its
+	// current floors and ring, same publish shape. Future session
+	// records append to this file until the next checkpoint.
+	meta := make([]byte, 0, 1024)
+	meta = appendMetaHdr(meta, walMetaHdr{
+		boot:       c.s.boot,
+		nextBlind:  c.sh.nextBlind,
+		sessionSeq: c.sh.sessionSeq,
+		upTo:       seq,
+	})
+	ids := make([]int32, 0, len(c.sh.sessions))
+	for id := range c.sh.sessions {
+		ids = append(ids, int32(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sess := c.sh.sessions[action.ClientID(id)]
+		meta = appendMetaSess(meta, sess.walSession, sess.lastActSeq, sess.lastSeq, sess.ring)
+	}
+	if f := c.files[laneMeta]; f != nil {
+		f.Close()
+		delete(c.files, laneMeta)
+		c.dirty[laneMeta] = false
+	}
+	if err := writeDurably(filepath.Join(c.s.dir, metaName(seq)), meta); err != nil {
+		return err
+	}
+
+	// Roll the segment generation: subsequent commit records open
+	// wal-<lane>-<seq>.log lazily.
+	for lane, f := range c.files {
+		if lane == laneMeta {
+			continue
+		}
+		f.Close()
+		delete(c.files, lane)
+		c.dirty[lane] = false
+	}
+	c.segStart = seq
+	c.lastCkpt = seq
+	return nil
+}
+
+// gc removes generations superseded twice over: the newest snapshot
+// pair is live, the previous one is kept as the fallback should the
+// newest turn out unreadable, and everything older goes. Runs only
+// after publish succeeded — the keep half of keep-then-gc.
+func (c *committer) gc() {
+	snaps, metas, segs := scanDir(c.s.dir)
+	if len(snaps) < 2 {
+		return
+	}
+	keep := snaps[len(snaps)-2] // second-newest generation start
+	for _, s := range snaps {
+		if s < keep {
+			os.Remove(filepath.Join(c.s.dir, snapshotName(s)))
+		}
+	}
+	for _, m := range metas {
+		if m < keep {
+			os.Remove(filepath.Join(c.s.dir, metaName(m)))
+		}
+	}
+	for _, sg := range segs {
+		if sg.start < keep {
+			os.Remove(filepath.Join(c.s.dir, sg.name))
+		}
+	}
+}
+
+// shutdown drains the store on Close: a final fsync plus, on a healthy
+// store, a shutdown checkpoint so a clean restart resumes from an
+// exact image (sessions, floors and rings included).
+func (c *committer) shutdown() error {
+	if !c.failed {
+		if c.gapped {
+			c.fsyncDirty()
+		} else if err := c.checkpoint(); err != nil {
+			c.s.opts.Logf("durable: shutdown checkpoint: %v", err)
+		}
+	}
+	c.closeFiles()
+	return c.s.Err()
+}
+
+func (c *committer) closeFiles() {
+	for lane, f := range c.files {
+		f.Close()
+		delete(c.files, lane)
+	}
+}
+
+// writeDurably publishes content at path atomically: temp file, fsync,
+// rename.
+func writeDurably(path string, content []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(content); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

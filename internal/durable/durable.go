@@ -4,287 +4,493 @@
 // consistency and durability of data".
 //
 // The paper observes that persistent net-VEs keep the world in a
-// database but, for throughput, "use commercial databases only to commit
-// and read at periodic checkpoints" with an in-memory transaction layer
-// in front (Section II). This package is that checkpoint layer: an
-// append-only write-ahead log of installed action results plus periodic
-// full-state snapshots, both CRC-protected, with recovery that loads the
-// newest intact snapshot and replays the log tail. A torn or corrupt
-// record truncates recovery at the last intact prefix — exactly the
-// semantics of a database redo log.
+// database but, for throughput, "use commercial databases only to
+// commit and read at periodic checkpoints" with an in-memory
+// transaction layer in front (Section II). This package is that
+// checkpoint layer, grown from a per-install redo log into a pipeline
+// the engine feeds without ever waiting on a disk:
+//
+//   - The engine emits one journal group per install pass over the
+//     core.Journal feed (plus the session-open and batch-retained
+//     records the resume layer needs). Each record is encoded into a
+//     pooled wire buffer on the caller's goroutine and ownership is
+//     handed to the committer over a bounded channel — the engine's
+//     cost per group is an encode and a channel send.
+//   - A single committer goroutine appends records to segmented
+//     per-lane logs (group commit: one record per lane per install
+//     pass), fsyncs under the configured policy, and replays every
+//     record into a shadow replica of the engine (see shadow.go).
+//   - Checkpoints are cut from the shadow at group boundaries — an
+//     epoch-consistent snapshot by construction, written entirely off
+//     the engine's hot path — then the meta lineage (watermarks plus
+//     baked sessions) is rewritten and old generations are collected
+//     keep-then-gc: nothing is deleted until its replacement is
+//     durably renamed into place, so a crash at any point leaves a
+//     recoverable directory.
+//   - Open scans the directory, rebuilds the shadow from the newest
+//     intact snapshot + meta + segment records (stopping at the first
+//     torn or corrupt tail), bumps the boot generation, cuts a fresh
+//     checkpoint, and returns both the journal sink and a
+//     core.RestoreState — crash-restart becomes "the server resumes
+//     against itself".
 package durable
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"math"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/wire"
 	"seve/internal/world"
 )
 
-// Store is a directory-backed checkpoint + log store. Not safe for
-// concurrent use; the owning server serializes installs already.
+// FsyncPolicy selects when the committer forces the logs to stable
+// storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncBatch fsyncs at every group boundary: one fsync per install
+	// pass, the group-commit point. The default.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncInterval fsyncs on a timer (Options.FsyncEvery).
+	FsyncInterval
+	// FsyncCheckpoint fsyncs only at checkpoints, Sync and Close.
+	FsyncCheckpoint
+)
+
+// DegradePolicy selects what happens when the committer cannot keep up
+// (its queue is full) or its disk fails.
+type DegradePolicy uint8
+
+const (
+	// DegradeBlock applies backpressure: journal calls block until the
+	// committer drains, so the engine — and therefore every
+	// acknowledgement it would send — stalls rather than let the log
+	// fall silently behind. After an I/O error the store latches Err
+	// and the transport stops acknowledging. The default.
+	DegradeBlock DegradePolicy = iota
+	// DegradeShed keeps the engine running and drops journal records,
+	// counting them in Stats.ShedRecords. The first dropped commit
+	// group leaves a permanent gap: the committer freezes the shadow
+	// and cuts no further checkpoints, so recovery still yields a
+	// faithful prefix.
+	DegradeShed
+)
+
+// Options configures a Store.
+type Options struct {
+	Fsync      FsyncPolicy
+	FsyncEvery time.Duration // FsyncInterval period; default 50ms
+	// SnapshotEvery is the checkpoint period in installed serial
+	// positions; default 4096.
+	SnapshotEvery uint64
+	Degrade       DegradePolicy
+	// QueueLen bounds the committer queue in records; default 1024.
+	QueueLen int
+	// ResumeWindow is the per-session retained-batch ring capacity the
+	// shadow keeps; set it to the engine's Config.ResumeWindow so a
+	// recovered session can serve the same suffix replays. Default 16.
+	ResumeWindow int
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+
+	// testGate, when non-nil, throttles the committer: it consumes one
+	// token per loop iteration. Tests use it to fill the queue
+	// deterministically.
+	testGate chan struct{}
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 50 * time.Millisecond
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 4096
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.ResumeWindow <= 0 {
+		o.ResumeWindow = 16
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// GroupCommits counts install passes fully applied to the shadow
+	// (the group-commit boundaries).
+	GroupCommits int
+	// Checkpoints counts epoch snapshots cut from the shadow.
+	Checkpoints int
+	// AppendErrors counts committer I/O failures; after the first the
+	// store latches Err and stops writing.
+	AppendErrors int
+	// ShedRecords counts journal records dropped under DegradeShed.
+	ShedRecords int
+	// Emitted is the newest serial position the engine has fed;
+	// Durable is the newest the committer has consumed. Their
+	// difference is how far the log trails the engine.
+	Emitted uint64
+	Durable uint64
+	// Gapped reports that a shed record left a permanent hole: the
+	// shadow is frozen and no further checkpoints will be cut.
+	Gapped bool
+}
+
+// Store is the durability pipeline: the engine-facing half implements
+// core.Journal (safe for the engine goroutine plus its lane workers,
+// per the Journal contract); the committer goroutine owns all file
+// I/O. Open recovers, Close drains.
 type Store struct {
-	dir string
-	log *os.File
-	// logStart is the serial position the current log file begins after
-	// (the seq of the snapshot it follows).
-	logStart uint64
-	// lastAppended is the seq of the newest record written.
-	lastAppended uint64
+	dir  string
+	opts Options
+	boot uint64
+
+	jobs  chan job
+	stopc chan struct{}
+
+	emitted      atomic.Uint64
+	durableSeq   atomic.Uint64
+	groupCommits atomic.Int64
+	checkpoints  atomic.Int64
+	appendErrors atomic.Int64
+	shedRecords  atomic.Int64
+	gapped       atomic.Bool
+	errv         atomic.Value // error
+
+	closeOnce sync.Once
+	closeErr  error
+	closed    chan struct{}
 }
 
 const (
-	logName        = "actions.log"
-	snapshotPrefix = "snapshot-"
-	snapshotSuffix = ".state"
+	opAppend = iota
+	opBarrier
+	opCheckpoint
+	opStop
 )
 
-// Open opens (or creates) a store in dir. The returned store appends to
-// the existing log; call Recover first when restarting after a crash.
-func Open(dir string) (*Store, error) {
+// laneMeta routes a record to the meta lineage instead of a lane
+// segment.
+const laneMeta int32 = -1
+
+type job struct {
+	op   int
+	lane int32
+	buf  []byte // framed record, pooled; ownership transfers with the job
+	// end marks the last record of a commit group: the committer
+	// assembles the group, applies it to the shadow, and group-commits.
+	end  bool
+	done chan error
+}
+
+// Recovery is what Open reconstructed: the authoritative state at the
+// durable install point (the caller seeds its engine with it) and the
+// RestoreState to rewind the engine's watermarks and session table.
+type Recovery struct {
+	State   *world.State
+	Restore core.RestoreState
+}
+
+// ErrClosed is returned by barriers against a closed store.
+var ErrClosed = errors.New("durable: store closed")
+
+// Open recovers dir and starts the committer. base, when non-nil, is
+// the generated initial world: it seeds the shadow only when the
+// directory holds no snapshot yet (after the first Open the initial
+// world is captured by the boot checkpoint and base is ignored). The
+// returned Recovery carries everything the engine needs to resume
+// against itself; pass the Store to Engine.SetJournal afterwards.
+func Open(dir string, base *world.State, opts Options) (*Store, *Recovery, error) {
+	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("durable: creating %s: %w", dir, err)
+		return nil, nil, fmt.Errorf("durable: creating %s: %w", dir, err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	sh, prevBoot, hadSnapshot, err := recoverDir(dir, opts)
 	if err != nil {
-		return nil, fmt.Errorf("durable: opening log: %w", err)
+		return nil, nil, err
 	}
-	return &Store{dir: dir, log: f}, nil
+	if !hadSnapshot && base != nil {
+		sh.state = base.Clone()
+	}
+	s := &Store{
+		dir:    dir,
+		opts:   opts,
+		boot:   prevBoot + 1,
+		jobs:   make(chan job, opts.QueueLen),
+		stopc:  make(chan struct{}),
+		closed: make(chan struct{}),
+	}
+	s.durableSeq.Store(sh.applied)
+	s.emitted.Store(sh.applied)
+
+	rec := &Recovery{
+		State: sh.state.Clone(),
+		Restore: core.RestoreState{
+			UpTo:       sh.applied,
+			NextBlind:  sh.nextBlind,
+			Boot:       s.boot,
+			SessionSeq: sh.sessionSeq,
+			Sessions:   sessionRecords(sh),
+		},
+	}
+
+	c := &committer{
+		s:        s,
+		sh:       sh,
+		files:    make(map[int32]*os.File),
+		dirty:    make(map[int32]bool),
+		segStart: sh.applied,
+		lastCkpt: sh.applied,
+	}
+	// Boot checkpoint: the new boot generation (and, on first Open, the
+	// base world) must be durable before the server acknowledges
+	// anything minted under it.
+	if err := c.checkpoint(); err != nil {
+		c.closeFiles()
+		return nil, nil, err
+	}
+	go c.run()
+	return s, rec, nil
 }
 
-// Close releases the log file.
-func (s *Store) Close() error { return s.log.Close() }
+// Boot reports the recovery generation this Open minted.
+func (s *Store) Boot() uint64 { return s.boot }
 
-// LastAppended reports the newest serial position written this session.
-func (s *Store) LastAppended() uint64 { return s.lastAppended }
-
-// Append writes one installed action's effect to the log. Records are
-// length-prefixed and CRC-protected so a torn tail is detected on
-// recovery.
-//
-// Record layout: len(4) crc(4) seq(8) ok(1) nwrites(4) [id(8) nattr(2)
-// attrs(8 each)]... — crc covers everything after the crc field.
-func (s *Store) Append(seq uint64, res action.Result) error {
-	body := make([]byte, 0, 64)
-	body = binary.LittleEndian.AppendUint64(body, seq)
-	if res.OK {
-		body = append(body, 1)
-	} else {
-		body = append(body, 0)
+// Err returns the committer's latched I/O error, if any. Once set the
+// log has stopped growing; under DegradeBlock the transport reacts by
+// refusing to acknowledge further work.
+func (s *Store) Err() error {
+	if e, ok := s.errv.Load().(error); ok {
+		return e
 	}
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(res.Writes)))
-	for _, w := range res.Writes {
-		body = binary.LittleEndian.AppendUint64(body, uint64(w.ID))
-		body = binary.LittleEndian.AppendUint16(body, uint16(len(w.Val)))
-		for _, f := range w.Val {
-			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(f))
-		}
-	}
-	rec := make([]byte, 0, len(body)+8)
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(body)))
-	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(body))
-	rec = append(rec, body...)
-	if _, err := s.log.Write(rec); err != nil {
-		return fmt.Errorf("durable: appending seq %d: %w", seq, err)
-	}
-	s.lastAppended = seq
 	return nil
 }
 
-// Sync flushes the log to stable storage (fsync). Callers choose the
-// durability/throughput point — per install, per checkpoint, or on
-// shutdown.
-func (s *Store) Sync() error { return s.log.Sync() }
+// Degrade reports the configured degrade policy.
+func (s *Store) Degrade() DegradePolicy { return s.opts.Degrade }
 
-// Snapshot atomically writes a full-state checkpoint at serial position
-// seq (temp file + rename) and truncates the log: installed effects at
-// or below seq are now captured by the snapshot.
-func (s *Store) Snapshot(seq uint64, st *world.State) error {
-	name := fmt.Sprintf("%s%020d%s", snapshotPrefix, seq, snapshotSuffix)
-	tmp := filepath.Join(s.dir, name+".tmp")
-	body := encodeState(seq, st)
-	sum := make([]byte, 4)
-	binary.LittleEndian.PutUint32(sum, crc32.ChecksumIEEE(body))
-	if err := os.WriteFile(tmp, append(sum, body...), 0o644); err != nil {
-		return fmt.Errorf("durable: writing snapshot: %w", err)
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		GroupCommits: int(s.groupCommits.Load()),
+		Checkpoints:  int(s.checkpoints.Load()),
+		AppendErrors: int(s.appendErrors.Load()),
+		ShedRecords:  int(s.shedRecords.Load()),
+		Emitted:      s.emitted.Load(),
+		Durable:      s.durableSeq.Load(),
+		Gapped:       s.gapped.Load(),
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
-		return fmt.Errorf("durable: publishing snapshot: %w", err)
+}
+
+// Sync is the durability barrier: it blocks until every record sent
+// before it is written and fsynced.
+func (s *Store) Sync() error { return s.barrier(opBarrier) }
+
+// Checkpoint forces an epoch checkpoint at the committer's current
+// group boundary and blocks until it is published.
+func (s *Store) Checkpoint() error { return s.barrier(opCheckpoint) }
+
+func (s *Store) barrier(op int) error {
+	done := make(chan error, 1)
+	select {
+	case s.jobs <- job{op: op, done: done}:
+	case <-s.stopc:
+		return ErrClosed
 	}
-	// Drop superseded snapshots and restart the log.
-	entries, err := os.ReadDir(s.dir)
-	if err == nil {
-		for _, e := range entries {
-			n := e.Name()
-			if strings.HasPrefix(n, snapshotPrefix) && strings.HasSuffix(n, snapshotSuffix) && n != name {
-				os.Remove(filepath.Join(s.dir, n))
-			}
-		}
-	}
-	if err := s.log.Close(); err != nil {
+	select {
+	case err := <-done:
 		return err
+	case <-s.closed:
+		return ErrClosed
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("durable: restarting log: %w", err)
-	}
-	s.log = f
-	s.logStart = seq
-	return nil
 }
 
-// Recover rebuilds the newest durable state: the latest intact snapshot
-// (or an empty state) plus every intact log record above it, stopping at
-// the first corrupt or torn record. It returns the state and the serial
-// position it represents.
-func Recover(dir string) (*world.State, uint64, error) {
-	st := world.NewState()
-	var upTo uint64
+// Close drains the committer (final fsync plus, on a healthy store, a
+// shutdown checkpoint) and closes the files. The engine must be
+// quiesced first: journal calls racing Close are dropped.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		done := make(chan error, 1)
+		select {
+		case s.jobs <- job{op: opStop, done: done}:
+			s.closeErr = <-done
+		case <-s.closed:
+		}
+		close(s.stopc)
+	})
+	return s.closeErr
+}
 
-	// Newest intact snapshot, if any.
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return st, 0, nil
+// send transfers one framed record to the committer. Under
+// DegradeBlock a full queue applies backpressure to the caller (the
+// engine stops, so nothing unjournaled gets acknowledged); under
+// DegradeShed the record is dropped and counted.
+func (s *Store) send(j job) {
+	if s.opts.Degrade == DegradeShed {
+		select {
+		case s.jobs <- j:
+		default:
+			wire.PutBuf(j.buf)
+			s.shedRecords.Add(1)
 		}
-		return nil, 0, fmt.Errorf("durable: reading %s: %w", dir, err)
+		return
 	}
-	var snaps []string
-	for _, e := range entries {
-		n := e.Name()
-		if strings.HasPrefix(n, snapshotPrefix) && strings.HasSuffix(n, snapshotSuffix) {
-			snaps = append(snaps, n)
-		}
+	select {
+	case s.jobs <- j:
+	case <-s.stopc:
+		wire.PutBuf(j.buf)
 	}
-	sort.Strings(snaps) // zero-padded seq: lexicographic == numeric
-	for i := len(snaps) - 1; i >= 0; i-- {
-		raw, err := os.ReadFile(filepath.Join(dir, snaps[i]))
-		if err != nil || len(raw) < 4 {
-			continue
-		}
-		if crc32.ChecksumIEEE(raw[4:]) != binary.LittleEndian.Uint32(raw) {
-			continue // corrupt snapshot: fall back to an older one
-		}
-		seq, state, err := decodeState(raw[4:])
-		if err != nil {
-			continue
-		}
-		st, upTo = state, seq
-		break
-	}
+}
 
-	// Replay the log tail.
-	raw, err := os.ReadFile(filepath.Join(dir, logName))
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return st, upTo, nil
-		}
-		return nil, 0, fmt.Errorf("durable: reading log: %w", err)
+// CommitGroup implements core.Journal: one install pass becomes one
+// record per lane touched (group commit against segmented per-lane
+// logs), encoded here on the engine goroutine into pooled buffers
+// whose ownership transfers to the committer with the send.
+//
+// Runs at the engine's seal boundary — the sequential point between
+// parallel lane phases — so it may partition records across any lane.
+//
+//seve:lane-seal
+func (s *Store) CommitGroup(epoch uint64, nextBlind uint32, recs []core.CommitRecord) {
+	if len(recs) == 0 {
+		return
 	}
-	for len(raw) >= 8 {
-		n := int(binary.LittleEndian.Uint32(raw))
-		want := binary.LittleEndian.Uint32(raw[4:])
-		if len(raw) < 8+n {
-			break // torn tail
+	s.emitted.Store(recs[len(recs)-1].Seq)
+	// Partition by lane, preserving serial order. Spanning entries
+	// (lane < 0) ride in lane 0's segment.
+	var lanes [16]int32
+	n := 0
+	for i := range recs {
+		l := recs[i].Lane
+		if l < 0 {
+			l = 0
 		}
-		body := raw[8 : 8+n]
-		if crc32.ChecksumIEEE(body) != want {
-			break // corruption: stop at the intact prefix
-		}
-		seq, res, err := decodeRecord(body)
-		if err != nil {
-			break
-		}
-		if seq > upTo {
-			if res.OK {
-				for _, w := range res.Writes {
-					st.Set(w.ID, w.Val)
-				}
+		seen := false
+		for _, x := range lanes[:n] {
+			if x == l {
+				seen = true
+				break
 			}
-			upTo = seq
 		}
-		raw = raw[8+n:]
+		if !seen && n < len(lanes) {
+			lanes[n] = l
+			n++
+		} else if !seen {
+			// Beyond the fixed fan-out every extra lane folds into lane
+			// 0; recovery merges by seq, so placement is a layout
+			// choice, not a correctness one.
+			recs[i].Lane = 0
+		}
 	}
-	return st, upTo, nil
-}
-
-func decodeRecord(body []byte) (uint64, action.Result, error) {
-	if len(body) < 13 {
-		return 0, action.Result{}, io.ErrUnexpectedEOF
-	}
-	seq := binary.LittleEndian.Uint64(body)
-	res := action.Result{OK: body[8] == 1}
-	n := int(binary.LittleEndian.Uint32(body[9:]))
-	off := 13
 	for i := 0; i < n; i++ {
-		if len(body) < off+10 {
-			return 0, action.Result{}, io.ErrUnexpectedEOF
-		}
-		id := world.ObjectID(binary.LittleEndian.Uint64(body[off:]))
-		attrs := int(binary.LittleEndian.Uint16(body[off+8:]))
-		off += 10
-		if len(body) < off+8*attrs {
-			return 0, action.Result{}, io.ErrUnexpectedEOF
-		}
-		val := make(world.Value, attrs)
-		for j := range val {
-			val[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off+8*j:]))
-		}
-		off += 8 * attrs
-		res.Writes = append(res.Writes, world.Write{ID: id, Val: val})
+		lane := lanes[i]
+		buf := wire.GetBuf(64 + len(recs)*48)
+		buf = appendCommitRecord(buf, lane, epoch, nextBlind, recs, func(r *core.CommitRecord) bool {
+			l := r.Lane
+			if l < 0 {
+				l = 0
+			}
+			return l == lane
+		})
+		s.send(job{op: opAppend, lane: lane, buf: buf, end: i == n-1})
 	}
-	return seq, res, nil
 }
 
-func encodeState(seq uint64, st *world.State) []byte {
-	ids := st.IDs()
-	body := make([]byte, 0, 16+len(ids)*40)
-	body = binary.LittleEndian.AppendUint64(body, seq)
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(ids)))
-	for _, id := range ids {
-		v, _ := st.Get(id)
-		body = binary.LittleEndian.AppendUint64(body, uint64(id))
-		body = binary.LittleEndian.AppendUint16(body, uint16(len(v)))
-		for _, f := range v {
-			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(f))
-		}
+// SessionOpen implements core.Journal. Session records never shed:
+// losing one would resurrect a previous registration's dedup floor
+// (its stampFloor fence) on recovery, which could silently swallow a
+// rejoined client's fresh submissions. They are rare — one per
+// registration — so the blocking send is cheap even under DegradeShed.
+func (s *Store) SessionOpen(id action.ClientID, token, mask, seqNo, stampFloor uint64) {
+	buf := wire.GetBuf(64)
+	buf = appendSessionRecord(buf, walSession{id: id, token: token, mask: mask, seqNo: seqNo, stampFloor: stampFloor})
+	j := job{op: opAppend, lane: laneMeta, buf: buf}
+	select {
+	case s.jobs <- j:
+	case <-s.stopc:
+		wire.PutBuf(j.buf)
 	}
-	return body
 }
 
-func decodeState(body []byte) (uint64, *world.State, error) {
-	if len(body) < 12 {
-		return 0, nil, io.ErrUnexpectedEOF
+// BatchRetained implements core.Journal. Runs on the engine goroutine
+// or a lane worker; the pooled encode plus channel handoff is the
+// whole critical section.
+func (s *Store) BatchRetained(id action.ClientID, b *wire.Batch) {
+	payload := wire.GetBuf(256)
+	payload = wire.AppendMsg(payload, b)
+	buf := wire.GetBuf(frameHdrLen + 24 + len(payload))
+	buf = appendBatchRecord(buf, id, b.ClientSeq, payload)
+	wire.PutBuf(payload)
+	s.send(job{op: opAppend, lane: laneMeta, buf: buf})
+}
+
+var _ core.Journal = (*Store)(nil)
+
+// sessionRecords converts the recovered shadow sessions into the
+// engine's RestoreState form, applying the clean-window gate: the
+// retained ring is surfaced only when it is a contiguous run ending at
+// lastSeq whose every envelope and install marker is at or below the
+// recovered install point. A dirty ring — it references state the
+// crash lost — is dropped, and the session's first resume degrades to
+// the snapshot path instead.
+func sessionRecords(sh *shadow) []core.SessionRecord {
+	if len(sh.sessions) == 0 {
+		return nil
 	}
-	seq := binary.LittleEndian.Uint64(body)
-	n := int(binary.LittleEndian.Uint32(body[8:]))
-	st := world.NewState()
-	off := 12
-	for i := 0; i < n; i++ {
-		if len(body) < off+10 {
-			return 0, nil, io.ErrUnexpectedEOF
+	out := make([]core.SessionRecord, 0, len(sh.sessions))
+	for id, sess := range sh.sessions {
+		sr := core.SessionRecord{
+			ID:         id,
+			Token:      sess.token,
+			Mask:       sess.mask,
+			SeqNo:      sess.seqNo,
+			LastActSeq: sess.lastActSeq,
+			LastSeq:    sess.lastSeq,
 		}
-		id := world.ObjectID(binary.LittleEndian.Uint64(body[off:]))
-		attrs := int(binary.LittleEndian.Uint16(body[off+8:]))
-		off += 10
-		if len(body) < off+8*attrs {
-			return 0, nil, io.ErrUnexpectedEOF
+		if batches, ok := cleanWindow(sess, sh.applied); ok {
+			sr.Retained = batches
 		}
-		val := make(world.Value, attrs)
-		for j := range val {
-			val[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off+8*j:]))
-		}
-		off += 8 * attrs
-		st.Set(id, val)
+		out = append(out, sr)
 	}
-	return seq, st, nil
+	return out
+}
+
+func cleanWindow(sess *shadowSession, upTo uint64) ([]*wire.Batch, bool) {
+	if len(sess.ring) == 0 {
+		return nil, sess.lastSeq == 0
+	}
+	if sess.ring[len(sess.ring)-1].clientSeq != sess.lastSeq {
+		return nil, false
+	}
+	batches := make([]*wire.Batch, 0, len(sess.ring))
+	for i, r := range sess.ring {
+		if i > 0 && r.clientSeq != sess.ring[i-1].clientSeq+1 {
+			return nil, false
+		}
+		m, err := wire.Decode(wire.TypeBatch, r.payload)
+		if err != nil {
+			return nil, false
+		}
+		b, ok := m.(*wire.Batch)
+		if !ok || b.ClientSeq != r.clientSeq || b.InstalledUpTo > upTo {
+			return nil, false
+		}
+		for _, env := range b.Envs {
+			if env.Seq > upTo {
+				return nil, false
+			}
+		}
+		batches = append(batches, b)
+	}
+	return batches, true
 }

@@ -1,8 +1,6 @@
 package durable
 
 import (
-	"encoding/binary"
-	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -10,6 +8,8 @@ import (
 	"testing/quick"
 
 	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/wire"
 	"seve/internal/world"
 )
 
@@ -17,253 +17,127 @@ func write(id world.ObjectID, vals ...float64) world.Write {
 	return world.Write{ID: id, Val: world.Value(vals)}
 }
 
-func TestAppendAndRecover(t *testing.T) {
-	dir := t.TempDir()
-	st, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 10)}}); err != nil {
-		t.Fatal(err)
-	}
-	if err := st.Append(2, action.Result{OK: false}); err != nil { // abort: no effect
-		t.Fatal(err)
-	}
-	if err := st.Append(3, action.Result{OK: true, Writes: []world.Write{write(1, 30), write(2, 5, 6)}}); err != nil {
-		t.Fatal(err)
-	}
-	if err := st.Sync(); err != nil {
-		t.Fatal(err)
-	}
-	if st.LastAppended() != 3 {
-		t.Fatalf("LastAppended = %d", st.LastAppended())
-	}
-	st.Close()
+// commit feeds one single-entry install pass through the journal.
+func commit(s *Store, seq uint64, lane int32, origin action.ClientID, actSeq uint32, res action.Result) {
+	s.CommitGroup(seq, 0, []core.CommitRecord{{Seq: seq, Lane: lane, Origin: origin, ActSeq: actSeq, Res: res}})
+}
 
-	got, upTo, err := Recover(dir)
+// crashCopy clones the store directory byte-for-byte into a fresh
+// tempdir — the files a kill -9 would leave behind (the live Store
+// keeps running against the original, like a process that never got
+// to run its shutdown path).
+func crashCopy(t *testing.T, dir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if upTo != 3 {
-		t.Fatalf("recovered up to %d, want 3", upTo)
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if v, _ := got.Get(1); v[0] != 30 {
+	return dst
+}
+
+// newestSegment returns the path of the newest lane-0 segment.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	_, _, segs := scanDir(dir)
+	best := ""
+	var bestStart uint64
+	for _, sg := range segs {
+		if sg.lane == 0 && (best == "" || sg.start >= bestStart) {
+			best, bestStart = sg.name, sg.start
+		}
+	}
+	if best == "" {
+		t.Fatal("no lane-0 segment")
+	}
+	return filepath.Join(dir, best)
+}
+
+func TestCommitAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, rec, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restore.UpTo != 0 || rec.Restore.Boot != 1 {
+		t.Fatalf("virgin recovery: upTo=%d boot=%d", rec.Restore.UpTo, rec.Restore.Boot)
+	}
+	commit(s, 1, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 10)}})
+	commit(s, 2, 0, 0, 0, action.Result{OK: false}) // abort: no effect
+	s.CommitGroup(3, 42, []core.CommitRecord{{Seq: 3, Res: action.Result{OK: true, Writes: []world.Write{write(1, 30), write(2, 5, 6)}}}})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Durable != 3 || st.Emitted != 3 || st.GroupCommits != 3 {
+		t.Fatalf("stats after sync: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec2.Restore.UpTo != 3 {
+		t.Fatalf("recovered up to %d, want 3", rec2.Restore.UpTo)
+	}
+	if rec2.Restore.Boot != 2 {
+		t.Fatalf("boot = %d, want 2", rec2.Restore.Boot)
+	}
+	if rec2.Restore.NextBlind != 42 {
+		t.Fatalf("nextBlind = %d, want 42", rec2.Restore.NextBlind)
+	}
+	if v, _ := rec2.State.Get(1); v[0] != 30 {
 		t.Fatalf("obj 1 = %v, want 30", v)
 	}
-	if v, _ := got.Get(2); !v.Equal(world.Value{5, 6}) {
+	if v, _ := rec2.State.Get(2); !v.Equal(world.Value{5, 6}) {
 		t.Fatalf("obj 2 = %v", v)
 	}
 }
 
-func TestRecoverEmptyAndMissingDir(t *testing.T) {
-	st, upTo, err := Recover(filepath.Join(t.TempDir(), "nope"))
-	if err != nil || upTo != 0 || st.Len() != 0 {
-		t.Fatalf("missing dir: %v %d %d", err, upTo, st.Len())
-	}
+func TestBaseWorldSeedsVirginStoreOnly(t *testing.T) {
 	dir := t.TempDir()
-	s, _ := Open(dir)
+	base := world.NewState()
+	base.Set(9, world.Value{7})
+	s, rec, err := Open(dir, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rec.State.Get(9); v[0] != 7 {
+		t.Fatalf("base not seeded: %v", v)
+	}
 	s.Close()
-	st, upTo, err = Recover(dir)
-	if err != nil || upTo != 0 || st.Len() != 0 {
-		t.Fatalf("empty dir: %v %d %d", err, upTo, st.Len())
-	}
-}
-
-func TestTornTailTruncates(t *testing.T) {
-	dir := t.TempDir()
-	st, _ := Open(dir)
-	st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
-	st.Append(2, action.Result{OK: true, Writes: []world.Write{write(1, 2)}})
-	st.Close()
-
-	// Tear the last record: chop 3 bytes off the log.
-	logPath := filepath.Join(dir, "actions.log")
-	raw, _ := os.ReadFile(logPath)
-	os.WriteFile(logPath, raw[:len(raw)-3], 0o644)
-
-	got, upTo, err := Recover(dir)
+	// Reopen without the base: the boot checkpoint captured it.
+	s2, rec2, err := Open(dir, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if upTo != 1 {
-		t.Fatalf("recovered up to %d, want 1 (torn record dropped)", upTo)
+	defer s2.Close()
+	if v, _ := rec2.State.Get(9); v[0] != 7 {
+		t.Fatalf("base lost across reopen: %v", v)
 	}
-	if v, _ := got.Get(1); v[0] != 1 {
-		t.Fatalf("obj 1 = %v, want 1", v)
-	}
-}
-
-func TestCorruptRecordStopsReplay(t *testing.T) {
-	dir := t.TempDir()
-	st, _ := Open(dir)
-	st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
-	st.Append(2, action.Result{OK: true, Writes: []world.Write{write(1, 2)}})
-	st.Append(3, action.Result{OK: true, Writes: []world.Write{write(1, 3)}})
-	st.Close()
-
-	// Flip a byte inside the second record's body.
-	logPath := filepath.Join(dir, "actions.log")
-	raw, _ := os.ReadFile(logPath)
-	raw[len(raw)/2] ^= 0xFF
-	os.WriteFile(logPath, raw, 0o644)
-
-	_, upTo, err := Recover(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if upTo >= 3 {
-		t.Fatalf("recovered up to %d despite corruption", upTo)
-	}
-}
-
-func TestSnapshotAndLogTail(t *testing.T) {
-	dir := t.TempDir()
-	st, _ := Open(dir)
-	st.Append(1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
-	st.Append(2, action.Result{OK: true, Writes: []world.Write{write(2, 2)}})
-
-	snap := world.NewState()
-	snap.Set(1, world.Value{1})
-	snap.Set(2, world.Value{2})
-	if err := st.Snapshot(2, snap); err != nil {
-		t.Fatal(err)
-	}
-	// Post-snapshot installs land in the fresh log.
-	st.Append(3, action.Result{OK: true, Writes: []world.Write{write(1, 100)}})
-	st.Close()
-
-	got, upTo, err := Recover(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if upTo != 3 {
-		t.Fatalf("upTo = %d", upTo)
-	}
-	if v, _ := got.Get(1); v[0] != 100 {
-		t.Fatalf("obj 1 = %v", v)
-	}
-	if v, _ := got.Get(2); v[0] != 2 {
-		t.Fatalf("obj 2 = %v", v)
-	}
-	// Only the newest snapshot file remains.
-	entries, _ := os.ReadDir(dir)
-	snaps := 0
-	for _, e := range entries {
-		if filepath.Ext(e.Name()) == ".state" {
-			snaps++
-		}
-	}
-	if snaps != 1 {
-		t.Fatalf("snapshot files = %d, want 1", snaps)
-	}
-}
-
-func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
-	dir := t.TempDir()
-	st, _ := Open(dir)
-	s1 := world.NewState()
-	s1.Set(1, world.Value{1})
-	if err := st.Snapshot(1, s1); err != nil {
-		t.Fatal(err)
-	}
-	s2 := world.NewState()
-	s2.Set(1, world.Value{2})
-	if err := st.Snapshot(2, s2); err != nil {
-		t.Fatal(err)
-	}
-	st.Close()
-	// Snapshot(2) removed snapshot(1); recreate an older intact one and
-	// corrupt the newer.
-	body := encodeState(1, s1)
-	sum := make([]byte, 4)
-	// correct crc for older snapshot
-	copy(sum, mustCRC(body))
-	os.WriteFile(filepath.Join(dir, "snapshot-00000000000000000001.state"), append(sum, body...), 0o644)
-	newer := filepath.Join(dir, "snapshot-00000000000000000002.state")
-	raw, _ := os.ReadFile(newer)
-	raw[len(raw)-1] ^= 0xFF
-	os.WriteFile(newer, raw, 0o644)
-
-	got, upTo, err := Recover(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if upTo != 1 {
-		t.Fatalf("upTo = %d, want 1 (fallback)", upTo)
-	}
-	if v, _ := got.Get(1); v[0] != 1 {
-		t.Fatalf("obj 1 = %v", v)
-	}
-}
-
-func mustCRC(body []byte) []byte {
-	out := make([]byte, 4)
-	binary.LittleEndian.PutUint32(out, crc32.ChecksumIEEE(body))
-	return out
-}
-
-// TestRecoverEqualsOracleProperty: for random histories with snapshots at
-// random points and a possibly-torn tail, recovery equals the oracle
-// state at the recovered position.
-func TestRecoverEqualsOracleProperty(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		dir := t.TempDir()
-		st, err := Open(dir)
-		if err != nil {
-			return false
-		}
-		oracle := map[uint64]*world.State{0: world.NewState()}
-		cur := world.NewState()
-		n := uint64(rng.Intn(40) + 1)
-		for seq := uint64(1); seq <= n; seq++ {
-			res := action.Result{OK: rng.Intn(5) != 0}
-			if res.OK {
-				for k := 0; k < rng.Intn(3)+1; k++ {
-					w := write(world.ObjectID(rng.Intn(6)+1), rng.Float64())
-					res.Writes = append(res.Writes, w)
-					cur.Set(w.ID, w.Val)
-				}
-			}
-			if err := st.Append(seq, res); err != nil {
-				return false
-			}
-			oracle[seq] = cur.Clone()
-			if rng.Intn(10) == 0 {
-				if err := st.Snapshot(seq, cur); err != nil {
-					return false
-				}
-			}
-		}
-		st.Close()
-		// Randomly tear the log tail.
-		if rng.Intn(2) == 0 {
-			logPath := filepath.Join(dir, "actions.log")
-			raw, _ := os.ReadFile(logPath)
-			if len(raw) > 4 {
-				cut := rng.Intn(len(raw))
-				os.WriteFile(logPath, raw[:cut], 0o644)
-			}
-		}
-		got, upTo, err := Recover(dir)
-		if err != nil {
-			return false
-		}
-		want, ok := oracle[upTo]
-		return ok && got.Equal(want)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
+	if s2.Boot() != 2 {
+		t.Fatalf("boot = %d", s2.Boot())
 	}
 }
 
 func TestOpenOnFilePathFails(t *testing.T) {
-	dir := t.TempDir()
-	file := filepath.Join(dir, "occupied")
+	file := filepath.Join(t.TempDir(), "occupied")
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(file); err == nil {
+	if _, _, err := Open(file, nil, Options{}); err == nil {
 		t.Fatal("Open over a regular file succeeded")
 	}
 }
@@ -272,19 +146,578 @@ func TestRecoverIgnoresForeignFiles(t *testing.T) {
 	dir := t.TempDir()
 	os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644)
 	os.WriteFile(filepath.Join(dir, "snapshot-garbage.state"), []byte("xx"), 0o644)
-	st, upTo, err := Recover(dir)
+	os.WriteFile(filepath.Join(dir, "wal-x.log"), []byte("xx"), 0o644)
+	s, rec, err := Open(dir, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if upTo != 0 || st.Len() != 0 {
-		t.Fatalf("recovered %d objects upTo %d from garbage", st.Len(), upTo)
+	defer s.Close()
+	if rec.Restore.UpTo != 0 || rec.State.Len() != 0 {
+		t.Fatalf("recovered %d objects upTo %d from garbage", rec.State.Len(), rec.Restore.UpTo)
 	}
 }
 
-func TestAppendAfterCloseFails(t *testing.T) {
-	st, _ := Open(t.TempDir())
-	st.Close()
-	if err := st.Append(1, action.Result{OK: true}); err == nil {
-		t.Fatal("append after close succeeded")
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer s.Close()
+	commit(s, 1, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	commit(s, 2, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 2)}})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash := crashCopy(t, dir)
+
+	// Tear the last record: chop 3 bytes off the segment.
+	seg := newestSegment(t, crash)
+	raw, _ := os.ReadFile(seg)
+	os.WriteFile(seg, raw[:len(raw)-3], 0o644)
+
+	s2, rec, err := Open(crash, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Restore.UpTo != 1 {
+		t.Fatalf("recovered up to %d, want 1 (torn record dropped)", rec.Restore.UpTo)
+	}
+	if v, _ := rec.State.Get(1); v[0] != 1 {
+		t.Fatalf("obj 1 = %v, want 1", v)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for seq := uint64(1); seq <= 3; seq++ {
+		commit(s, seq, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, float64(seq))}})
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash := crashCopy(t, dir)
+
+	// Flip a byte inside the second record's body (records are
+	// equal-sized: same shape every commit).
+	seg := newestSegment(t, crash)
+	raw, _ := os.ReadFile(seg)
+	recSize := len(raw) / 3
+	raw[recSize+frameHdrLen+2] ^= 0xFF
+	os.WriteFile(seg, raw, 0o644)
+
+	s2, rec, err := Open(crash, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Restore.UpTo != 1 {
+		t.Fatalf("recovered up to %d despite corruption, want 1", rec.Restore.UpTo)
+	}
+	if v, _ := rec.State.Get(1); v[0] != 1 {
+		t.Fatalf("obj 1 = %v", v)
+	}
+}
+
+// TestCheckpointRollsAndKeepsTwoGenerations: gc is keep-then-gc with a
+// fallback generation — after several checkpoints exactly the two
+// newest snapshot generations remain, and a corrupt newest snapshot
+// falls back to the previous one plus its segment tail without losing
+// a single install.
+func TestCheckpointRollsAndKeepsTwoGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(s, 1, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	commit(s, 2, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(2, 2)}})
+	if err := s.Checkpoint(); err != nil { // gen 2 (gen 0 = boot)
+		t.Fatal(err)
+	}
+	commit(s, 3, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 100)}})
+	commit(s, 4, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(3, 4)}})
+	if err := s.Checkpoint(); err != nil { // gen 4; gen 0 collected
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _, _ := scanDir(dir)
+	if len(snaps) != 2 || snaps[0] != 2 || snaps[1] != 4 {
+		t.Fatalf("snapshot generations = %v, want [2 4]", snaps)
+	}
+
+	// Corrupt the newest snapshot: recovery falls back to generation 2
+	// and replays its segment (commits 3, 4) to the same install point.
+	raw, _ := os.ReadFile(filepath.Join(dir, snapshotName(4)))
+	raw[len(raw)-1] ^= 0xFF
+	os.WriteFile(filepath.Join(dir, snapshotName(4)), raw, 0o644)
+
+	s2, rec, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Restore.UpTo != 4 {
+		t.Fatalf("upTo = %d, want 4 (fallback + tail replay)", rec.Restore.UpTo)
+	}
+	if v, _ := rec.State.Get(1); v[0] != 100 {
+		t.Fatalf("obj 1 = %v", v)
+	}
+	if v, _ := rec.State.Get(3); v[0] != 4 {
+		t.Fatalf("obj 3 = %v", v)
+	}
+}
+
+// TestCrashBetweenPublishAndGC: a kill landing after the new
+// generation renamed into place but before gc ran leaves every old
+// generation on disk; recovery must pick the newest intact pair and
+// tolerate the leftovers.
+func TestCrashBetweenPublishAndGC(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	commit(s, 1, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	old := crashCopy(t, dir) // generation {0, 1} both present
+
+	commit(s, 2, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 2)}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash := crashCopy(t, dir)
+
+	// Merge the pre-gc leftovers back in: the directory now holds every
+	// generation at once, exactly what a kill between rename and gc
+	// leaves behind.
+	oldFiles, _ := os.ReadDir(old)
+	for _, e := range oldFiles {
+		dst := filepath.Join(crash, e.Name())
+		if _, err := os.Stat(dst); err == nil {
+			continue
+		}
+		raw, _ := os.ReadFile(filepath.Join(old, e.Name()))
+		os.WriteFile(dst, raw, 0o644)
+	}
+
+	s2, rec, err := Open(crash, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Restore.UpTo != 2 {
+		t.Fatalf("upTo = %d, want 2 (newest generation wins)", rec.Restore.UpTo)
+	}
+	if v, _ := rec.State.Get(1); v[0] != 2 {
+		t.Fatalf("obj 1 = %v", v)
+	}
+}
+
+// TestShedGapFreezesCheckpoints: under DegradeShed a full queue drops
+// records; the first dropped commit leaves a permanent gap — counted,
+// shadow frozen, checkpoints refused — and recovery yields the
+// faithful prefix before the gap.
+func TestShedGapFreezesCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	s, _, err := Open(dir, nil, WithGate(Options{Degrade: DegradeShed, QueueLen: 1}, gate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committer is parked on the gate: the one-slot queue fills with
+	// the first commit, the second is shed.
+	commit(s, 1, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	commit(s, 2, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 2)}})
+	if st := s.Stats(); st.ShedRecords != 1 {
+		t.Fatalf("shed = %d, want 1", st.ShedRecords)
+	}
+	// Unpark the committer for the rest of the test.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case gate <- struct{}{}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	// Drain the queue before the next commit so it is accepted, not
+	// shed: commit 3 must land after the hole to expose the gap.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	commit(s, 3, 0, 0, 0, action.Result{OK: true, Writes: []world.Write{write(1, 3)}})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if !st.Gapped {
+		t.Fatalf("not gapped: %+v", st)
+	}
+	if st.Durable != 1 {
+		t.Fatalf("durable = %d, want 1 (frozen at the gap)", st.Durable)
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded on a gapped store")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Restore.UpTo != 1 {
+		t.Fatalf("recovered up to %d, want 1 (prefix before the gap)", rec.Restore.UpTo)
+	}
+	if v, _ := rec.State.Get(1); v[0] != 1 {
+		t.Fatalf("obj 1 = %v", v)
+	}
+}
+
+func retainBatch(s *Store, id action.ClientID, clientSeq, installedUpTo uint64) {
+	s.BatchRetained(id, &wire.Batch{ClientSeq: clientSeq, InstalledUpTo: installedUpTo})
+}
+
+// TestSessionRecovery: session opens, retained batches and dedup
+// floors survive a crash — including sessions baked into a checkpoint
+// and ones appended to the meta lineage afterwards — and the
+// stampFloor fence keeps a previous registration's commits from
+// inflating the recovered floor.
+func TestSessionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Session 7 opens with stampFloor 2: commits at seq 1-2 belong to a
+	// previous registration of the id and must not raise its floor.
+	s.SessionOpen(7, 0xBEEF, 0b101, 1, 2)
+	commit(s, 1, 0, 7, 9, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	commit(s, 2, 0, 7, 9, action.Result{OK: true})
+	commit(s, 3, 0, 7, 5, action.Result{OK: true, Writes: []world.Write{write(2, 3)}})
+	retainBatch(s, 7, 1, 0)
+	retainBatch(s, 7, 2, 3)
+	if err := s.Checkpoint(); err != nil { // bakes session 7
+		t.Fatal(err)
+	}
+	// Session 8 opens after the checkpoint: appended to the meta tail.
+	s.SessionOpen(8, 0xCAFE, 0, 2, 3)
+	retainBatch(s, 8, 1, 3)
+	commit(s, 4, 0, 8, 1, action.Result{OK: true, Writes: []world.Write{write(3, 4)}})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash := crashCopy(t, dir)
+
+	s2, rec, err := Open(crash, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Restore.UpTo != 4 {
+		t.Fatalf("upTo = %d", rec.Restore.UpTo)
+	}
+	if rec.Restore.SessionSeq != 2 {
+		t.Fatalf("sessionSeq = %d, want 2", rec.Restore.SessionSeq)
+	}
+	byID := map[action.ClientID]core.SessionRecord{}
+	for _, sr := range rec.Restore.Sessions {
+		byID[sr.ID] = sr
+	}
+	s7, ok := byID[7]
+	if !ok {
+		t.Fatal("session 7 lost")
+	}
+	if s7.Token != 0xBEEF || s7.Mask != 0b101 || s7.SeqNo != 1 {
+		t.Fatalf("session 7 = %+v", s7)
+	}
+	// seq 1-2 carried actSeq 9 but sit at/below the stampFloor; only
+	// seq 3's actSeq 5 is inside the current registration.
+	if s7.LastActSeq != 5 {
+		t.Fatalf("session 7 lastActSeq = %d, want 5 (stampFloor fence)", s7.LastActSeq)
+	}
+	if s7.LastSeq != 2 || len(s7.Retained) != 2 || s7.Retained[0].ClientSeq != 1 || s7.Retained[1].ClientSeq != 2 {
+		t.Fatalf("session 7 window: lastSeq=%d retained=%v", s7.LastSeq, s7.Retained)
+	}
+	s8, ok := byID[8]
+	if !ok {
+		t.Fatal("session 8 (opened after checkpoint) lost")
+	}
+	if s8.Token != 0xCAFE || s8.LastActSeq != 1 || s8.LastSeq != 1 || len(s8.Retained) != 1 {
+		t.Fatalf("session 8 = %+v", s8)
+	}
+}
+
+// TestDirtyWindowDropped: a retained batch referencing an install
+// point the crash lost makes the window dirty — the session survives
+// but resumes by snapshot (Retained nil).
+func TestDirtyWindowDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SessionOpen(7, 0xBEEF, 0, 1, 0)
+	commit(s, 1, 0, 7, 1, action.Result{OK: true})
+	retainBatch(s, 7, 1, 99) // InstalledUpTo 99 was never durable
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var s7 *core.SessionRecord
+	for i := range rec.Restore.Sessions {
+		if rec.Restore.Sessions[i].ID == 7 {
+			s7 = &rec.Restore.Sessions[i]
+		}
+	}
+	if s7 == nil {
+		t.Fatal("session 7 lost")
+	}
+	if s7.Retained != nil {
+		t.Fatalf("dirty window surfaced: %v", s7.Retained)
+	}
+	if s7.LastSeq != 1 {
+		t.Fatalf("lastSeq = %d", s7.LastSeq)
+	}
+}
+
+func TestCleanWindowGate(t *testing.T) {
+	enc := func(b *wire.Batch) []byte { return wire.AppendMsg(nil, b) }
+	cases := []struct {
+		name string
+		sess *shadowSession
+		upTo uint64
+		want bool
+	}{
+		{"empty ring, no batches ever", &shadowSession{}, 5, true},
+		{"empty ring, batches trimmed", &shadowSession{lastSeq: 3}, 5, false},
+		{"contiguous", &shadowSession{lastSeq: 2, ring: []ringEntry{
+			{1, enc(&wire.Batch{ClientSeq: 1})},
+			{2, enc(&wire.Batch{ClientSeq: 2})},
+		}}, 5, true},
+		{"hole", &shadowSession{lastSeq: 3, ring: []ringEntry{
+			{1, enc(&wire.Batch{ClientSeq: 1})},
+			{3, enc(&wire.Batch{ClientSeq: 3})},
+		}}, 5, false},
+		{"tail not lastSeq", &shadowSession{lastSeq: 9, ring: []ringEntry{
+			{1, enc(&wire.Batch{ClientSeq: 1})},
+		}}, 5, false},
+		{"undecodable payload", &shadowSession{lastSeq: 1, ring: []ringEntry{
+			{1, []byte{1, 2}},
+		}}, 5, false},
+		{"installedUpTo beyond recovery", &shadowSession{lastSeq: 1, ring: []ringEntry{
+			{1, enc(&wire.Batch{ClientSeq: 1, InstalledUpTo: 6})},
+		}}, 5, false},
+	}
+	for _, tc := range cases {
+		if _, ok := cleanWindow(tc.sess, tc.upTo); ok != tc.want {
+			t.Errorf("%s: clean = %v, want %v", tc.name, ok, tc.want)
+		}
+	}
+}
+
+// TestRecoverEqualsOracleProperty: for random multi-lane histories
+// with checkpoints at random points, sessions opening and retaining
+// along the way, and a crash that may tear or corrupt the newest
+// files, recovery equals the serial oracle at the recovered position.
+func TestRecoverEqualsOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		s, _, err := Open(dir, nil, Options{})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		oracle := map[uint64]*world.State{0: world.NewState()}
+		cur := world.NewState()
+		var seq uint64
+		n := rng.Intn(40) + 1
+		for len(oracle) <= n {
+			// One install pass of 1-4 entries spread over up to 3 lanes.
+			recs := make([]core.CommitRecord, rng.Intn(4)+1)
+			for i := range recs {
+				seq++
+				res := action.Result{OK: rng.Intn(5) != 0}
+				if res.OK {
+					for k := 0; k < rng.Intn(3)+1; k++ {
+						w := write(world.ObjectID(rng.Intn(6)+1), rng.Float64())
+						res.Writes = append(res.Writes, w)
+						cur.Set(w.ID, w.Val)
+					}
+				}
+				recs[i] = core.CommitRecord{Seq: seq, Lane: int32(seq % 3), Origin: action.ClientID(rng.Intn(3) + 1), ActSeq: uint32(seq), Res: res}
+				oracle[seq] = cur.Clone()
+			}
+			s.CommitGroup(seq, uint32(seq), recs)
+			if rng.Intn(8) == 0 {
+				s.SessionOpen(action.ClientID(rng.Intn(3)+1), rng.Uint64(), 0, uint64(rng.Intn(5)+1), seq)
+			}
+			if rng.Intn(8) == 0 {
+				retainBatch(s, action.ClientID(rng.Intn(3)+1), uint64(rng.Intn(4)+1), seq)
+			}
+			if rng.Intn(10) == 0 {
+				if err := s.Checkpoint(); err != nil {
+					return false
+				}
+			}
+		}
+
+		var rec *Recovery
+		if rng.Intn(2) == 0 {
+			// Clean shutdown.
+			if err := s.Close(); err != nil {
+				return false
+			}
+			s2, r, err := Open(dir, nil, Options{})
+			if err != nil {
+				return false
+			}
+			defer s2.Close()
+			rec = r
+		} else {
+			// Crash: maybe tear a segment tail, maybe corrupt the newest
+			// snapshot (the kept fallback generation must absorb it).
+			if err := s.Sync(); err != nil {
+				return false
+			}
+			crash := crashCopy(t, dir)
+			_, _, segs := scanDir(crash)
+			if len(segs) > 0 && rng.Intn(2) == 0 {
+				sg := segs[rng.Intn(len(segs))]
+				raw, _ := os.ReadFile(filepath.Join(crash, sg.name))
+				if len(raw) > 0 {
+					os.WriteFile(filepath.Join(crash, sg.name), raw[:rng.Intn(len(raw))], 0o644)
+				}
+			}
+			if snaps, _, _ := scanDir(crash); len(snaps) > 1 && rng.Intn(3) == 0 {
+				p := filepath.Join(crash, snapshotName(snaps[len(snaps)-1]))
+				raw, _ := os.ReadFile(p)
+				if len(raw) > 0 {
+					raw[rng.Intn(len(raw))] ^= 0xFF
+					os.WriteFile(p, raw, 0o644)
+				}
+			}
+			s2, r, err := Open(crash, nil, Options{})
+			if err != nil {
+				return false
+			}
+			defer s2.Close()
+			rec = r
+		}
+		want, ok := oracle[rec.Restore.UpTo]
+		if !ok {
+			t.Logf("seed %d: recovered to unknown position %d", seed, rec.Restore.UpTo)
+			return false
+		}
+		if !rec.State.Equal(want) {
+			t.Logf("seed %d: state mismatch at %d", seed, rec.Restore.UpTo)
+			return false
+		}
+		// Floors must never overstate the walk: every recovered session's
+		// LastActSeq is a seq the walk actually reached.
+		for _, sr := range rec.Restore.Sessions {
+			if uint64(sr.LastActSeq) > rec.Restore.UpTo {
+				t.Logf("seed %d: floor %d beyond upTo %d", seed, sr.LastActSeq, rec.Restore.UpTo)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzRecover: arbitrary bytes in the store's file slots must never
+// panic Open, and a successful Open must be re-openable with a
+// non-decreasing install point (the boot checkpoint sanitizes the
+// directory).
+func FuzzRecover(f *testing.F) {
+	// Seed with a real store's artifacts.
+	seedDir := f.TempDir()
+	s, _, err := Open(seedDir, nil, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.SessionOpen(7, 1, 0, 1, 0)
+	commit(s, 1, 0, 7, 1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	retainBatch(s, 7, 1, 0)
+	commit(s, 2, 0, 7, 2, action.Result{OK: true, Writes: []world.Write{write(2, 2)}})
+	s.Checkpoint()
+	commit(s, 3, 0, 7, 3, action.Result{OK: true, Writes: []world.Write{write(1, 3)}})
+	s.Sync()
+	var seedSeg, seedSnap, seedMeta []byte
+	if snaps, metas, segs := scanDir(seedDir); len(snaps) > 0 && len(metas) > 0 && len(segs) > 0 {
+		seedSnap, _ = os.ReadFile(filepath.Join(seedDir, snapshotName(snaps[len(snaps)-1])))
+		seedMeta, _ = os.ReadFile(filepath.Join(seedDir, metaName(metas[len(metas)-1])))
+		seedSeg, _ = os.ReadFile(filepath.Join(seedDir, segs[0].name))
+	}
+	s.Close()
+	f.Add(seedSeg, seedSnap, seedMeta)
+	f.Add([]byte{}, []byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte{0xFF}, []byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, seg, snap, meta []byte) {
+		dir := t.TempDir()
+		os.WriteFile(filepath.Join(dir, segmentName(0, 0)), seg, 0o644)
+		os.WriteFile(filepath.Join(dir, snapshotName(2)), snap, 0o644)
+		os.WriteFile(filepath.Join(dir, metaName(2)), meta, 0o644)
+		st, rec, err := Open(dir, nil, Options{})
+		if err != nil {
+			return
+		}
+		if rec.State == nil {
+			t.Fatal("nil recovered state")
+		}
+		upTo := rec.Restore.UpTo
+		for _, sr := range rec.Restore.Sessions {
+			for _, b := range sr.Retained {
+				if b.InstalledUpTo > upTo {
+					t.Fatalf("retained batch claims %d > upTo %d", b.InstalledUpTo, upTo)
+				}
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		st2, rec2, err := Open(dir, nil, Options{})
+		if err != nil {
+			t.Fatalf("reopen after sanitizing open: %v", err)
+		}
+		if rec2.Restore.UpTo < upTo {
+			t.Fatalf("install point regressed: %d -> %d", upTo, rec2.Restore.UpTo)
+		}
+		st2.Close()
+	})
 }

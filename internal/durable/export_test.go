@@ -1,0 +1,11 @@
+package durable
+
+// Test-only access to unexported knobs.
+
+// WithGate returns o with the committer throttled by ch: the committer
+// consumes one token per loop iteration, letting tests fill the queue
+// deterministically to exercise the degrade policies.
+func WithGate(o Options, ch chan struct{}) Options {
+	o.testGate = ch
+	return o
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/durable"
+	"seve/internal/geom"
+	"seve/internal/metrics"
+	"seve/internal/shard"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Durablecommit measures the submit-path overhead of the attached
+// journal (DESIGN.md §15). The engine's cost per commit group is an
+// encode plus a bounded-channel send to the committer goroutine — all
+// file I/O, group commit, and checkpointing happen off the hot loop —
+// so the engine-side slowdown against a journal-less run should stay
+// small under every fsync policy. The table reports, per configuration
+// on the shardscale workload, engine submits/s, the overhead against
+// the journal=off baseline, the group-commit and checkpoint counters,
+// how far the log trailed the engine when the run ended (lag), and the
+// wall time of the final Sync barrier that drains that lag.
+func Durablecommit(opt Options) (*metrics.Table, error) {
+	groups := pick(opt, 16, 8)
+	perGroup := pick(opt, 16, 8)
+	rounds := pick(opt, 30, 8)
+	snapshotEvery := uint64(pick(opt, 2048, 256))
+	reps := pick(opt, 3, 1)
+
+	type variant struct {
+		name string
+		open func(dir string, base *world.State) (*durable.Store, error)
+	}
+	mk := func(o durable.Options) func(string, *world.State) (*durable.Store, error) {
+		return func(dir string, base *world.State) (*durable.Store, error) {
+			s, _, err := durable.Open(dir, base, o)
+			return s, err
+		}
+	}
+	variants := []variant{
+		{"off", nil},
+		{"batch", mk(durable.Options{Fsync: durable.FsyncBatch, SnapshotEvery: snapshotEvery})},
+		{"interval", mk(durable.Options{Fsync: durable.FsyncInterval, FsyncEvery: 5 * time.Millisecond, SnapshotEvery: snapshotEvery})},
+		{"ckpt", mk(durable.Options{Fsync: durable.FsyncCheckpoint, SnapshotEvery: snapshotEvery})},
+	}
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Journal submit-path overhead: %d groups × %d clients, %d rounds, snapshot every %d installs; overhead vs journal=off",
+			groups, perGroup, rounds, snapshotEvery),
+		Header: []string{"fsync", "submits/s", "overhead", "groups", "ckpts", "lag@end", "drain-ms"},
+	}
+	// Untimed warm-up so the journal=off baseline (which runs first)
+	// doesn't absorb the process's one-time costs and understate every
+	// variant's overhead.
+	if _, _, _, err := measureDurableSubmit(groups, perGroup, min(rounds, 8), nil); err != nil {
+		return nil, err
+	}
+	base := 0.0
+	for _, v := range variants {
+		var persec, drainMs float64
+		var st durable.Stats
+		for rep := 0; rep < reps; rep++ {
+			p, d, s, err := measureDurableSubmit(groups, perGroup, rounds, v.open)
+			if err != nil {
+				return nil, fmt.Errorf("durablecommit fsync=%s: %w", v.name, err)
+			}
+			if p > persec {
+				persec, drainMs, st = p, d, s
+			}
+		}
+		if base == 0 {
+			base = persec
+		}
+		overhead := (base - persec) / base * 100
+		t.AddRow(v.name, fmt.Sprintf("%.0f", persec),
+			fmt.Sprintf("%.1f%%", overhead),
+			fmt.Sprintf("%d", st.GroupCommits),
+			fmt.Sprintf("%d", st.Checkpoints),
+			fmt.Sprintf("%d", st.Emitted-st.Durable),
+			fmt.Sprintf("%.1f", drainMs))
+		opt.log("durablecommit fsync=%s submits/s=%.0f overhead=%.1f%% groups=%d ckpts=%d lag=%d drain=%.1fms",
+			v.name, persec, overhead, st.GroupCommits, st.Checkpoints, st.Emitted-st.Durable, drainMs)
+	}
+	return t, nil
+}
+
+// measureDurableSubmit drives the conflict-dense group workload
+// through synchronized rounds on a single-lane engine — submissions,
+// an epoch flush, completions completionLag rounds later — exactly as
+// measureShardedSubmit does, but with an optional journal attached.
+// Only HandleMsg and Flush are timed: the engine-side journal cost
+// (record encode + channel send, or backpressure when the committer
+// falls behind) lands inside that window; the committer's own disk
+// work does not. It returns engine submits/s, the wall milliseconds of
+// the final Sync barrier, and the store's counters captured before
+// that barrier (so lag@end reflects how far the log trailed while the
+// engine was running).
+func measureDurableSubmit(groups, perGroup, rounds int, open func(string, *world.State) (*durable.Store, error)) (float64, float64, durable.Stats, error) {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeIncomplete
+	cfg.Threshold = 1e12
+	cfg.Shards = 1
+	cfg.ShardCellSize = 100
+
+	init := world.NewState()
+	hubOf := func(g int) world.ObjectID { return world.ObjectID(g*(perGroup+1) + 1) }
+	ownOf := func(g, i int) world.ObjectID { return world.ObjectID(g*(perGroup+1) + 2 + i) }
+	for g := 0; g < groups; g++ {
+		init.Set(hubOf(g), world.Value{0})
+		for i := 0; i < perGroup; i++ {
+			init.Set(ownOf(g, i), world.Value{0})
+		}
+	}
+
+	var store *durable.Store
+	if open != nil {
+		dir, err := os.MkdirTemp("", "durablecommit-*")
+		if err != nil {
+			return 0, 0, durable.Stats{}, err
+		}
+		defer os.RemoveAll(dir)
+		store, err = open(dir, init)
+		if err != nil {
+			return 0, 0, durable.Stats{}, err
+		}
+		defer store.Close()
+	}
+
+	eng := shard.NewEngine(cfg, init)
+	if r, ok := eng.(*shard.Router); ok {
+		defer r.Close()
+	}
+	if store != nil {
+		eng.SetJournal(store)
+	}
+	clients := groups * perGroup
+	for c := 1; c <= clients; c++ {
+		eng.RegisterClient(action.ClientID(c), 0)
+	}
+
+	mirror := init.Clone()
+	nextSeq := make([]uint32, clients+1)
+	pending := make([][]*wire.Completion, completionLag)
+	var engineTime time.Duration
+	nowMs := 0.0
+
+	for round := 0; round < rounds; round++ {
+		due := pending[0]
+		copy(pending, pending[1:])
+		pending[completionLag-1] = nil
+		start := time.Now()
+		for _, c := range due {
+			eng.HandleMsg(c.By, c, nowMs)
+		}
+		engineTime += time.Since(start)
+
+		acts := make(map[action.ID]*groupAction, clients)
+		var outs []core.ServerOutput
+		start = time.Now()
+		for c := 1; c <= clients; c++ {
+			cid := action.ClientID(c)
+			g := (c - 1) / perGroup
+			nextSeq[c]++
+			a := &groupAction{
+				id:  action.ID{Client: cid, Seq: nextSeq[c]},
+				hub: hubOf(g), own: ownOf(g, (c-1)%perGroup),
+				pos: geom.Vec{X: float64(g)*300 + 50, Y: float64(g)*300 + 50},
+			}
+			acts[a.id] = a
+			outs = append(outs, eng.HandleMsg(cid, &wire.Submit{Env: action.Envelope{Origin: cid, Act: a}}, nowMs))
+		}
+		if f, ok := eng.(core.Flusher); ok {
+			outs = append(outs, f.Flush())
+		}
+		engineTime += time.Since(start)
+		nowMs += 300
+
+		for _, out := range outs {
+			for _, rep := range out.Replies {
+				batch, ok := rep.Msg.(*wire.Batch)
+				if !ok {
+					continue
+				}
+				for _, env := range batch.Envs {
+					a, mine := acts[env.Act.ID()]
+					if !mine || env.Origin != rep.To {
+						continue
+					}
+					res := action.Eval(a, world.StateView{S: mirror})
+					for _, wr := range res.Writes {
+						mirror.Set(wr.ID, wr.Val)
+					}
+					pending[completionLag-1] = append(pending[completionLag-1],
+						&wire.Completion{Seq: env.Seq, By: rep.To, Res: res})
+					delete(acts, env.Act.ID())
+				}
+			}
+		}
+	}
+
+	var st durable.Stats
+	var drainMs float64
+	if store != nil {
+		lag := store.Stats()
+		start := time.Now()
+		if err := store.Sync(); err != nil {
+			return 0, 0, lag, err
+		}
+		drainMs = float64(time.Since(start).Microseconds()) / 1000
+		// Counters (group commits, checkpoints) are read after the
+		// barrier so they cover the whole run; the lag is the pre-sync
+		// snapshot — how far the log trailed while the engine ran.
+		st = store.Stats()
+		st.Emitted, st.Durable = lag.Emitted, lag.Durable
+	}
+	total := float64(clients * rounds)
+	return total / engineTime.Seconds(), drainMs, st, nil
+}

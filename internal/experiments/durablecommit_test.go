@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDurablecommitShape regenerates the journal-overhead table in
+// quick mode and asserts the qualitative claims BENCH_PR9.json
+// records: the journal=off baseline carries no durability counters,
+// every journal-attached row group-commits and cuts at least the boot
+// and shutdown-window checkpoints, and throughput stays positive under
+// every fsync policy.
+func TestDurablecommitShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tb, err := Durablecommit(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"off", "batch", "interval", "ckpt"}
+	if len(tb.Rows) != len(want) {
+		t.Fatalf("want %d rows, got %d", len(want), len(tb.Rows))
+	}
+	// Columns: 0 fsync, 1 submits/s, 2 overhead, 3 groups, 4 ckpts,
+	// 5 lag@end, 6 drain-ms.
+	const colRate, colGroups, colCkpts = 1, 3, 4
+	for i, row := range tb.Rows {
+		if row[0] != want[i] {
+			t.Fatalf("row %d: fsync=%q, want %q", i, row[0], want[i])
+		}
+		if got := cell(t, tb, i, colRate); got <= 0 {
+			t.Errorf("fsync=%s: submits/s=%v, want positive", row[0], got)
+		}
+		groups, ckpts := cell(t, tb, i, colGroups), cell(t, tb, i, colCkpts)
+		if row[0] == "off" {
+			if groups != 0 || ckpts != 0 {
+				t.Errorf("journal=off: groups=%v ckpts=%v, want 0", groups, ckpts)
+			}
+			continue
+		}
+		if groups == 0 {
+			t.Errorf("fsync=%s: no group commits; the journal never saw an install pass", row[0])
+		}
+		if ckpts == 0 {
+			t.Errorf("fsync=%s: no checkpoints cut", row[0])
+		}
+		if !strings.HasSuffix(row[2], "%") {
+			t.Errorf("fsync=%s: overhead cell %q is not a percentage", row[0], row[2])
+		}
+	}
+}

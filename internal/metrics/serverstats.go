@@ -48,6 +48,29 @@ type ServerStats struct {
 	DuplicateSubmits int
 	RetainedBatches  int
 
+	// Crash-restart recovery (DESIGN.md §15). ResumesRecovered counts
+	// reconnects answered out of a journal-rebuilt session (either path);
+	// StaleCompletions counts completion claims fenced because they
+	// referenced a serial position the engine has not stamped — the
+	// signature of a client acking state a crash rolled back.
+	ResumesRecovered int
+	StaleCompletions int
+
+	// Durability pipeline (package durable). WALGroupCommits counts
+	// journal groups fsync-acknowledged; WALCheckpoints counts epoch
+	// snapshots cut by the committer. WALAppendErrors counts I/O failures
+	// in the committer (after the first, behavior follows the degrade
+	// policy); WALShedRecords counts journal records dropped because the
+	// committer queue was full under DegradeShed — both mean the log is
+	// no longer a faithful prefix of the engine. WALBehindSeq gauges how
+	// far the durable install point trails the engine's (0 = fully
+	// caught up at snapshot time).
+	WALGroupCommits int
+	WALCheckpoints  int
+	WALAppendErrors int
+	WALShedRecords  int
+	WALBehindSeq    uint64
+
 	// Transport delivery. WriteQueueDrops counts replies discarded
 	// because the recipient's write queue was full (a client too slow to
 	// drain its connection). Maintained by the transport layer, not the
@@ -93,6 +116,13 @@ func (st ServerStats) Table() *Table {
 	row("resumes rejected", st.ResumesRejected)
 	row("duplicate submits swallowed", st.DuplicateSubmits)
 	row("retained batches", st.RetainedBatches)
+	row("resumes (recovered session)", st.ResumesRecovered)
+	row("stale completions fenced", st.StaleCompletions)
+	row("wal group commits", st.WALGroupCommits)
+	row("wal checkpoints", st.WALCheckpoints)
+	row("wal append errors", st.WALAppendErrors)
+	row("wal shed records", st.WALShedRecords)
+	row("wal behind (seqs)", st.WALBehindSeq)
 	row("write queue drops", st.WriteQueueDrops)
 	row("frames superseded", st.FramesSuperseded)
 	row("frames coalesced", st.FramesCoalesced)

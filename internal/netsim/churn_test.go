@@ -79,6 +79,12 @@ type churnClient struct {
 	node      NodeID
 	engine    *core.Client
 	connected bool
+	// resuming marks the Resume → CatchUp handshake window. The real
+	// transport sends nothing new until the verdict lands; a fresh
+	// submission racing ahead of the handshake's re-submissions would
+	// advance the server's dedup floor past them and swallow the
+	// backlog as duplicates.
+	resuming  bool
 	gen       int
 	commits   []core.Commit
 	submitted int
@@ -96,12 +102,17 @@ type churnHarness struct {
 
 	violations []string
 	staleMsgs  int
+	// trace, when set, observes every message a client is about to
+	// process (debugging aid for the durable variants).
+	trace   func(cl *churnClient, msg wire.Msg)
+	traceUp func(cl *churnClient, msg wire.Msg, stale bool)
 	// bytes collects the per-client reply stream for the replay
 	// differential.
 	bytes map[action.ClientID][]byte
 }
 
-func newChurnHarness(t *testing.T, shards, nClients, nObjects int) *churnHarness {
+// churnConfig is the engine configuration every churn harness runs.
+func churnConfig(shards int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Mode = core.ModeIncomplete
 	cfg.Strict = true
@@ -110,6 +121,27 @@ func newChurnHarness(t *testing.T, shards, nClients, nObjects int) *churnHarness
 	cfg.ResumeWindow = 2 // tiny on purpose: bursts overflow it into snapshots
 	cfg.Shards = shards
 	cfg.ShardCellSize = 100
+	return cfg
+}
+
+// churnInit seeds object i with value float64(i) for i in 1..nObjects.
+func churnInit(nObjects int) *world.State {
+	init := world.NewState()
+	for i := 1; i <= nObjects; i++ {
+		init.Set(world.ObjectID(i), world.Value{float64(i)})
+	}
+	return init
+}
+
+func newChurnHarness(t *testing.T, shards, nClients, nObjects int) *churnHarness {
+	return newJournaledChurnHarness(t, shards, nClients, nObjects, nil)
+}
+
+// newJournaledChurnHarness attaches the durable feed before any client
+// registers, so session opens are journaled from the very first mint —
+// the order the transport boot path guarantees.
+func newJournaledChurnHarness(t *testing.T, shards, nClients, nObjects int, j core.Journal) *churnHarness {
+	cfg := churnConfig(shards)
 
 	// Clients run with GC off so the per-version oracle check stays
 	// exact: PruneBelow collapses a surviving stale version to the prune
@@ -120,10 +152,7 @@ func newChurnHarness(t *testing.T, shards, nClients, nObjects int) *churnHarness
 	clientCfg := cfg
 	clientCfg.DisableGC = true
 
-	init := world.NewState()
-	for i := 1; i <= nObjects; i++ {
-		init.Set(world.ObjectID(i), world.Value{float64(i)})
-	}
+	init := churnInit(nObjects)
 
 	k := sim.NewKernel()
 	h := &churnHarness{
@@ -140,11 +169,17 @@ func newChurnHarness(t *testing.T, shards, nClients, nObjects int) *churnHarness
 	if !ok {
 		t.Fatal("engine does not implement core.Resumer")
 	}
+	if j != nil {
+		h.eng.SetJournal(j)
+	}
 
 	h.net.AddNode(ServerNode, func(from NodeID, msg Message) {
 		cm := msg.(churnMsg)
 		cid := action.ClientID(from)
 		cl := h.clients[cid]
+		if h.traceUp != nil {
+			h.traceUp(cl, cm.msg, cm.gen != cl.gen)
+		}
 		if cm.gen != cl.gen {
 			h.staleMsgs++ // uplink traffic from a dead connection
 			return
@@ -196,12 +231,31 @@ func (h *churnHarness) attach(cl *churnClient) {
 		if cl.gen != gen || !cl.connected {
 			return
 		}
+		if h.trace != nil {
+			h.trace(cl, msg.(wire.Msg))
+		}
 		out := cl.engine.HandleMsg(msg.(wire.Msg))
+		if _, isVerdict := msg.(*wire.CatchUp); isVerdict {
+			// Handshake complete: the backlog re-submissions are in out
+			// and will precede anything submitted from here on.
+			cl.resuming = false
+		}
 		h.absorb(cl, out)
 	})
 }
 
 func (h *churnHarness) absorb(cl *churnClient, out core.ClientOutput) {
+	// A boot fence withdraws commits whose positions the crash rolled
+	// back; the engine re-submits those actions and re-reports them at
+	// their re-issued positions.
+	for _, rv := range out.Revoked {
+		for i := len(cl.commits) - 1; i >= 0; i-- {
+			if cl.commits[i].ActID == rv.ActID && cl.commits[i].Seq == rv.Seq {
+				cl.commits = append(cl.commits[:i], cl.commits[i+1:]...)
+				break
+			}
+		}
+	}
 	cl.commits = append(cl.commits, out.Commits...)
 	h.violations = append(h.violations, out.Violations...)
 	for _, m := range out.ToServer {
@@ -230,7 +284,7 @@ func (h *churnHarness) submit(cl *churnClient, rng *rand.Rand, nObjects int) {
 	act.id = cl.engine.NextActionID()
 	msg, _ := cl.engine.Submit(act)
 	cl.submitted++
-	if cl.connected {
+	if cl.connected && !cl.resuming {
 		h.send(cl, msg)
 	}
 }
@@ -256,6 +310,7 @@ func (h *churnHarness) reconnect(cl *churnClient) {
 		return
 	}
 	cl.connected = true
+	cl.resuming = true
 	h.attach(cl)
 	tok := h.resumer.SessionToken(cl.id)
 	if tok == 0 {
@@ -274,6 +329,15 @@ func (h *churnHarness) flush() {
 func runChurn(t *testing.T, shards int, seed int64) *churnHarness {
 	const nClients, nObjects = 5, 12
 	h := newChurnHarness(t, shards, nClients, nObjects)
+	playChurn(h, seed, nObjects)
+	return h
+}
+
+// playChurn schedules the standard churn script on an already-built
+// harness and drains the kernel. Split from runChurn so the durable
+// variants can attach a journal to the engine first and replay the
+// byte-identical schedule.
+func playChurn(h *churnHarness, seed int64, nObjects int) {
 	rng := rand.New(rand.NewSource(seed))
 	k := h.k
 
@@ -343,7 +407,6 @@ func runChurn(t *testing.T, shards int, seed int64) *churnHarness {
 	})
 
 	k.Run()
-	return h
 }
 
 // verifyChurn runs the Theorem 1 oracle over a drained harness.

@@ -1,0 +1,381 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/durable"
+	"seve/internal/shard"
+	"seve/internal/sim"
+	"seve/internal/world"
+)
+
+// The durable churn swarm: the fault-injection harness of churn_test.go
+// with the durability pipeline attached and the server itself as the
+// churn victim. Phase one runs client churn while the engine journals
+// to a store; the process then dies mid-epoch — the store directory is
+// imaged as-is, with no shutdown checkpoint, while stamped-but-
+// uninstalled actions are still in flight — and a second engine is
+// constructed over the recovery. The serial-replay oracle must match
+// the recovered state exactly, the original clients must resume over
+// the wire against the restarted server (boot fencing discards
+// completions minted for rolled-back positions), and after a second
+// traffic phase the combined history must be exactly-once for every
+// client — including commits whose acknowledgements were lost with the
+// crash.
+
+// copyStoreDir byte-copies every file of a live store directory into a
+// fresh tempdir: the moral equivalent of kill -9 followed by reading
+// the disk, since Close would cut a shutdown checkpoint and flatten
+// the recovery paths this test exists to exercise.
+func copyStoreDir(t *testing.T, dir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// replayOracle replays histories serially from init, returning the
+// final state and every position's result.
+func replayOracle(init *world.State, hists ...[]action.Envelope) (*world.State, map[uint64]action.Result) {
+	st := init.Clone()
+	res := make(map[uint64]action.Result)
+	for _, hist := range hists {
+		for _, env := range hist {
+			r := action.Eval(env.Act, world.StateView{S: st})
+			for _, w := range r.Writes {
+				st.Set(w.ID, w.Val)
+			}
+			res[env.Seq] = r
+		}
+	}
+	return st, res
+}
+
+// TestDurableChurnKillRecover is the process-death matrix: shard counts
+// × seeds, each killing the server mid-epoch and resuming the same
+// clients against the recovered engine.
+func TestDurableChurnKillRecover(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			name := fmt.Sprintf("shards=%d/seed=%d", shards, seed)
+			t.Run(name, func(t *testing.T) {
+				t.Logf("durable churn config: shards=%d seed=%d", shards, seed)
+				runKillRecover(t, shards, seed)
+			})
+		}
+	}
+}
+
+func runKillRecover(t *testing.T, shards int, seed int64) {
+	const nClients, nObjects = 5, 12
+	init := churnInit(nObjects)
+	dopts := durable.Options{SnapshotEvery: 4, ResumeWindow: 2, QueueLen: 256}
+
+	dir := t.TempDir()
+	store, rec, err := durable.Open(dir, init, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restore.UpTo != 0 || rec.Restore.Boot != 1 {
+		t.Fatalf("virgin store recovered upTo=%d boot=%d, want 0/1", rec.Restore.UpTo, rec.Restore.Boot)
+	}
+
+	h := newJournaledChurnHarness(t, shards, nClients, nObjects, store)
+	rng := rand.New(rand.NewSource(seed))
+	k := h.k
+
+	// Phase 1: flush ticks, random submissions, client churn on 3..N.
+	for ms := sim.Time(1); ms < 360; ms += 10 {
+		ms := ms
+		k.At(ms, h.flush)
+	}
+	for step := 0; step < 25; step++ {
+		at := sim.Time(step*10 + 5)
+		k.At(at, func() {
+			cl := h.clients[h.order[rng.Intn(len(h.order))]]
+			if cl.connected || rng.Float64() < 0.3 {
+				h.submit(cl, rng, nObjects)
+			}
+			if rng.Float64() < 0.2 {
+				victim := h.clients[h.order[2+rng.Intn(len(h.order)-2)]]
+				if victim.connected {
+					h.disconnect(victim)
+					back := at + sim.Time(30+rng.Intn(5)*10)
+					k.At(back, func() { h.reconnect(victim) })
+				}
+			}
+		})
+	}
+	k.At(330, func() {
+		for _, cid := range h.order {
+			h.reconnect(h.clients[cid])
+		}
+	})
+	// The mid-epoch burst: submitted after the final flush tick, these
+	// actions are stamped but never installed — the crash takes the
+	// epoch down with them, and their serial positions are re-issued
+	// after recovery.
+	k.At(365, func() {
+		for i := 0; i < 3; i++ {
+			cl := h.clients[h.order[rng.Intn(len(h.order))]]
+			if cl.connected {
+				h.submit(cl, rng, nObjects)
+			}
+		}
+	})
+	k.Run()
+
+	installed1 := h.eng.Installed()
+	if installed1 == 0 {
+		t.Fatal("phase 1 installed nothing")
+	}
+	hist1 := h.eng.History()
+	if uint64(len(hist1)) < installed1 {
+		t.Fatalf("history %d shorter than installed %d", len(hist1), installed1)
+	}
+	for i, env := range hist1 {
+		if env.Seq != uint64(i+1) {
+			t.Fatalf("phase 1 history gap at %d: seq %d", i, env.Seq)
+		}
+	}
+
+	// Kill. Sync flushes the committer queue so the image is the exact
+	// journal of the installed prefix; the copy — not Close — is the
+	// crash: no shutdown checkpoint, the meta lineage stays stale and
+	// recovery must replay the wal tail.
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	img := copyStoreDir(t, dir)
+	store.Close()
+
+	store2, rec2, err := durable.Open(img, init, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	up := rec2.Restore.UpTo
+	if up != installed1 {
+		t.Fatalf("recovered upTo %d, engine had installed %d", up, installed1)
+	}
+	if rec2.Restore.Boot != 2 {
+		t.Fatalf("recovered boot %d, want 2", rec2.Restore.Boot)
+	}
+
+	// Recovery oracle: the recovered state is the serial replay of the
+	// installed prefix, byte for byte.
+	oracleSt, _ := replayOracle(init, hist1[:up])
+	if !rec2.State.Equal(oracleSt) {
+		t.Fatal("recovered state diverged from serial replay oracle")
+	}
+	if !rec2.State.Equal(h.eng.Authoritative()) {
+		t.Fatal("recovered state diverged from the dead engine's ζS")
+	}
+
+	// Restart: a fresh engine over the recovered state, journaling to
+	// the reopened store. The server's death severed every connection —
+	// uplink generations burn, downlink frames die on the removed nodes.
+	eng2 := shard.NewEngine(churnConfig(shards), rec2.State)
+	eng2.(core.Restorer).Restore(rec2.Restore)
+	eng2.SetJournal(store2)
+	for _, cid := range h.order {
+		cl := h.clients[cid]
+		if cl.connected {
+			cl.connected = false
+			cl.gen++
+			h.net.RemoveNode(cl.node)
+		}
+	}
+	h.eng = eng2
+	var ok bool
+	h.resumer, ok = eng2.(core.Resumer)
+	if !ok {
+		t.Fatal("restarted engine does not implement core.Resumer")
+	}
+
+	// Phase 2: everyone resumes over the wire against the restarted
+	// server, then a second round of traffic drains.
+	base := k.Now()
+	for ms := base + 1; ms < base+300; ms += 10 {
+		ms := ms
+		k.At(ms, h.flush)
+	}
+	for i, cid := range h.order {
+		cid := cid
+		k.At(base+sim.Time(5+i*7), func() { h.reconnect(h.clients[cid]) })
+	}
+	for step := 0; step < 15; step++ {
+		at := base + sim.Time(80+step*10)
+		k.At(at, func() {
+			cl := h.clients[h.order[rng.Intn(len(h.order))]]
+			if cl.connected {
+				h.submit(cl, rng, nObjects)
+			}
+		})
+	}
+	k.Run()
+
+	if len(h.violations) > 0 {
+		t.Fatalf("protocol violations (%d), first: %s", len(h.violations), h.violations[0])
+	}
+	hist2 := eng2.History()
+	for i, env := range hist2 {
+		if env.Seq != up+uint64(i+1) {
+			t.Fatalf("post-restart history gap at %d: seq %d, want %d", i, env.Seq, up+uint64(i+1))
+		}
+	}
+	installed2 := eng2.Installed()
+	if installed2 != up+uint64(len(hist2)) {
+		t.Fatalf("restarted server installed %d, history says %d", installed2, up+uint64(len(hist2)))
+	}
+	if got := eng2.QueueLen(); got != 0 {
+		t.Fatalf("restarted server queue still holds %d actions", got)
+	}
+
+	// Combined oracle: phase 1 up to the durable point, then everything
+	// the restarted engine installed.
+	finalSt, oracleRes := replayOracle(init, hist1[:up], hist2)
+	if !eng2.Authoritative().Equal(finalSt) {
+		t.Fatal("post-restart ζS diverged from the combined serial oracle")
+	}
+
+	// Per-client exactly-once across the crash: every submission
+	// committed once with the oracle's result — those whose acks died
+	// with the server re-delivered through the resume path — and every
+	// stable version is serial-replay consistent against the combined
+	// history.
+	combined := append(append([]action.Envelope{}, hist1[:up]...), hist2...)
+	for _, cid := range h.order {
+		cl := h.clients[cid]
+		if got := cl.engine.QueueLen(); got != 0 {
+			t.Fatalf("client %d still has %d in-flight actions", cid, got)
+		}
+		if len(cl.commits) != cl.submitted {
+			t.Fatalf("client %d committed %d of %d submissions", cid, len(cl.commits), cl.submitted)
+		}
+		seen := make(map[uint64]bool, len(cl.commits))
+		for _, c := range cl.commits {
+			if seen[c.Seq] {
+				t.Fatalf("client %d committed serial %d twice", cid, c.Seq)
+			}
+			seen[c.Seq] = true
+			want, ok := oracleRes[c.Seq]
+			if !ok {
+				t.Fatalf("client %d commit at seq %d not in either history", cid, c.Seq)
+			}
+			if !c.Res.Equal(want) {
+				t.Fatalf("client %d stable result at seq %d diverged from oracle", cid, c.Seq)
+			}
+		}
+		cs := cl.engine.Stable()
+		for _, id := range cs.IDs() {
+			val, seq, ok := cs.Latest(id)
+			if !ok {
+				continue
+			}
+			asOf := init.Clone()
+			for _, env := range combined {
+				if env.Seq > seq {
+					break
+				}
+				res := action.Eval(env.Act, world.StateView{S: asOf})
+				for _, w := range res.Writes {
+					asOf.Set(w.ID, w.Val)
+				}
+			}
+			want, _ := asOf.Get(id)
+			if !val.Equal(want) {
+				t.Fatalf("client %d ζCS(%d)=%v at seq %d diverges from serial replay %v",
+					cid, id, val, seq, want)
+			}
+		}
+	}
+
+	// The restart must actually have gone through the recovered-session
+	// path, and no valid token may have been rejected.
+	m := eng2.Metrics()
+	if m.ResumesRecovered == 0 {
+		t.Errorf("no recovered-session resume despite the restart: %+v", m)
+	}
+	if m.ResumesRejected != 0 {
+		t.Errorf("%d resumes rejected after restart with valid tokens", m.ResumesRejected)
+	}
+
+	// The journal kept pace through phase 2 as well: after a barrier the
+	// durable point is the restarted engine's install point, gap-free.
+	if err := store2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := store2.Stats()
+	if st2.Durable != installed2 {
+		t.Fatalf("journal durable at %d, restarted engine installed %d", st2.Durable, installed2)
+	}
+	if st2.Gapped {
+		t.Fatal("journal gapped under DegradeBlock")
+	}
+}
+
+// TestJournalRepliesIdentical: durability must be invisible on the
+// wire. The same churn schedule runs twice — once plain, once with the
+// journal attached — and every history entry and every per-client
+// reply stream must match byte for byte.
+func TestJournalRepliesIdentical(t *testing.T) {
+	const shards, seed, nObjects = 4, 3, 12
+	plain := runChurn(t, shards, seed)
+
+	store, _, err := durable.Open(t.TempDir(), churnInit(nObjects),
+		durable.Options{SnapshotEvery: 4, ResumeWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged := newJournaledChurnHarness(t, shards, 5, nObjects, store)
+	playChurn(logged, seed, nObjects)
+
+	ha, hb := plain.eng.History(), logged.eng.History()
+	if len(ha) != len(hb) {
+		t.Fatalf("history lengths differ: plain %d, journaled %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i].Seq != hb[i].Seq || ha[i].Act.ID() != hb[i].Act.ID() {
+			t.Fatalf("histories diverge at %d with the journal attached", i)
+		}
+	}
+	for _, cid := range plain.order {
+		if string(plain.bytes[cid]) != string(logged.bytes[cid]) {
+			t.Fatalf("client %d reply stream changed with the journal attached (%d vs %d bytes)",
+				cid, len(plain.bytes[cid]), len(logged.bytes[cid]))
+		}
+	}
+
+	// And the journal saw everything the engine installed.
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Durable != logged.eng.Installed() {
+		t.Fatalf("journal durable at %d, engine installed %d", st.Durable, logged.eng.Installed())
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -782,11 +782,18 @@ func (r *Router) RouterMetrics() metrics.RouterStats {
 	return st
 }
 
-// SetInstallHook registers fn to observe every installation into ζS in
-// serial order.
-func (r *Router) SetInstallHook(fn func(seq uint64, res action.Result)) {
-	r.inner.SetInstallHook(fn)
-}
+// SetJournal registers the durable commit feed on the shared engine.
+// Install passes flushed by the router produce one CommitGroup each,
+// carrying the owner lane of every record; BatchRetained records are
+// emitted from the router's lane workers (see core.Journal).
+func (r *Router) SetJournal(j core.Journal) { r.inner.SetJournal(j) }
+
+// Restore rewinds the router's shared engine to a recovered durable
+// point. Must be called before any client traffic.
+func (r *Router) Restore(rec core.RestoreState) { r.inner.Restore(rec) }
+
+// Boot reports the recovery generation of the shared engine.
+func (r *Router) Boot() uint64 { return r.inner.Boot() }
 
 // Suspects reports per-client completion-report mismatch counts (see
 // core.Server.Suspects).
@@ -799,4 +806,5 @@ var (
 	_ core.Flusher    = (*Router)(nil)
 	_ core.Resumer    = (*Router)(nil)
 	_ core.Superseder = (*Router)(nil)
+	_ core.Restorer   = (*Router)(nil)
 )

@@ -87,11 +87,17 @@ func Dial(addr string, cfg core.Config, interestMask uint64) (*Client, error) {
 	for _, w := range welcome.Init {
 		init.Set(w.ID, w.Val)
 	}
+	engine := core.NewClient(welcome.You, cfg, init)
+	// Joining under the server's current boot generation arms the
+	// CatchUp fence correctly: without this a fresh client of a
+	// once-restarted server (boot > 0) would treat its first benign
+	// resume as a restart and roll back healthy commits.
+	engine.SetBoot(welcome.Boot)
 	return &Client{
 		addr:   addr,
 		token:  welcome.Token,
 		conn:   conn,
-		engine: core.NewClient(welcome.You, cfg, init),
+		engine: engine,
 	}, nil
 }
 

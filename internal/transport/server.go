@@ -49,12 +49,18 @@ type ServerConfig struct {
 	Init *world.State
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
-	// Durable, when non-nil, journals every installed action and writes
-	// a checkpoint every SnapshotEvery installs (default 1000) — the
-	// Section II "commit at periodic checkpoints" layer.
+	// Durable, when non-nil, is the durability pipeline from
+	// durable.Open: the engine's commit feed is journaled through it
+	// (group commit, per-lane segments, epoch checkpoints — the
+	// Section II "commit at periodic checkpoints" layer, now entirely
+	// off the engine's hot loop). Pair it with Recovery from the same
+	// Open so the engine resumes against the journal.
 	Durable *durable.Store
-	// SnapshotEvery overrides the checkpoint period.
-	SnapshotEvery uint64
+	// Recovery, when non-nil, rewinds the engine to the recovered
+	// durable point before the accept loop starts: the recovered state
+	// replaces Init, the watermarks and session table are restored, and
+	// Welcome/CatchUp messages carry the new boot generation.
+	Recovery *durable.Recovery
 	// ReadTimeout, when positive, is the idle-read deadline applied to
 	// each connection: a client that sends nothing (not even the Hello)
 	// for this long is disconnected and unregistered, so silently dead
@@ -67,6 +73,14 @@ type ServerConfig struct {
 type Server struct {
 	cfg    ServerConfig
 	engine core.Engine
+	// init is the world shipped in Welcome messages: the configured
+	// Init, or the recovered state when booting from a journal.
+	init *world.State
+	// boot is the engine's recovery generation (0 when not restored).
+	boot uint64
+	// durableStalled remembers that the degrade policy silenced the
+	// server, so the log line fires once.
+	durableStalled bool
 	// superseding selects the SendQueue delivery mode (DESIGN.md §13):
 	// true when the engine retains sessions (ResumeWindow > 0), can
 	// answer a mid-session SnapshotCatchUp, and the ablation knob
@@ -118,38 +132,36 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	init := cfg.Init
+	if cfg.Recovery != nil {
+		// Boot-time recovery: the journal's reconstructed state IS the
+		// world — the engine starts over it and fresh joiners are seeded
+		// from it (Algorithm 6 closures cover anything newer).
+		init = cfg.Recovery.State
+	}
 	s := &Server{
 		cfg:     cfg,
-		engine:  shard.NewEngine(cfg.Core, cfg.Init),
+		engine:  shard.NewEngine(cfg.Core, init),
+		init:    init,
 		events:  make(chan serverEvent, 1024),
 		done:    make(chan struct{}),
 		writers: make(map[action.ClientID]*SendQueue),
 		started: time.Now(),
 	}
+	if cfg.Recovery != nil {
+		if r, ok := s.engine.(core.Restorer); ok {
+			// Rewind the watermarks and session table to the recovered
+			// point: crash-restart = the server resumes against itself.
+			r.Restore(cfg.Recovery.Restore)
+			s.boot = r.Boot()
+		}
+	}
+	if cfg.Durable != nil {
+		s.engine.SetJournal(cfg.Durable)
+	}
 	if _, ok := s.engine.(core.Superseder); ok {
 		s.superseding = cfg.Core.ResumeWindow > 0 &&
 			!cfg.Core.DisableSuperseding && !cfg.Core.HybridRelay
-	}
-	if cfg.Durable != nil {
-		every := cfg.SnapshotEvery
-		if every == 0 {
-			every = 1000
-		}
-		// The hook runs inside the engine loop (single-goroutine), so no
-		// extra locking is needed here.
-		s.engine.SetInstallHook(func(seq uint64, res action.Result) {
-			if err := cfg.Durable.Append(seq, res); err != nil {
-				cfg.Logf("transport: journal append: %v", err)
-				return
-			}
-			if seq%every == 0 {
-				if err := cfg.Durable.Snapshot(seq, s.engine.Authoritative()); err != nil {
-					cfg.Logf("transport: checkpoint: %v", err)
-				} else if err := cfg.Durable.Sync(); err != nil {
-					cfg.Logf("transport: fsync: %v", err)
-				}
-			}
-		})
 	}
 	return s
 }
@@ -209,6 +221,16 @@ func (s *Server) Metrics() metrics.ServerStats {
 	st.FramesSuperseded = int(s.ctrs.Superseded.Load())
 	st.FramesCoalesced = int(s.ctrs.Coalesced.Load())
 	st.MaxStaleObjects = int(s.ctrs.MaxStale.Load())
+	if d := s.cfg.Durable; d != nil {
+		ds := d.Stats()
+		st.WALGroupCommits = ds.GroupCommits
+		st.WALCheckpoints = ds.Checkpoints
+		st.WALAppendErrors = ds.AppendErrors
+		st.WALShedRecords = ds.ShedRecords
+		if ds.Emitted > ds.Durable {
+			st.WALBehindSeq = ds.Emitted - ds.Durable
+		}
+	}
 	return st
 }
 
@@ -340,6 +362,12 @@ func (s *Server) handleResume(ev serverEvent) {
 // DeliverySnapshot frame replaces the stale queue content in place,
 // which is what clears the request.
 func (s *Server) dispatch(out core.ServerOutput) {
+	if len(out.Replies) > 0 && s.durableSilenced() {
+		// DegradeBlock + a dead journal: stop acknowledging. Replies we
+		// cannot journal behind must not reach clients, or they would
+		// believe in state the log can no longer reproduce.
+		return
+	}
 	needSnap := s.dispatchReplies(out.Replies)
 	if len(needSnap) == 0 {
 		return
@@ -362,6 +390,22 @@ func (s *Server) dispatch(out core.ServerOutput) {
 		// dispatch retries.
 		s.dispatchReplies(snap.Replies)
 	}
+}
+
+// durableSilenced reports whether the degrade policy demands the
+// server stop acknowledging: the journal latched an I/O error and the
+// policy is DegradeBlock (DegradeShed keeps serving and only counts
+// the loss). Logs once on the transition.
+func (s *Server) durableSilenced() bool {
+	d := s.cfg.Durable
+	if d == nil || d.Degrade() != durable.DegradeBlock || d.Err() == nil {
+		return false
+	}
+	if !s.durableStalled {
+		s.durableStalled = true
+		s.cfg.Logf("transport: journal failed (%v); withholding acknowledgements", d.Err())
+	}
+	return true
 }
 
 // dispatchReplies encodes every reply once into a pooled frame and
@@ -442,13 +486,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		var token uint64
 		s.mu.Lock()
 		s.writers[id] = writeQ
-		initWrites := stateWrites(s.cfg.Init)
+		initWrites := stateWrites(s.init)
 		if r, ok := s.engine.(core.Resumer); ok {
 			token = r.SessionToken(id)
 		}
 		s.mu.Unlock()
 
-		if err := wire.WriteFrame(conn, &wire.Welcome{You: id, Token: token, Init: initWrites}); err != nil {
+		if err := wire.WriteFrame(conn, &wire.Welcome{You: id, Token: token, Boot: s.boot, Init: initWrites}); err != nil {
 			s.cfg.Logf("transport: welcome write to %d: %v", id, err)
 			return
 		}

@@ -227,20 +227,20 @@ func TestServerSurvivesClientDisconnect(t *testing.T) {
 	_ = world.ObjectID(0)
 }
 
-// TestDurableServerRecovers: a server journaling to disk is stopped and
-// its world recovered; the recovered state matches what the clients
-// committed.
+// TestDurableServerRecovers: a server journaling to disk is stopped,
+// its world recovered, and a second server constructed over the
+// recovery resumes at the same install point and keeps serving.
 func TestDurableServerRecovers(t *testing.T) {
 	w := testWorld()
 	init := w.InitialState(0)
 	cfg := protocolConfig()
 
 	dir := t.TempDir()
-	store, err := durable.Open(dir)
+	store, recovery, err := durable.Open(dir, init, durable.Options{SnapshotEvery: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(ServerConfig{Core: cfg, Init: init, Durable: store, SnapshotEvery: 3})
+	srv := NewServer(ServerConfig{Core: cfg, Init: init, Durable: store, Recovery: recovery})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -298,15 +298,63 @@ func TestDurableServerRecovers(t *testing.T) {
 	store.Close()
 
 	// Recover from disk: the avatar is where the client left it.
-	got, upTo, err := durable.Recover(dir)
+	store2, rec2, err := durable.Open(dir, init, durable.Options{SnapshotEvery: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if upTo != moves {
-		t.Fatalf("recovered up to %d, want %d", upTo, moves)
+	if rec2.Restore.UpTo != moves {
+		t.Fatalf("recovered up to %d, want %d", rec2.Restore.UpTo, moves)
 	}
-	gv, ok := got.Get(avatar)
+	gv, ok := rec2.State.Get(avatar)
 	if !ok || !gv.Equal(want) {
 		t.Fatalf("recovered avatar = %v, want %v", gv, want)
 	}
+
+	// Crash-restart = resume: a fresh server over the recovery starts
+	// at the durable install point and keeps committing past it.
+	srv2 := NewServer(ServerConfig{Core: cfg, Init: init, Durable: store2, Recovery: rec2})
+	if srv2.Installed() != moves {
+		t.Fatalf("restarted server installed = %d, want %d", srv2.Installed(), moves)
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone2 := make(chan error, 1)
+	go func() { serveDone2 <- srv2.Serve(l2) }()
+	cl2, err := Dial(l2.Addr().String(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed2 := make(chan core.Commit, 4)
+	cl2.OnCommit = func(c core.Commit) { committed2 <- c }
+	go func() { _ = cl2.Run() }()
+	avatar2 := manhattan.AvatarID(int(cl2.ID()))
+	var mv2 *manhattan.MoveAction
+	cl2.Engine(func(e *core.Client) {
+		mv2, err = w.NewMove(e.NextActionID(), avatar2, e.Optimistic())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.Submit(mv2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-committed2:
+	case <-time.After(10 * time.Second):
+		t.Fatal("restarted server never committed")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for srv2.Installed() != moves+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv2.Installed() != moves+1 {
+		t.Fatalf("restarted server installed %d, want %d", srv2.Installed(), moves+1)
+	}
+	cl2.Close()
+	srv2.Close()
+	l2.Close()
+	<-serveDone2
+	store2.Close()
 }

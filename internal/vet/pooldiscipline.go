@@ -20,8 +20,8 @@ import (
 // as released only when every surviving branch released it; frame
 // refcounts merge to the worst case), loops are evaluated for one
 // abstract iteration, and ownership transfers — returning the value,
-// sending it on a channel, storing it into a field, or handing it to a
-// deferred cleanup — end tracking. Lending a buffer to an ordinary call
+// sending it on a channel, storing it into a field or a composite
+// literal, or handing it to a deferred cleanup — end tracking. Lending a buffer to an ordinary call
 // (conn.Write(buf), append(buf, ...)) does not: the caller still owns
 // it. Each function literal is analyzed as its own ownership scope,
 // since writer pumps and deferred cleanups run on their own schedule.
@@ -727,7 +727,20 @@ func (a *poolAnalyzer) expr(st *poolState, e ast.Expr) {
 		a.expr(st, e.X)
 	case *ast.CompositeLit:
 		for _, el := range e.Elts {
-			a.expr(st, el)
+			val := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			a.expr(st, val)
+			// A pooled buffer written into a composite literal travels
+			// with the value — the job{buf: buf} handoff that feeds the
+			// durable committer queue. The composite's consumer (channel
+			// send, struct store) owns the release from here.
+			if id, ok := val.(*ast.Ident); ok {
+				if v := st.vars[a.obj(id)]; v != nil && !v.acq.frame {
+					v.escaped = true
+				}
+			}
 		}
 	case *ast.KeyValueExpr:
 		a.expr(st, e.Value)

@@ -166,3 +166,44 @@ func (h *hub) rlockBlocks() (wire.Msg, error) {
 	defer h.smu.RUnlock()
 	return wire.ReadFrame(h.conn) // want `wire.ReadFrame while h.smu is held`
 }
+
+// walStore mirrors the durable committer queue: a bounded job channel
+// fed by caller goroutines, with shed metrics guarded by mu
+// (DESIGN.md §15).
+type walStore struct {
+	mu   sync.Mutex
+	shed int
+	jobs chan wire.Msg
+	done chan error
+}
+
+// enqueueShed is the degrade-shed shape: inside the critical section
+// the send is attempted non-blocking only, and a full queue bumps the
+// shed counter instead of parking the caller. Clean.
+func (ws *walStore) enqueueShed(m wire.Msg) {
+	ws.mu.Lock()
+	select {
+	case ws.jobs <- m:
+	default:
+		ws.shed++
+	}
+	ws.mu.Unlock()
+}
+
+// enqueueBlocking parks on the bounded queue with the lock held: when
+// the committer stalls on an fsync, every producer convoys behind mu.
+func (ws *walStore) enqueueBlocking(m wire.Msg) {
+	ws.mu.Lock()
+	ws.jobs <- m // want `channel send while ws.mu is held`
+	ws.mu.Unlock()
+}
+
+// barrierUnderLock holds the lock across the whole committer
+// round-trip: the barrier job goes out and its ack is awaited inside
+// the region, so the fsync latency is serialized under mu.
+func (ws *walStore) barrierUnderLock(m wire.Msg) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.jobs <- m     // want `channel send while ws.mu is held`
+	return <-ws.done // want `channel receive while ws.mu is held`
+}

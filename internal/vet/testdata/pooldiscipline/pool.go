@@ -165,3 +165,45 @@ func supersedeUseAfter() int {
 	f.Release()
 	return f.Len() // want `use of frame "f" after its final Release`
 }
+
+// walJob mirrors the durable committer's queue element: a framed
+// record in a pooled buffer whose ownership travels with the job
+// (DESIGN.md §15).
+type walJob struct {
+	lane int32
+	buf  []byte
+}
+
+// walHandOff is the journal fast path: encode into a pooled buffer on
+// the caller's goroutine, wrap it in the job, send. The committer
+// releases it — ownership moved with the composite literal. Clean.
+func walHandOff(jobs chan walJob) {
+	buf := wire.GetBuf(64)
+	buf = append(buf, 1)
+	jobs <- walJob{lane: 0, buf: buf}
+}
+
+// walShedLeak is the degrade path gone wrong: when the queue is full
+// the record is dropped, but the buffer never goes back to the pool —
+// sustained overload starves the encoder.
+func walShedLeak(jobs chan walJob, full bool) {
+	buf := wire.GetBuf(64) // want `not returned with PutBuf on every path`
+	buf = append(buf, 1)
+	if full {
+		return
+	}
+	jobs <- walJob{lane: 0, buf: buf}
+}
+
+// walPayloadReuse frames a record from a scratch payload, returns the
+// scratch to the pool, then touches it again — the batch-retained
+// encode shape with the release hoisted one line too early.
+func walPayloadReuse(jobs chan walJob) int {
+	payload := wire.GetBuf(32)
+	payload = append(payload, 7)
+	buf := wire.GetBuf(64)
+	buf = append(buf, payload...)
+	wire.PutBuf(payload)
+	jobs <- walJob{lane: 1, buf: buf}
+	return len(payload) // want `use of pooled buffer "payload" after PutBuf`
+}

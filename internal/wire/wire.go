@@ -184,7 +184,12 @@ type Welcome struct {
 	// Zero means the server does not retain sessions (Config.ResumeWindow
 	// disabled) and reconnection must rejoin from scratch.
 	Token uint64
-	Init  []world.Write
+	// Boot is the server's recovery generation — how many times its
+	// durable store has been opened. The client remembers it; a CatchUp
+	// carrying a different Boot means the serial timeline restarted and
+	// retained completions from the old boot must not be re-sent.
+	Boot uint64
+	Init []world.Write
 }
 
 // Type returns TypeWelcome.
@@ -192,7 +197,7 @@ func (m *Welcome) Type() MsgType { return TypeWelcome }
 
 // WireSize returns the encoded size.
 func (m *Welcome) WireSize() int {
-	return 4 + 8 + writesSize(m.Init)
+	return 4 + 8 + 8 + writesSize(m.Init)
 }
 
 // Resume asks the server to revive the session identified by Token
@@ -225,6 +230,19 @@ func (m *Resume) WireSize() int { return 8 + 8 }
 type CatchUp struct {
 	OK       bool
 	Snapshot bool
+	// Boot is the server's recovery generation at the time of the
+	// verdict. When it differs from the Boot the client joined under,
+	// the server restarted between the sessions: serial positions above
+	// BootFloor were rolled back and re-issued, so everything the client
+	// holds for them — retained completions, committed-but-uninstalled
+	// own actions, stable versions — is fenced or rolled back.
+	Boot uint64
+	// BootFloor is the install point the current boot recovered at: the
+	// highest serial position that survived the most recent restart.
+	// InstalledUpTo cannot serve as the fence because the restarted
+	// server may have re-issued positions above the floor before this
+	// resume arrived. Zero on a never-restarted server.
+	BootFloor uint64
 	// InstalledUpTo is the server's install point at the snapshot cut (or
 	// at resume time for a suffix replay); the rebuilt stable store is
 	// seeded at this version.
@@ -250,7 +268,7 @@ func (m *CatchUp) Type() MsgType { return TypeCatchUp }
 
 // WireSize returns the encoded size.
 func (m *CatchUp) WireSize() int {
-	return 1 + 8 + 8 + 4 + 4 + 8*len(m.DroppedActs) + writesSize(m.Writes)
+	return 1 + 8 + 8 + 8 + 8 + 4 + 4 + 8*len(m.DroppedActs) + writesSize(m.Writes)
 }
 
 // writesSize is the encoded size of a writes section: count(4) +
@@ -483,6 +501,7 @@ func appendMsgCached(buf []byte, msg Msg, c *EncodeCache) []byte {
 	case *Welcome:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.You))
 		buf = binary.LittleEndian.AppendUint64(buf, m.Token)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Boot)
 		return appendWrites(buf, m.Init)
 	case *Resume:
 		buf = binary.LittleEndian.AppendUint64(buf, m.Token)
@@ -496,6 +515,8 @@ func appendMsgCached(buf []byte, msg Msg, c *EncodeCache) []byte {
 			flags |= 2
 		}
 		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Boot)
+		buf = binary.LittleEndian.AppendUint64(buf, m.BootFloor)
 		buf = binary.LittleEndian.AppendUint64(buf, m.InstalledUpTo)
 		buf = binary.LittleEndian.AppendUint64(buf, m.NextBatchSeq)
 		buf = binary.LittleEndian.AppendUint32(buf, m.LastActSeq)
@@ -624,14 +645,15 @@ func Decode(t MsgType, buf []byte) (Msg, error) {
 		m.Inner = inner.(*Batch)
 		return m, nil
 	case TypeWelcome:
-		if len(buf) < 12 {
+		if len(buf) < 20 {
 			return nil, fmt.Errorf("wire: welcome truncated")
 		}
 		m := &Welcome{
 			You:   action.ClientID(int32(binary.LittleEndian.Uint32(buf))),
 			Token: binary.LittleEndian.Uint64(buf[4:]),
+			Boot:  binary.LittleEndian.Uint64(buf[12:]),
 		}
-		ws, _, err := decodeWrites(buf[12:])
+		ws, _, err := decodeWrites(buf[20:])
 		if err != nil {
 			return nil, err
 		}
@@ -646,18 +668,20 @@ func Decode(t MsgType, buf []byte) (Msg, error) {
 			LastBatchSeq: binary.LittleEndian.Uint64(buf[8:]),
 		}, nil
 	case TypeCatchUp:
-		const hdr = 1 + 8 + 8 + 4 + 4
+		const hdr = 1 + 8 + 8 + 8 + 8 + 4 + 4
 		if len(buf) < hdr {
 			return nil, fmt.Errorf("wire: catch-up truncated")
 		}
 		m := &CatchUp{
 			OK:            buf[0]&1 != 0,
 			Snapshot:      buf[0]&2 != 0,
-			InstalledUpTo: binary.LittleEndian.Uint64(buf[1:]),
-			NextBatchSeq:  binary.LittleEndian.Uint64(buf[9:]),
-			LastActSeq:    binary.LittleEndian.Uint32(buf[17:]),
+			Boot:          binary.LittleEndian.Uint64(buf[1:]),
+			BootFloor:     binary.LittleEndian.Uint64(buf[9:]),
+			InstalledUpTo: binary.LittleEndian.Uint64(buf[17:]),
+			NextBatchSeq:  binary.LittleEndian.Uint64(buf[25:]),
+			LastActSeq:    binary.LittleEndian.Uint32(buf[33:]),
 		}
-		n := int(binary.LittleEndian.Uint32(buf[21:]))
+		n := int(binary.LittleEndian.Uint32(buf[37:]))
 		if len(buf) < hdr+8*n {
 			return nil, fmt.Errorf("wire: catch-up drop list truncated")
 		}

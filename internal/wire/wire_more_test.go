@@ -235,6 +235,8 @@ func TestCatchUpRoundTrip(t *testing.T) {
 	m := &CatchUp{
 		OK:            true,
 		Snapshot:      true,
+		Boot:          3,
+		BootFloor:     101,
 		InstalledUpTo: 123,
 		NextBatchSeq:  7,
 		LastActSeq:    19,
@@ -253,7 +255,7 @@ func TestCatchUpRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := got.(*CatchUp)
-	if !g.OK || !g.Snapshot || g.InstalledUpTo != 123 || g.NextBatchSeq != 7 || g.LastActSeq != 19 {
+	if !g.OK || !g.Snapshot || g.Boot != 3 || g.BootFloor != 101 || g.InstalledUpTo != 123 || g.NextBatchSeq != 7 || g.LastActSeq != 19 {
 		t.Fatalf("round trip header = %+v", g)
 	}
 	if len(g.DroppedActs) != 2 || g.DroppedActs[1] != (action.ID{Client: 3, Seq: 18}) {

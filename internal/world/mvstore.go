@@ -125,6 +125,28 @@ func (m *MVStore) PruneBelow(seq uint64) {
 	}
 }
 
+// TruncateAbove discards versions newer than seq, dropping objects
+// whose every version is above it. This is the client-side boot fence:
+// a restarted server re-issues serial positions above its recovery
+// floor, so versions the previous boot placed there describe actions
+// that no longer hold those positions.
+func (m *MVStore) TruncateAbove(seq uint64) {
+	for id, chain := range m.chains {
+		i := sort.Search(len(chain), func(i int) bool { return chain[i].seq > seq })
+		if i == len(chain) {
+			continue
+		}
+		if i == 0 {
+			delete(m.chains, id)
+			continue
+		}
+		for j := i; j < len(chain); j++ {
+			chain[j] = version{}
+		}
+		m.chains[id] = chain[:i]
+	}
+}
+
 // Versions reports the total number of stored versions, for memory
 // accounting in tests and the GC experiments.
 func (m *MVStore) Versions() int {

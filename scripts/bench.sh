@@ -6,13 +6,16 @@
 # pooled-encoding PR (BenchmarkEncodeBatch, BenchmarkPushFanOut,
 # BenchmarkClientReconcileDeepQueue), and the sharded-serializer round
 # benches (BenchmarkShardedSubmit, BenchmarkShardedTick), the
-# shardscale experiment sweep from the sharding PR, and the adversarial
+# shardscale experiment sweep from the sharding PR, the adversarial
 # delivery sweep from the superseding-queue PR (drop-at-cap vs
 # in-place supersession under flash-crowd, trading-storm, and
-# interest-churn stalls; see internal/experiments/adversarial.go).
+# interest-churn stalls; see internal/experiments/adversarial.go), and
+# the durablecommit sweep from the durability PR (engine submit-path
+# overhead of the attached journal per fsync policy; see
+# internal/experiments/durablecommit.go).
 #
 # Writes the raw `go test -bench` output and a JSON summary to
-# BENCH_PR7.json at the repo root. BenchmarkServerSubmit grows the
+# BENCH_PR9.json at the repo root. BenchmarkServerSubmit grows the
 # uncommitted queue monotonically (no completions), so it runs with a
 # pinned iteration count: letting benchtime ramp b.N would measure a
 # queue three orders of magnitude deeper than the seed baseline did.
@@ -24,11 +27,12 @@
 # the scalability projection.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR9.json}"
 raw="$(mktemp)"
 sweep="$(mktemp)"
 adv="$(mktemp)"
-trap 'rm -f "$raw" "$sweep" "$adv"' EXIT
+dur="$(mktemp)"
+trap 'rm -f "$raw" "$sweep" "$adv" "$dur"' EXIT
 
 go test -run '^$' -bench 'BenchmarkServerSubmit$' -benchmem -benchtime 10000x . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkClosureDeepQueue|BenchmarkTickManyClients' \
@@ -47,6 +51,11 @@ go run ./cmd/seve-bench -experiment shardscale -csv | tee "$sweep"
 # stall scenario; bytes_x on an "on" row is the stalled-cohort byte
 # reduction against its "off" twin.
 go run ./cmd/seve-bench -experiment adversarial -csv | tee "$adv"
+
+# The durablecommit sweep: engine submits/s with no journal vs the
+# journal attached under each fsync policy, best-of-3 per row; the
+# overhead column is relative to the journal=off baseline.
+go run ./cmd/seve-bench -experiment durablecommit -csv | tee "$dur"
 
 # Fold the benchmark lines into JSON: {"benchmarks": [{name, iterations,
 # ns_per_op, bytes_per_op, allocs_per_op}, ...], "shardscale":
@@ -85,6 +94,16 @@ BEGIN { printf "  \"adversarial\": ["; n = 0 }
     printf "\n    {\"workload\": \"%s\", \"superseding\": \"%s\", \"delivered_kb\": %s, \"stalled_kb\": %s, \"frames\": %s, \"avg_envs\": %s, \"enqueued\": %s, \"drops\": %s, \"drop_pct\": %s, \"superseded\": %s, \"coalesced\": %s, \"snapshots\": %s, \"max_stale\": %s, \"bytes_x\": %s}",
         $1, $2, $3, $4, $5, $6, $7, $8, $9, $10, $11, $12, $13, $14
 }
-END { print "\n  ]"; print "}" }
+END { print "\n  ],\n" }
 ' "$adv" >> "$out"
+awk -F, '
+BEGIN { printf "  \"durablecommit\": ["; n = 0 }
+/^(off|batch|interval|ckpt),/ {
+    pct = $3; sub(/%$/, "", pct)
+    if (n++) printf ","
+    printf "\n    {\"fsync\": \"%s\", \"submits_per_s\": %s, \"overhead_pct\": %s, \"group_commits\": %s, \"checkpoints\": %s, \"lag_at_end\": %s, \"drain_ms\": %s}",
+        $1, $2, pct, $4, $5, $6, $7
+}
+END { print "\n  ]"; print "}" }
+' "$dur" >> "$out"
 echo "wrote $out"
