@@ -600,7 +600,7 @@ func BenchmarkTickManyClients(b *testing.B) {
 
 				round := func() {
 					for _, c := range pending {
-						srv.HandleCompletion(c)
+						srv.HandleCompletion(c.By, c)
 					}
 					pending = pending[:0]
 					nowMs += 300

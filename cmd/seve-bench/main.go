@@ -15,6 +15,8 @@
 // (superseding delivery queue vs drop-at-cap under flash-crowd,
 // trading-storm, and interest-churn stalls), durablecommit (engine
 // submit-path overhead of the attached journal per fsync policy),
+// cheataudit (integrity enforcement overhead and cheat detection
+// latency per audit sample rate),
 // ablation-omega, ablation-threshold, ablation-gc (ablations = all
 // three), and all.
 package main
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|clientstats|protocols|zoning|hybrid|shardscale|adversarial|durablecommit|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
+		experiment = flag.String("experiment", "all", "artifact to regenerate: tablei|fig6|fig7|fig8|fig9|fig10|table2|limit|serverstats|clientstats|protocols|zoning|hybrid|shardscale|adversarial|durablecommit|cheataudit|ablations|ablation-omega|ablation-threshold|ablation-gc|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and move counts (seconds instead of minutes)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
@@ -64,6 +66,7 @@ func main() {
 		{"shardscale", experiments.Shardscale},
 		{"adversarial", experiments.Adversarial},
 		{"durablecommit", experiments.Durablecommit},
+		{"cheataudit", experiments.Cheataudit},
 		{"ablation-omega", experiments.AblationOmega},
 		{"ablation-threshold", experiments.AblationThreshold},
 		{"ablation-gc", experiments.AblationGC},

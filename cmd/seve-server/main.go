@@ -41,6 +41,8 @@ func main() {
 		degrade = flag.String("wal-degrade", "block", "behavior when the journal cannot keep up: block (backpressure, stop acknowledging on error) | shed (drop records, keep serving)")
 		shards  = flag.Int("shards", 0, "shard lanes for the sharded serializer (0 or 1 = single-lane engine)")
 		resume  = flag.Int("resume-window", 16, "committed batches retained per client for session resume (0 = disconnects are final)")
+		audit   = flag.Float64("audit", 0.05, "fraction of completions the integrity auditor re-executes against the authoritative state (0 = validator only, 1 = audit everything; DESIGN.md §16)")
+		maxRate = flag.Float64("max-submit-rate", 0, "per-client submissions/second cap (0 = unlimited)")
 		verbose = flag.Bool("v", false, "log client joins and drops")
 	)
 	flag.Parse()
@@ -60,6 +62,8 @@ func main() {
 	cfg.MaxSpeed = wcfg.Speed
 	cfg.DefaultRadius = wcfg.EffectRange
 	cfg.Threshold = 1.5 * wcfg.Visibility
+	cfg.AuditRate = *audit
+	cfg.MaxSubmitRate = *maxRate
 	switch *mode {
 	case "basic":
 		cfg.Mode = core.ModeBasic

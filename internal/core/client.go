@@ -94,6 +94,13 @@ type Client struct {
 	// rather than allowed to ack state the crash rolled back.
 	boot uint64
 
+	// Integrity verdict state (DESIGN.md §16). A wire.Quarantine latches
+	// the flag; the engine stops submitting and the transport layer
+	// treats the verdict as a permanent stop (no reconnect loop — the
+	// server refuses resumes from a quarantined ledger anyway).
+	quarantined bool
+	quarReason  uint8
+
 	// stats
 	reconciliations int
 	appliedRemote   int
@@ -795,11 +802,31 @@ func (c *Client) HandleMsg(msg wire.Msg) ClientOutput {
 		return c.HandleDrop(m)
 	case *wire.CatchUp:
 		return c.HandleCatchUp(m)
+	case *wire.Quarantine:
+		return c.HandleQuarantine(m)
 	default:
 		return ClientOutput{Violations: []string{
 			fmt.Sprintf("client %d: unexpected message type %d", c.id, msg.Type()),
 		}}
 	}
+}
+
+// HandleQuarantine records a server integrity verdict (DESIGN.md §16).
+// Not a protocol violation from the engine's point of view — the
+// message is well-formed server control flow — but the session is over:
+// the server silently ignores all further traffic from this ledger and
+// refuses its resumes, so the transport layer stops permanently instead
+// of reconnecting.
+func (c *Client) HandleQuarantine(m *wire.Quarantine) ClientOutput {
+	c.quarantined = true
+	c.quarReason = m.Reason
+	return ClientOutput{}
+}
+
+// Quarantined reports whether the server issued an integrity verdict
+// against this client, and the violation reason code it carried.
+func (c *Client) Quarantined() (reason uint8, ok bool) {
+	return c.quarReason, c.quarantined
 }
 
 // reconcile is Algorithm 3: ζCO(WS(Q)) ← ζCS(WS(Q)), then the queued

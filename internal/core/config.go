@@ -195,6 +195,40 @@ type Config struct {
 	// security threat", made concrete. Only meaningful together with
 	// FailureTolerant (otherwise each action has a single reporter).
 	CrossCheck bool
+
+	// DisableIntegrity turns off the server-side semantic integrity
+	// layer (internal/integrity, DESIGN.md §16): completion validation
+	// against the declared WS ⊆ RS contract and footprint, sampled
+	// re-execution audits, replay cross-checks, and the per-client
+	// influence bounds below. Exists for the integrity ablation and the
+	// differential equivalence tests (TestIntegrityEquivalence); leave
+	// false in real deployments — a million-user service cannot trust
+	// client completion messages.
+	DisableIntegrity bool
+
+	// AuditRate is the fraction of completions the integrity auditor
+	// re-executes against ζS at their serial point, in [0, 1]. Sampling
+	// is deterministic per client (seeded splitmix64), so the schedule
+	// replays identically through the effective log and across restarts.
+	// 0 disables audits; validation and bounds still apply.
+	AuditRate float64
+
+	// MaxSubmitRate caps each client's submissions per second through a
+	// token bucket over the engine's deterministic clock; rate-exceeding
+	// submissions are dropped with a violation counter. 0 = unlimited.
+	MaxSubmitRate float64
+
+	// SubmitBurst is the token-bucket depth for MaxSubmitRate; values
+	// below 1 are treated as 1.
+	SubmitBurst int
+
+	// MaxWriteSet caps the declared write-set size of a submitted
+	// action. 0 = unlimited.
+	MaxWriteSet int
+
+	// MaxInfluenceRadius caps the declared influence-sphere radius of a
+	// submitted spatial action. 0 = unlimited.
+	MaxInfluenceRadius float64
 }
 
 // DefaultConfig returns the Table I parameterization: full SEVE at
@@ -208,6 +242,7 @@ func DefaultConfig() Config {
 		MaxSpeed:      0.01,
 		Threshold:     45,
 		DefaultRadius: 10,
+		AuditRate:     0.05,
 	}
 }
 
@@ -247,6 +282,21 @@ func (c Config) Validate() error {
 	}
 	if c.ResumeWindow > 0 && c.Mode == ModeBasic {
 		return fmt.Errorf("core: session resume requires ModeIncomplete or above (no ζS to snapshot in mode %v)", c.Mode)
+	}
+	if c.AuditRate < 0 || c.AuditRate > 1 {
+		return fmt.Errorf("core: audit rate must be in [0,1], got %v", c.AuditRate)
+	}
+	if c.MaxSubmitRate < 0 {
+		return fmt.Errorf("core: max submit rate must be non-negative, got %v", c.MaxSubmitRate)
+	}
+	if c.SubmitBurst < 0 {
+		return fmt.Errorf("core: submit burst must be non-negative, got %d", c.SubmitBurst)
+	}
+	if c.MaxWriteSet < 0 {
+		return fmt.Errorf("core: max write set must be non-negative, got %d", c.MaxWriteSet)
+	}
+	if c.MaxInfluenceRadius < 0 {
+		return fmt.Errorf("core: max influence radius must be non-negative, got %v", c.MaxInfluenceRadius)
 	}
 	return nil
 }

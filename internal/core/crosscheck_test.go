@@ -50,13 +50,13 @@ func TestCrossCheckFlagsLiar(t *testing.T) {
 	out := srv.HandleSubmit(1, m, 0)
 	co := c1.HandleMsg(out.Replies[0].Msg)
 	honest := co.ToServer[0].(*wire.Completion)
-	srv.HandleCompletion(honest)
+	srv.HandleCompletion(1, honest)
 
 	// Client 2 "reports" the same action with an inflated value — a
 	// classic dupe/speed-hack signature.
 	forged := &wire.Completion{Seq: honest.Seq, By: 2, Res: action.Result{OK: true,
 		Writes: []world.Write{{ID: 1, Val: world.Value{1_000_000}}}}}
-	srv.HandleCompletion(forged)
+	srv.HandleCompletion(2, forged)
 
 	suspects := srv.Suspects()
 	if suspects[2] != 1 {
@@ -98,14 +98,14 @@ func TestCrossCheckPendingDisagreement(t *testing.T) {
 	co2 := c2.HandleMsg(out2.Replies[0].Msg)
 
 	// Honest report for seq 2 first…
-	srv.HandleCompletion(co2.ToServer[0].(*wire.Completion))
+	srv.HandleCompletion(2, co2.ToServer[0].(*wire.Completion))
 	// …then a forged duplicate while it is still pending.
-	srv.HandleCompletion(&wire.Completion{Seq: 2, By: 1, Res: action.Result{OK: false}})
+	srv.HandleCompletion(1, &wire.Completion{Seq: 2, By: 1, Res: action.Result{OK: false}})
 	if srv.Suspects()[1] != 1 {
 		t.Fatalf("pending-window liar not flagged: %v", srv.Suspects())
 	}
 	// Now complete seq 1; everything installs with honest values.
-	srv.HandleCompletion(co1.ToServer[0].(*wire.Completion))
+	srv.HandleCompletion(1, co1.ToServer[0].(*wire.Completion))
 	if srv.Installed() != 2 {
 		t.Fatalf("installed = %d", srv.Installed())
 	}
@@ -124,8 +124,8 @@ func TestCrossCheckDisabledByDefault(t *testing.T) {
 	m, _ := c1.Submit(a)
 	out := srv.HandleSubmit(1, m, 0)
 	co := c1.HandleMsg(out.Replies[0].Msg)
-	srv.HandleCompletion(co.ToServer[0].(*wire.Completion))
-	srv.HandleCompletion(&wire.Completion{Seq: 1, By: 2, Res: action.Result{OK: false}})
+	srv.HandleCompletion(1, co.ToServer[0].(*wire.Completion))
+	srv.HandleCompletion(2, &wire.Completion{Seq: 1, By: 2, Res: action.Result{OK: false}})
 	if len(srv.Suspects()) != 0 {
 		t.Fatalf("suspects without CrossCheck: %v", srv.Suspects())
 	}

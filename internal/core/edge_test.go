@@ -125,7 +125,7 @@ func (lb *loopback) submit2(cid action.ClientID, a action.Action, setID func(act
 func TestBasicModeIgnoresCompletions(t *testing.T) {
 	srv := NewServer(cfgFor(ModeBasic), initWorld(1))
 	srv.RegisterClient(1, 0)
-	out := srv.HandleCompletion(&wire.Completion{Seq: 1, By: 1, Res: action.Result{OK: true}})
+	out := srv.HandleCompletion(1, &wire.Completion{Seq: 1, By: 1, Res: action.Result{OK: true}})
 	if len(out.Replies) != 0 {
 		t.Fatal("basic-mode completion produced replies")
 	}
@@ -144,7 +144,7 @@ func TestCompletionBelowInstalledIgnored(t *testing.T) {
 		t.Fatalf("installed = %d", lb.srv.Installed())
 	}
 	digest := lb.srv.Authoritative().Digest()
-	lb.srv.HandleCompletion(&wire.Completion{Seq: 1, By: 1, Res: action.Result{OK: true,
+	lb.srv.HandleCompletion(1, &wire.Completion{Seq: 1, By: 1, Res: action.Result{OK: true,
 		Writes: []world.Write{{ID: 1, Val: world.Value{999}}}}})
 	if lb.srv.Authoritative().Digest() != digest {
 		t.Fatal("stale completion mutated ζS")

@@ -55,7 +55,7 @@ func TestFailureToleranceInstallsFromSurvivor(t *testing.T) {
 	for _, m := range co.ToServer {
 		if comp, ok := m.(*wire.Completion); ok {
 			seqs = append(seqs, comp.Seq)
-			srv.HandleCompletion(comp)
+			srv.HandleCompletion(2, comp)
 		}
 	}
 	if len(seqs) != 2 {

@@ -50,6 +50,25 @@ type Journal interface {
 	BatchRetained(id action.ClientID, b *wire.Batch)
 }
 
+// QuarantineJournal is optionally implemented by journals that persist
+// integrity quarantine verdicts (DESIGN.md §16). It is a separate
+// interface so existing Journal implementations keep compiling; the
+// engine type-asserts at verdict time. Called on the engine's
+// sequential entry points.
+type QuarantineJournal interface {
+	// ClientQuarantined records a verdict: the client, the
+	// integrity.Violation reason code, and the serial position of the
+	// offending completion (zero when not position-tied).
+	ClientQuarantined(id action.ClientID, reason uint8, seq uint64)
+}
+
+// QuarantineRecord is one recovered quarantine verdict.
+type QuarantineRecord struct {
+	ID     action.ClientID
+	Reason uint8
+	Seq    uint64
+}
+
 // SessionRecord is one recovered session: everything Restore needs to
 // let the client behind Token resume against the restarted server.
 type SessionRecord struct {
@@ -93,6 +112,10 @@ type RestoreState struct {
 	// SessionSeq is the recovered token-mint counter.
 	SessionSeq uint64
 	Sessions   []SessionRecord
+	// Quarantined is the recovered quarantine set: verdicts journaled
+	// before the crash stay latched, so a cheater cannot launder its
+	// ledger through a server restart.
+	Quarantined []QuarantineRecord
 }
 
 // Restorer is implemented by engines that can resume from a durable
@@ -130,6 +153,9 @@ func (s *Server) Restore(rec RestoreState) {
 		}
 		s.sessions[sr.ID] = sess
 		s.tokenOwner[sr.Token] = sr.ID
+	}
+	for _, qr := range rec.Quarantined {
+		s.ledgerOf(qr.ID).Quarantined = true
 	}
 }
 

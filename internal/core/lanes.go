@@ -2,6 +2,7 @@ package core
 
 import (
 	"seve/internal/action"
+	"seve/internal/integrity"
 	"seve/internal/wire"
 )
 
@@ -100,6 +101,16 @@ func (s *Server) StampLane(lane int, ps []*Pending) {
 			sess.lastActSeq = e.env.Act.ID().Seq
 		}
 
+		// Influence bounds stage their verdict for SealStamp, mirroring
+		// StampPrepared's order (after dup detection, before position
+		// notes and validity). boundsCheck touches only the pending's
+		// own ledger, and the client is lane-pinned for the epoch, so
+		// the bucket spend is lane-affine like sess above.
+		if v := s.boundsCheck(p); v != integrity.OK {
+			p.bound = v
+			continue
+		}
+
 		s.noteClientPosition(p.from, e, p.nowMs)
 
 		if s.cfg.Mode >= ModeInfoBound {
@@ -135,6 +146,10 @@ func (s *Server) SealStamp(p *Pending, out *ServerOutput) bool {
 	s.totalSubmitted++
 	if p.dup {
 		s.duplicateSubmits++
+		return false
+	}
+	if p.bound != integrity.OK {
+		s.sealBound(p, p.bound, out)
 		return false
 	}
 	if p.hasStamped {

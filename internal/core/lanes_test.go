@@ -94,7 +94,7 @@ func (ps *pipeSide) installBuffered(t *testing.T) {
 		if !ok {
 			t.Fatalf("client sent %T mid-epoch; pipeline test expects completions only", fm.msg)
 		}
-		ps.srv.TakeCompletion(m)
+		ps.srv.TakeCompletion(fm.from, m)
 	}
 	ps.comps = ps.comps[:0]
 	ps.srv.InstallContiguous(parExec)
@@ -264,7 +264,7 @@ func TestLanePipelineMatchesSequential(t *testing.T) {
 					round(r, func(s *pipeSide) []pipeSub {
 						return []pipeSub{
 							s.submit(1, spatialAt(&testAction{
-								rs: world.NewIDSet(2), ws: world.NewIDSet(1, 2), delta: 1,
+								rs: world.NewIDSet(1, 2), ws: world.NewIDSet(1, 2), delta: 1,
 							}, 0, 0, 1), 0),
 							s.submit(3, spatialAt(&testAction{
 								rs: world.NewIDSet(2, 3), ws: world.NewIDSet(3), delta: 2,
@@ -285,13 +285,13 @@ func TestLanePipelineMatchesSequential(t *testing.T) {
 						}
 						return []pipeSub{
 							s.submit(1, spatialAt(&testAction{
-								rs: world.NewIDSet(2), ws: aws, delta: float64(1 + r),
+								rs: world.NewIDSet(1, 2), ws: aws, delta: float64(1 + r),
 							}, float64(r), 0, 1), 0),
 							s.submit(3, spatialAt(&testAction{
 								rs: world.NewIDSet(2, 3), ws: world.NewIDSet(2), delta: float64(2 + r),
 							}, 5, 0, 1), 0),
 							s.submit(2, spatialAt(&testAction{
-								rs: world.NewIDSet(5), ws: world.NewIDSet(5, 6), delta: float64(3 + r),
+								rs: world.NewIDSet(5, 6), ws: world.NewIDSet(5, 6), delta: float64(3 + r),
 							}, 500, 500, 1), 1),
 							s.submit(4, spatialAt(&testAction{
 								rs: world.NewIDSet(6, 7), ws: world.NewIDSet(7), delta: float64(4 + r),

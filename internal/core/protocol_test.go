@@ -293,7 +293,7 @@ func TestCompletionOutOfOrderInstall(t *testing.T) {
 	co2 := c2.HandleMsg(out2.Replies[0].Msg)
 
 	// Deliver completion for seq 2 FIRST: server must hold it.
-	srv.HandleCompletion(co2.ToServer[0].(*wire.Completion))
+	srv.HandleCompletion(2, co2.ToServer[0].(*wire.Completion))
 	if srv.Installed() != 0 {
 		t.Fatalf("installed = %d before predecessor, want 0", srv.Installed())
 	}
@@ -301,7 +301,7 @@ func TestCompletionOutOfOrderInstall(t *testing.T) {
 		t.Fatalf("queue len = %d, want 2", srv.QueueLen())
 	}
 	// Now seq 1: both install.
-	srv.HandleCompletion(co1.ToServer[0].(*wire.Completion))
+	srv.HandleCompletion(1, co1.ToServer[0].(*wire.Completion))
 	if srv.Installed() != 2 {
 		t.Fatalf("installed = %d, want 2", srv.Installed())
 	}
@@ -332,11 +332,11 @@ func TestDuplicateCompletionIgnored(t *testing.T) {
 	out := srv.HandleSubmit(1, m, 0)
 	co := c1.HandleMsg(out.Replies[0].Msg)
 	comp := co.ToServer[0].(*wire.Completion)
-	srv.HandleCompletion(comp)
+	srv.HandleCompletion(1, comp)
 	// A duplicate with a DIFFERENT (bogus) result must be ignored.
 	bogus := &wire.Completion{Seq: comp.Seq, By: 9, Res: action.Result{OK: true,
 		Writes: []world.Write{{ID: 1, Val: world.Value{999}}}}}
-	srv.HandleCompletion(bogus)
+	srv.HandleCompletion(9, bogus)
 	v, _ := srv.Authoritative().Get(1)
 	if v[0] != 6 {
 		t.Fatalf("ζS obj 1 = %v, want 6 (duplicate completion must not reinstall)", v)

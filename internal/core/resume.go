@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"seve/internal/action"
+	"seve/internal/integrity"
 	"seve/internal/wire"
 	"seve/internal/world"
 )
@@ -181,6 +182,20 @@ func (s *Server) HandleResume(m *wire.Resume, nowMs float64) (action.ClientID, S
 		out.Replies = append(out.Replies, Reply{
 			To: 0, Msg: &wire.CatchUp{},
 			// Resume verdicts are session control flow: never shed.
+			Deliver: Delivery{Class: DeliveryOrdered},
+		})
+		return 0, out
+	}
+
+	// A quarantined ledger outlives the session (and a crash-restart, via
+	// the journal): the resume is refused with a fresh verdict so the
+	// reconnecting client learns why, and the transport drops the
+	// connection like any other rejection (DESIGN.md §16).
+	if s.Quarantined(cid) {
+		s.resumesRejected++
+		s.quarantineRejected++
+		out.Replies = append(out.Replies, Reply{
+			To: 0, Msg: &wire.Quarantine{Reason: uint8(integrity.ViolationQuarantined)},
 			Deliver: Delivery{Class: DeliveryOrdered},
 		})
 		return 0, out

@@ -6,6 +6,7 @@ import (
 
 	"seve/internal/action"
 	"seve/internal/geom"
+	"seve/internal/integrity"
 	"seve/internal/metrics"
 	"seve/internal/wire"
 	"seve/internal/world"
@@ -147,6 +148,34 @@ type Server struct {
 	snapshotFallbacks int
 	staleCompletions  int
 	resumesRecovered  int
+
+	// Integrity state (DESIGN.md §16, unless Config.DisableIntegrity):
+	// per-client ledgers (audit seed, submit bucket, quarantine latch),
+	// the reporter behind each held completion (audit attribution),
+	// positions forced to audit because their reported completion failed
+	// validation, and the staged quarantine verdicts DrainQuarantines
+	// emits in effective-log order.
+	ledgers     map[action.ClientID]*integrity.Ledger
+	pendingFrom map[uint64]action.ClientID
+	forceAudit  map[uint64]bool
+	quarOut     []Reply
+	// selfComplete marks stamped positions abandoned by a quarantined
+	// origin: no honest completion will ever arrive (the client's
+	// reports are rejected), so the server evaluates the action itself
+	// at install time — one cheater's leftovers cannot wedge the queue.
+	selfComplete map[uint64]bool
+
+	forgedCompletions  int
+	orphanCompletions  int
+	contractBreaches   int
+	auditsRun          int
+	auditDivergences   int
+	repairedResults    int
+	quarantinedClients int
+	quarantineRejected int
+	rateLimited        int
+	writeSetViolations int
+	radiusViolations   int
 }
 
 // crossCheckWindow is how many installed results the server retains for
@@ -259,6 +288,10 @@ func NewServer(cfg Config, init *world.State) *Server {
 		orphanSlots:     make(map[action.ClientID]int),
 		sessions:        make(map[action.ClientID]*session),
 		tokenOwner:      make(map[uint64]action.ClientID),
+		ledgers:         make(map[action.ClientID]*integrity.Ledger),
+		pendingFrom:     make(map[uint64]action.ClientID),
+		forceAudit:      make(map[uint64]bool),
+		selfComplete:    make(map[uint64]bool),
 	}
 }
 
@@ -372,7 +405,7 @@ func (s *Server) HandleMsg(from action.ClientID, msg wire.Msg, nowMs float64) Se
 	case *wire.Submit:
 		return s.HandleSubmit(from, m, nowMs)
 	case *wire.Completion:
-		return s.HandleCompletion(m)
+		return s.HandleCompletion(from, m)
 	case *wire.Resume:
 		// A resume identifies its client by token, not by the connection,
 		// so `from` is ignored. Routed here (not only through the Resumer
@@ -427,6 +460,14 @@ type Pending struct {
 	lane  int
 	sess  *session
 	nowMs float64
+	// led is the submitter's integrity ledger, resolved at prepare time
+	// on the engine goroutine (the p.sess idiom) so lane workers touch
+	// only this pending's pointer; nil when integrity is disabled.
+	led *integrity.Ledger
+
+	// bound stages an influence-bound violation found by StampLane for
+	// SealStamp to count and answer in merge order.
+	bound integrity.Violation
 
 	// Parallel-stamp staging (StampLane): the lane-local outcome, with
 	// shared-counter deltas deferred to SealStamp.
@@ -474,10 +515,15 @@ func (s *Server) PrepareSubmit(from action.ClientID, m *wire.Submit, nowMs float
 	if s.cfg.Mode >= ModeIncomplete {
 		s.internEntry(e)
 	}
+	var led *integrity.Ledger
+	if !s.cfg.DisableIntegrity {
+		led = s.ledgerOf(from)
+	}
 	return &Pending{
 		e: e, from: from, slot: s.slotOf(from),
 		viewLane: -1, lane: -1,
 		sess: s.sessions[from], nowMs: nowMs,
+		led: led,
 	}
 }
 
@@ -547,6 +593,11 @@ func (s *Server) StampPrepared(p *Pending, out *ServerOutput) bool {
 		sess.lastActSeq = e.env.Act.ID().Seq
 	}
 
+	if v := s.boundsCheck(p); v != integrity.OK {
+		s.sealBound(p, v, out)
+		return false
+	}
+
 	s.noteClientPosition(p.from, e, p.nowMs)
 
 	if s.cfg.Mode >= ModeInfoBound {
@@ -577,6 +628,67 @@ func (s *Server) StampPrepared(p *Pending, out *ServerOutput) bool {
 	p.pos = len(s.queue) - 1
 	p.viewLane = -1
 	return true
+}
+
+// boundsCheck enforces the per-client influence bounds (DESIGN.md §16c)
+// on a prepared submission: quarantine latch, token-bucket submit rate,
+// write-set size cap, influence-radius cap. It reads only the pending's
+// own ledger pointer and entry, so lane workers may run it concurrently
+// for distinct pendings; shared counters and replies are deferred to
+// sealBound in merge order. The bucket spends on the deterministic
+// engine clock carried by the pending, so verdicts replay identically
+// through the effective log.
+//
+//seve:lane-affine
+func (s *Server) boundsCheck(p *Pending) integrity.Violation {
+	led := p.led
+	if led == nil {
+		return integrity.OK // integrity disabled
+	}
+	if led.Quarantined {
+		return integrity.ViolationQuarantined
+	}
+	if s.cfg.MaxSubmitRate > 0 && !led.Bucket.Allow(p.nowMs, s.cfg.MaxSubmitRate, s.cfg.SubmitBurst) {
+		return integrity.ViolationRate
+	}
+	if s.cfg.MaxWriteSet > 0 && p.e.env.Act.WriteSet().Len() > s.cfg.MaxWriteSet {
+		return integrity.ViolationWriteSet
+	}
+	if s.cfg.MaxInfluenceRadius > 0 && p.e.hasPos && p.e.radius > s.cfg.MaxInfluenceRadius {
+		return integrity.ViolationRadius
+	}
+	return integrity.OK
+}
+
+// sealBound applies the shared-state side of an influence-bound
+// rejection: the violation counter and, except for already-quarantined
+// clients (whose verdict said everything), a Drop reply so the origin
+// aborts the action locally instead of waiting forever. The session's
+// drop ring records it like an Information Bound drop, so a resume
+// catch-up reports it even if the Drop frame is lost.
+//
+//seve:lane-seal
+func (s *Server) sealBound(p *Pending, v integrity.Violation, out *ServerOutput) {
+	switch v {
+	case integrity.ViolationQuarantined:
+		s.quarantineRejected++
+		return
+	case integrity.ViolationRate:
+		s.rateLimited++
+	case integrity.ViolationWriteSet:
+		s.writeSetViolations++
+	case integrity.ViolationRadius:
+		s.radiusViolations++
+	}
+	if p.sess != nil {
+		p.sess.recordDrop(p.e.env.Act.ID())
+	}
+	out.Dropped = true
+	out.Replies = append(out.Replies, Reply{
+		To:      p.from,
+		Msg:     &wire.Drop{ActID: p.e.env.Act.ID()},
+		Deliver: Delivery{Class: DeliveryCovered},
+	})
 }
 
 // recordDropOf applies the shared-state side of an Information Bound
@@ -737,29 +849,44 @@ func (s *Server) replyBasic(from action.ClientID, out *ServerOutput) {
 
 // HandleCompletion processes Algorithm 5 step 5: the completion for a_i
 // is held until ζS(i−1) is available, then its values are installed into
-// ζS and a_i is discarded from the action queue.
-func (s *Server) HandleCompletion(m *wire.Completion) ServerOutput {
+// ζS and a_i is discarded from the action queue. from identifies the
+// connection the completion arrived on — the integrity layer attributes
+// forgeries and audit divergences to the sender, never to the claimed
+// m.By (trust the connection, not the payload).
+func (s *Server) HandleCompletion(from action.ClientID, m *wire.Completion) ServerOutput {
 	if s.cfg.Mode == ModeBasic {
 		return ServerOutput{} // no authoritative state to maintain
 	}
-	s.TakeCompletion(m)
+	s.TakeCompletion(from, m)
 	s.InstallContiguous(nil)
-	return ServerOutput{}
+	var out ServerOutput
+	s.DrainQuarantines(&out)
+	return out
 }
 
 // TakeCompletion records a completion result without installing
 // anything: duplicate auditing plus the pendingRes hold ("the server
 // holds it until ζS(i−1) is available"). The shard router buffers
 // completions through this and runs one InstallContiguous cascade per
-// epoch flush.
-func (s *Server) TakeCompletion(m *wire.Completion) {
+// epoch flush. With integrity enabled the report is validated first:
+// the action's declared sets must honor WS ⊆ RS, and every reported
+// write must fall inside the declared write set (DESIGN.md §16a). A
+// report that fails validation quarantines the sender and forces a
+// repairing audit at install time, so the queue never wedges on a
+// position whose only report was forged.
+func (s *Server) TakeCompletion(from action.ClientID, m *wire.Completion) {
 	if s.cfg.Mode == ModeBasic {
+		return
+	}
+	integ := !s.cfg.DisableIntegrity
+	if integ && s.ledgerOf(from).Quarantined {
+		s.quarantineRejected++
 		return
 	}
 	if m.Seq <= s.installed {
 		// Duplicate of an installed action (failure-tolerant
-		// redundancy); still audit it if cross-checking.
-		s.crossCheck(m)
+		// redundancy); still audit it against the retained result.
+		s.crossCheck(from, m)
 		return
 	}
 	if m.Seq > s.nextSeq {
@@ -772,13 +899,69 @@ func (s *Server) TakeCompletion(m *wire.Completion) {
 		return
 	}
 	if accepted, dup := s.pendingRes[m.Seq]; dup {
+		if s.selfComplete[m.Seq] {
+			// A real report arrived for a position the server had written
+			// off as abandoned (failure-tolerant redundancy beat the
+			// self-completion). Adopt it if it validates; the placeholder
+			// carries no information to compare against.
+			if integ {
+				e := s.queue[m.Seq-s.installed-1]
+				if _, ok := integrity.CheckFootprint(m.Res, e.env.Act.WriteSet()); !ok {
+					s.forgedCompletions++
+					s.quarantine(from, integrity.ViolationFootprint, m.Seq, 0)
+					return
+				}
+			}
+			delete(s.selfComplete, m.Seq)
+			s.pendingRes[m.Seq] = m.Res.Clone()
+			if integ {
+				s.pendingFrom[m.Seq] = from
+			}
+			s.completionsTaken++
+			return
+		}
 		if s.cfg.CrossCheck && !m.Res.Equal(accepted) {
 			s.suspects[m.By]++
 		}
-	} else {
-		s.pendingRes[m.Seq] = m.Res.Clone()
-		s.completionsTaken++
+		return
 	}
+	if integ {
+		e := s.queue[m.Seq-s.installed-1]
+		// Blind writes are server-minted (WS with no RS by design);
+		// client-originated actions must honor the declared contract.
+		if e.env.Origin != action.OriginServer && !integrity.CheckContract(e.env.Act) {
+			s.contractBreaches++
+			s.quarantine(from, integrity.ViolationContract, m.Seq, 0)
+			s.holdForRepair(from, m)
+			return
+		}
+		if id, ok := integrity.CheckFootprint(m.Res, e.env.Act.WriteSet()); !ok {
+			s.forgedCompletions++
+			s.quarantine(from, integrity.ViolationFootprint, m.Seq, uint64(id))
+			s.holdForRepair(from, m)
+			return
+		}
+	}
+	s.pendingRes[m.Seq] = m.Res.Clone()
+	if integ {
+		s.pendingFrom[m.Seq] = from
+	}
+	s.completionsTaken++
+}
+
+// holdForRepair accepts a completion that failed validation into the
+// hold, flagged for a mandatory install-time audit. The forged report
+// never reaches ζS — the audit re-executes the action and installs the
+// server's own result — but the position stays installable, so one
+// cheater cannot wedge the queue for everyone.
+func (s *Server) holdForRepair(from action.ClientID, m *wire.Completion) {
+	// The verdict's abandoned-position walk may have just marked this
+	// very position; the held report supersedes the self-completion.
+	delete(s.selfComplete, m.Seq)
+	s.pendingRes[m.Seq] = m.Res.Clone()
+	s.pendingFrom[m.Seq] = from
+	s.forceAudit[m.Seq] = true
+	s.completionsTaken++
 }
 
 // InstallContiguous installs the contiguous prefix of the queue whose
@@ -794,6 +977,15 @@ func (s *Server) TakeCompletion(m *wire.Completion) {
 //
 //seve:lane-seal
 func (s *Server) InstallContiguous(exec func(tasks []func())) {
+	// An audit inside a pass may quarantine an origin and self-complete
+	// its abandoned positions at the queue head, unblocking a further
+	// contiguous run — keep passing until nothing more installs.
+	for s.installContiguousPass(exec) {
+	}
+}
+
+//seve:lane-seal
+func (s *Server) installContiguousPass(exec func(tasks []func())) bool {
 	n := 0
 	for n < len(s.queue) {
 		if _, ok := s.pendingRes[s.queue[n].env.Seq]; !ok {
@@ -802,34 +994,35 @@ func (s *Server) InstallContiguous(exec func(tasks []func())) {
 		n++
 	}
 	if n == 0 {
-		return
-	}
-	batch := s.queue[:n]
-
-	s.applyWrites(batch, exec)
-
-	// One install pass = one journal group: the grouped record carries
-	// the whole contiguous prefix in serial order, so durability
-	// preserves exactly the seal boundaries the pipeline commits at.
-	if s.journal != nil {
-		s.emitCommitGroup(batch)
+		return false
 	}
 
-	for _, e := range batch {
-		seq := e.env.Seq
-		res := s.pendingRes[seq]
-		s.installed = seq
-		delete(s.pendingRes, seq)
-		if s.cfg.CrossCheck {
-			s.recentResults[seq] = res
-			if old := int64(seq) - crossCheckWindow; old > 0 {
-				delete(s.recentResults, uint64(old))
+	// With integrity enabled the prefix installs in segments around the
+	// audit barriers: at each audited position ζS is exactly the serial
+	// state at seq−1, so the auditor re-executes the action against it
+	// and compares with the reported result (DESIGN.md §16b). With
+	// integrity off (or nothing sampled) this is one segment — the
+	// historical single pass, byte for byte.
+	off := 0
+	for off < n {
+		k := n
+		if !s.cfg.DisableIntegrity {
+			for i := off; i < n; i++ {
+				if s.auditDue(s.queue[i].env.Seq) {
+					k = i
+					break
+				}
 			}
 		}
-		s.pruneWriters(e)
-		s.laneInstall(e)
+		if k == off {
+			s.auditEntry(s.queue[off])
+			k = off + 1
+		}
+		s.installSegment(s.queue[off:k], exec)
+		off = k
 	}
-	for i := range batch {
+
+	for i := 0; i < n; i++ {
 		s.queue[i] = nil
 	}
 	s.queue = s.queue[n:]
@@ -846,6 +1039,99 @@ func (s *Server) InstallContiguous(exec func(tasks []func())) {
 		s.queuePopped = 0
 		s.queueCompactions++
 	}
+	return true
+}
+
+// installSegment installs one contiguous run of the queue prefix: write
+// application into ζS, the journal group, then the in-order per-action
+// bookkeeping. Segment boundaries exist only at audit barriers, so with
+// auditing quiet this is the whole prefix in one group.
+//
+//seve:lane-seal
+func (s *Server) installSegment(batch []*entry, exec func(tasks []func())) {
+	if len(batch) == 0 {
+		return
+	}
+	s.applyWrites(batch, exec)
+
+	// One install segment = one journal group: the grouped record
+	// carries the run in serial order, so durability preserves exactly
+	// the seal boundaries the pipeline commits at.
+	if s.journal != nil {
+		s.emitCommitGroup(batch)
+	}
+
+	for _, e := range batch {
+		seq := e.env.Seq
+		res := s.pendingRes[seq]
+		s.installed = seq
+		delete(s.pendingRes, seq)
+		delete(s.pendingFrom, seq)
+		if len(s.forceAudit) > 0 {
+			delete(s.forceAudit, seq)
+		}
+		if s.cfg.CrossCheck || !s.cfg.DisableIntegrity {
+			s.recentResults[seq] = res
+			if old := int64(seq) - crossCheckWindow; old > 0 {
+				delete(s.recentResults, uint64(old))
+			}
+		}
+		s.pruneWriters(e)
+		s.laneInstall(e)
+	}
+}
+
+// auditDue reports whether the completion at seq is audited before
+// installing: either flagged for mandatory repair by the validator, or
+// picked by the reporter's deterministic sampling stream.
+func (s *Server) auditDue(seq uint64) bool {
+	if len(s.forceAudit) > 0 && s.forceAudit[seq] {
+		return true
+	}
+	if len(s.selfComplete) > 0 && s.selfComplete[seq] {
+		return true
+	}
+	if s.cfg.AuditRate <= 0 {
+		return false
+	}
+	from, ok := s.pendingFrom[seq]
+	if !ok {
+		return false
+	}
+	return s.ledgerOf(from).ShouldAudit(seq, s.cfg.AuditRate)
+}
+
+// auditEntry re-executes e against ζS — which at this point is exactly
+// the serial state at e.Seq−1 — and compares with the reported result.
+// Theorem 1 guarantees an honest report matches (the client evaluated
+// against the same serial prefix), so a divergence is tampering: the
+// reporter is quarantined and the server's own result replaces the
+// forged one before installation, keeping ζS equal to the serial-replay
+// oracle.
+//
+//seve:lane-seal
+func (s *Server) auditEntry(e *entry) {
+	seq := e.env.Seq
+	if s.selfComplete[seq] {
+		// Abandoned by a quarantined origin: there is no report to
+		// compare, the evaluation at ζS (exactly the serial state at
+		// seq−1) IS the result.
+		s.pendingRes[seq] = action.Eval(e.env.Act, world.StateView{S: s.zs})
+		delete(s.selfComplete, seq)
+		s.orphanCompletions++
+		return
+	}
+	s.auditsRun++
+	got, ok := integrity.Audit(e.env.Act, world.StateView{S: s.zs}, s.pendingRes[seq])
+	if ok {
+		return
+	}
+	s.auditDivergences++
+	if from, fok := s.pendingFrom[seq]; fok {
+		s.quarantine(from, integrity.ViolationAudit, seq, 0)
+	}
+	s.pendingRes[seq] = got
+	s.repairedResults++
 }
 
 // applyWrites installs the accepted writes of an install batch into ζS.
@@ -900,9 +1186,13 @@ func (s *Server) applyWrites(batch []*entry, exec func(tasks []func())) {
 const queueCompactMin = 256
 
 // crossCheck audits a late completion against the retained accepted
-// result.
-func (s *Server) crossCheck(m *wire.Completion) {
-	if !s.cfg.CrossCheck {
+// result. Honest late reports — failure-tolerant redundancy, resume
+// re-sends of retained completions — match the installed result by
+// Theorem 1, so with integrity enabled a mismatch is a replayed forged
+// completion and quarantines the sender.
+func (s *Server) crossCheck(from action.ClientID, m *wire.Completion) {
+	integ := !s.cfg.DisableIntegrity
+	if !s.cfg.CrossCheck && !integ {
 		return
 	}
 	accepted, ok := s.recentResults[m.Seq]
@@ -910,8 +1200,84 @@ func (s *Server) crossCheck(m *wire.Completion) {
 		return // outside the audit window
 	}
 	if !m.Res.Equal(accepted) {
-		s.suspects[m.By]++
+		if s.cfg.CrossCheck {
+			s.suspects[m.By]++
+		}
+		if integ {
+			s.quarantine(from, integrity.ViolationReplay, m.Seq, 0)
+		}
 	}
+}
+
+// ledgerOf returns (minting on demand) the client's integrity ledger.
+// The audit seed derives from the client id alone, so the sampling
+// stream is identical across resume, effective-log replay, and
+// crash-restart. Ledgers survive unregister, like orphanSlots: a
+// quarantined client cannot clear its verdict by reconnecting.
+func (s *Server) ledgerOf(id action.ClientID) *integrity.Ledger {
+	if l, ok := s.ledgers[id]; ok {
+		return l
+	}
+	l := integrity.NewLedger(integrity.Mix(uint64(uint32(id))))
+	s.ledgers[id] = l
+	return l
+}
+
+// Quarantined reports whether the client is under an integrity
+// quarantine.
+func (s *Server) Quarantined(id action.ClientID) bool {
+	l, ok := s.ledgers[id]
+	return ok && l.Quarantined
+}
+
+// quarantine latches the verdict for the client behind a connection,
+// stages the wire verdict for DrainQuarantines, and journals it so the
+// quarantine survives crash-restart. Idempotent: only the first
+// violation produces a verdict.
+func (s *Server) quarantine(id action.ClientID, reason integrity.Violation, seq, detail uint64) {
+	l := s.ledgerOf(id)
+	if l.Quarantined {
+		return
+	}
+	l.Quarantined = true
+	s.quarantinedClients++
+	// Positions this origin stamped but never completed are abandoned —
+	// its future reports will be rejected — so mark them for server
+	// self-completion at install time rather than wedging the queue.
+	for _, e := range s.queue {
+		if e.env.Origin != id {
+			continue
+		}
+		if _, held := s.pendingRes[e.env.Seq]; held {
+			continue
+		}
+		s.pendingRes[e.env.Seq] = action.Result{}
+		s.selfComplete[e.env.Seq] = true
+	}
+	s.quarOut = append(s.quarOut, Reply{
+		To:      id,
+		Msg:     &wire.Quarantine{Reason: uint8(reason), Seq: seq, Detail: detail},
+		Deliver: Delivery{Class: DeliveryOrdered},
+	})
+	if qj, ok := s.journal.(QuarantineJournal); ok {
+		qj.ClientQuarantined(id, uint8(reason), seq)
+	}
+}
+
+// DrainQuarantines moves staged quarantine verdicts into out. The
+// single-lane completion path drains after each install cascade; the
+// shard router drains right after its install pass, before any stamp
+// replies — matching the effective log, where completions are recorded
+// ahead of the epoch's stamps, so replay emits verdicts in the same
+// per-client order.
+//
+//seve:lane-seal
+func (s *Server) DrainQuarantines(out *ServerOutput) {
+	if len(s.quarOut) == 0 {
+		return
+	}
+	out.Replies = append(out.Replies, s.quarOut...)
+	s.quarOut = s.quarOut[:0]
 }
 
 // noteClientPosition updates the server's view of the client's character
@@ -998,6 +1364,18 @@ func (s *Server) Metrics() metrics.ServerStats {
 		SnapshotFallbacks: s.snapshotFallbacks,
 		StaleCompletions:  s.staleCompletions,
 		ResumesRecovered:  s.resumesRecovered,
+
+		ForgedCompletions:  s.forgedCompletions,
+		ContractBreaches:   s.contractBreaches,
+		AuditsRun:          s.auditsRun,
+		AuditDivergences:   s.auditDivergences,
+		RepairedResults:    s.repairedResults,
+		QuarantinedClients: s.quarantinedClients,
+		QuarantineRejected: s.quarantineRejected,
+		OrphanCompletions:  s.orphanCompletions,
+		RateLimited:        s.rateLimited,
+		WriteSetViolations: s.writeSetViolations,
+		RadiusViolations:   s.radiusViolations,
 	}
 }
 

@@ -155,6 +155,10 @@ func (c *committer) append(j job) {
 		if rec, derr := decodeBatchRecord(body); derr == nil {
 			c.sh.retain(rec, true)
 		}
+	case recQuarantine:
+		if rec, derr := decodeQuarantineRecord(body); derr == nil {
+			c.sh.quarantine(rec)
+		}
 	}
 	if !c.failed && !c.gapped && c.sh.applied-c.lastCkpt >= c.s.opts.SnapshotEvery {
 		if err := c.checkpoint(); err != nil {
@@ -286,6 +290,16 @@ func (c *committer) publish() error {
 	for _, id := range ids {
 		sess := c.sh.sessions[action.ClientID(id)]
 		meta = appendMetaSess(meta, sess.walSession, sess.lastActSeq, sess.lastSeq, sess.ring)
+	}
+	// Quarantine verdicts re-bake into every lineage so they survive gc
+	// of the segment generation that first carried them.
+	qids := make([]int32, 0, len(c.sh.quarantined))
+	for id := range c.sh.quarantined {
+		qids = append(qids, int32(id))
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	for _, id := range qids {
+		meta = appendQuarantineRecord(meta, c.sh.quarantined[action.ClientID(id)])
 	}
 	if f := c.files[laneMeta]; f != nil {
 		f.Close()

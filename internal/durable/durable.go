@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -236,11 +237,12 @@ func Open(dir string, base *world.State, opts Options) (*Store, *Recovery, error
 	rec := &Recovery{
 		State: sh.state.Clone(),
 		Restore: core.RestoreState{
-			UpTo:       sh.applied,
-			NextBlind:  sh.nextBlind,
-			Boot:       s.boot,
-			SessionSeq: sh.sessionSeq,
-			Sessions:   sessionRecords(sh),
+			UpTo:        sh.applied,
+			NextBlind:   sh.nextBlind,
+			Boot:        s.boot,
+			SessionSeq:  sh.sessionSeq,
+			Sessions:    sessionRecords(sh),
+			Quarantined: quarantineRecords(sh),
 		},
 	}
 
@@ -434,7 +436,27 @@ func (s *Store) BatchRetained(id action.ClientID, b *wire.Batch) {
 	s.send(job{op: opAppend, lane: laneMeta, buf: buf})
 }
 
-var _ core.Journal = (*Store)(nil)
+// ClientQuarantined implements core.QuarantineJournal. Verdicts never
+// shed: losing one would let a quarantined cheater launder its ledger
+// through a crash-restart. Like session records they are rare — at most
+// one per client — so the blocking send is cheap even under
+// DegradeShed. They ride the meta lineage and are re-baked into it at
+// every checkpoint.
+func (s *Store) ClientQuarantined(id action.ClientID, reason uint8, seq uint64) {
+	buf := wire.GetBuf(32)
+	buf = appendQuarantineRecord(buf, walQuarantine{id: id, reason: reason, seq: seq})
+	j := job{op: opAppend, lane: laneMeta, buf: buf}
+	select {
+	case s.jobs <- j:
+	case <-s.stopc:
+		wire.PutBuf(j.buf)
+	}
+}
+
+var (
+	_ core.Journal           = (*Store)(nil)
+	_ core.QuarantineJournal = (*Store)(nil)
+)
 
 // sessionRecords converts the recovered shadow sessions into the
 // engine's RestoreState form, applying the clean-window gate: the
@@ -462,6 +484,20 @@ func sessionRecords(sh *shadow) []core.SessionRecord {
 		}
 		out = append(out, sr)
 	}
+	return out
+}
+
+// quarantineRecords converts the recovered quarantine set into the
+// engine's RestoreState form, ordered by client id for determinism.
+func quarantineRecords(sh *shadow) []core.QuarantineRecord {
+	if len(sh.quarantined) == 0 {
+		return nil
+	}
+	out := make([]core.QuarantineRecord, 0, len(sh.quarantined))
+	for _, q := range sh.quarantined {
+		out = append(out, core.QuarantineRecord{ID: q.id, Reason: q.reason, Seq: q.seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

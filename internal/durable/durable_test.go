@@ -471,6 +471,62 @@ func TestSessionRecovery(t *testing.T) {
 	}
 }
 
+// TestQuarantineRecovery: verdicts journaled before AND after a
+// checkpoint both survive a crash-restart — the checkpoint re-bakes
+// the set into the fresh meta lineage so gc of the original segment
+// generation cannot lose them, and the first verdict per client wins
+// across replays.
+func TestQuarantineRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.SessionOpen(7, 0xBEEF, 0, 1, 0)
+	commit(s, 1, 0, 7, 1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
+	s.ClientQuarantined(3, 2, 1) // before the checkpoint: must re-bake
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.ClientQuarantined(9, 3, 2) // after: rides the meta tail
+	s.ClientQuarantined(3, 6, 5) // duplicate: the first verdict stands
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash := crashCopy(t, dir)
+
+	s2, rec, err := Open(crash, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rec.Restore.Quarantined
+	if len(q) != 2 {
+		t.Fatalf("quarantined = %+v, want clients 3 and 9", q)
+	}
+	if q[0].ID != 3 || q[0].Reason != 2 || q[0].Seq != 1 {
+		t.Fatalf("client 3 verdict = %+v, want first verdict (reason 2, seq 1)", q[0])
+	}
+	if q[1].ID != 9 || q[1].Reason != 3 || q[1].Seq != 2 {
+		t.Fatalf("client 9 verdict = %+v", q[1])
+	}
+	// The sanitizing reopen checkpointed: a second crash-restart (after
+	// gc had every chance to run) still holds the set.
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, rec3, err := Open(crash, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if len(rec3.Restore.Quarantined) != 2 {
+		t.Fatalf("verdicts lost across second restart: %+v", rec3.Restore.Quarantined)
+	}
+}
+
 // TestDirtyWindowDropped: a retained batch referencing an install
 // point the crash lost makes the window dirty — the session survives
 // but resumes by snapshot (Retained nil).
@@ -674,8 +730,10 @@ func FuzzRecover(f *testing.F) {
 	commit(s, 1, 0, 7, 1, action.Result{OK: true, Writes: []world.Write{write(1, 1)}})
 	retainBatch(s, 7, 1, 0)
 	commit(s, 2, 0, 7, 2, action.Result{OK: true, Writes: []world.Write{write(2, 2)}})
+	s.ClientQuarantined(5, 3, 2)
 	s.Checkpoint()
 	commit(s, 3, 0, 7, 3, action.Result{OK: true, Writes: []world.Write{write(1, 3)}})
+	s.ClientQuarantined(6, 4, 3)
 	s.Sync()
 	var seedSeg, seedSnap, seedMeta []byte
 	if snaps, metas, segs := scanDir(seedDir); len(snaps) > 0 && len(metas) > 0 && len(segs) > 0 {
@@ -717,6 +775,13 @@ func FuzzRecover(f *testing.F) {
 		}
 		if rec2.Restore.UpTo < upTo {
 			t.Fatalf("install point regressed: %d -> %d", upTo, rec2.Restore.UpTo)
+		}
+		// Quarantine verdicts only latch: the sanitizing open's boot
+		// checkpoint re-bakes whatever it recovered, so a reopen can
+		// never hold fewer verdicts.
+		if len(rec2.Restore.Quarantined) < len(rec.Restore.Quarantined) {
+			t.Fatalf("quarantine set shrank across reopen: %d -> %d",
+				len(rec.Restore.Quarantined), len(rec2.Restore.Quarantined))
 		}
 		st2.Close()
 	})

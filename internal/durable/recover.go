@@ -144,6 +144,10 @@ func recoverDir(dir string, opts Options) (*shadow, uint64, bool, error) {
 				if rec, err := decodeBatchRecord(body); err == nil {
 					sh.retain(rec, true)
 				}
+			case recQuarantine:
+				if rec, err := decodeQuarantineRecord(body); err == nil {
+					sh.quarantine(rec)
+				}
 			}
 			return true
 		})

@@ -22,6 +22,11 @@ type shadow struct {
 	sessionSeq uint64
 	sessions   map[action.ClientID]*shadowSession
 	window     int // retained-batch ring capacity per session
+	// quarantined latches integrity verdicts (DESIGN.md §16), first
+	// verdict per client wins. Independent of the session table: floors
+	// may be dropped conservatively on a messy recovery, but a verdict
+	// never is — keeping a cheater out is the safe direction.
+	quarantined map[action.ClientID]walQuarantine
 }
 
 type shadowSession struct {
@@ -42,9 +47,18 @@ type ringEntry struct {
 
 func newShadow(window int) *shadow {
 	return &shadow{
-		state:    world.NewState(),
-		sessions: make(map[action.ClientID]*shadowSession),
-		window:   window,
+		state:       world.NewState(),
+		sessions:    make(map[action.ClientID]*shadowSession),
+		window:      window,
+		quarantined: make(map[action.ClientID]walQuarantine),
+	}
+}
+
+// quarantine latches one verdict; replays of the same client keep the
+// first (the core ledger is idempotent the same way).
+func (sh *shadow) quarantine(rec walQuarantine) {
+	if _, dup := sh.quarantined[rec.id]; !dup {
+		sh.quarantined[rec.id] = rec
 	}
 }
 

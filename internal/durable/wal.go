@@ -24,6 +24,10 @@ package durable
 //	recMetaSess a session baked into a checkpoint: the recSession
 //	            fields plus lastActSeq(4) lastSeq(8) and the retained
 //	            ring nring(4) [clientSeq(8) plen(4) payload]...
+//	recQuarantine an integrity quarantine verdict (DESIGN.md §16):
+//	            cid(4) reason(1) seq(8) — appended to the meta lineage
+//	            live and re-baked into it at every checkpoint, so a
+//	            cheater cannot launder its ledger through a restart
 //
 // Writes inside commit entries and the snapshot-file body reuse the
 // seed encoding: id(8) nattr(2) attrs(8 each); snapshot files are
@@ -43,11 +47,12 @@ import (
 )
 
 const (
-	recCommit   = 1
-	recSession  = 2
-	recBatch    = 3
-	recMetaHdr  = 4
-	recMetaSess = 5
+	recCommit     = 1
+	recSession    = 2
+	recBatch      = 3
+	recMetaHdr    = 4
+	recMetaSess   = 5
+	recQuarantine = 6
 )
 
 // frameHdrLen is the reserved prefix sealRecord fills in.
@@ -287,6 +292,34 @@ func decodeBatchRecord(body []byte) (walRetained, error) {
 	}
 	r.payload = body[17 : 17+n]
 	return r, nil
+}
+
+// walQuarantine is a decoded recQuarantine record.
+type walQuarantine struct {
+	id     action.ClientID
+	reason uint8
+	seq    uint64
+}
+
+func appendQuarantineRecord(buf []byte, q walQuarantine) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHdrLen)...)
+	buf = append(buf, recQuarantine)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.id))
+	buf = append(buf, q.reason)
+	buf = binary.LittleEndian.AppendUint64(buf, q.seq)
+	return sealRecord(buf, start)
+}
+
+func decodeQuarantineRecord(body []byte) (walQuarantine, error) {
+	if len(body) < 14 || body[0] != recQuarantine {
+		return walQuarantine{}, fmt.Errorf("durable: malformed quarantine record")
+	}
+	return walQuarantine{
+		id:     action.ClientID(int32(binary.LittleEndian.Uint32(body[1:]))),
+		reason: body[5],
+		seq:    binary.LittleEndian.Uint64(body[6:]),
+	}, nil
 }
 
 // walMetaHdr is a decoded recMetaHdr record.

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seve/internal/action"
+	"seve/internal/core"
+	"seve/internal/geom"
+	"seve/internal/metrics"
+	"seve/internal/shard"
+	"seve/internal/wire"
+	"seve/internal/world"
+)
+
+// Cheataudit measures what the semantic integrity layer (DESIGN.md §16)
+// costs and what it buys, per audit sample rate. For each rate the
+// table reports engine submits/s on an all-honest workload and the
+// overhead against an integrity-disabled baseline — the price of the
+// always-on validator plus the sampled re-executions — and, from a
+// separate run with cheating clients that tamper completion values
+// in-footprint (invisible to the cheap validator, only re-execution
+// catches them), the mean number of tampered completions a cheater
+// lands before the auditor quarantines it. The expected detection
+// latency is geometric, ~1/rate; rate 0 never detects value tampering
+// and anchors the curve.
+func Cheataudit(opt Options) (*metrics.Table, error) {
+	groups := pick(opt, 16, 8)
+	perGroup := pick(opt, 16, 8)
+	rounds := pick(opt, 30, 8)
+	reps := pick(opt, 3, 1)
+	cheaters := pick(opt, 16, 8)
+	maxTries := pick(opt, 400, 200)
+
+	type variant struct {
+		name     string
+		disabled bool
+		rate     float64
+	}
+	variants := []variant{
+		{"off", true, 0},
+		{"0.00", false, 0},
+		{"0.05", false, 0.05},
+		{"0.25", false, 0.25},
+		{"1.00", false, 1.0},
+	}
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Integrity audit cost and detection latency: %d groups × %d clients, %d rounds honest; %d value-tampering cheaters, detection capped at %d completions",
+			groups, perGroup, rounds, cheaters, maxTries),
+		Header: []string{"rate", "submits/s", "overhead", "audits", "audited", "detect@"},
+	}
+	// Untimed warm-up so the integrity-off baseline (which runs first)
+	// doesn't absorb the process's one-time costs.
+	if _, _, err := measureAuditedSubmit(groups, perGroup, min(rounds, 8), true, 0); err != nil {
+		return nil, err
+	}
+	base := 0.0
+	for _, v := range variants {
+		var persec float64
+		var ss metrics.ServerStats
+		for rep := 0; rep < reps; rep++ {
+			p, s, err := measureAuditedSubmit(groups, perGroup, rounds, v.disabled, v.rate)
+			if err != nil {
+				return nil, fmt.Errorf("cheataudit rate=%s: %w", v.name, err)
+			}
+			if p > persec {
+				persec, ss = p, s
+			}
+		}
+		if ss.QuarantinedClients != 0 || ss.AuditDivergences != 0 {
+			return nil, fmt.Errorf("cheataudit rate=%s: integrity fired on honest clients: %+v", v.name, ss)
+		}
+		if base == 0 {
+			base = persec
+		}
+		overhead := (base - persec) / base * 100
+
+		detect := "-"
+		if !v.disabled && v.rate > 0 {
+			mean, caught, err := measureDetectionLatency(cheaters, maxTries, v.rate)
+			if err != nil {
+				return nil, fmt.Errorf("cheataudit rate=%s: %w", v.name, err)
+			}
+			detect = fmt.Sprintf("%.1f", mean)
+			if caught < cheaters {
+				detect = fmt.Sprintf("%.1f (%d/%d)", mean, caught, cheaters)
+			}
+		}
+		audited := 0.0
+		if ss.CompletionsTaken > 0 {
+			audited = float64(ss.AuditsRun) / float64(ss.CompletionsTaken) * 100
+		}
+		t.AddRow(v.name, fmt.Sprintf("%.0f", persec),
+			fmt.Sprintf("%.1f%%", overhead),
+			fmt.Sprintf("%d", ss.AuditsRun),
+			fmt.Sprintf("%.1f%%", audited),
+			detect)
+		opt.log("cheataudit rate=%s submits/s=%.0f overhead=%.1f%% audits=%d detect=%s",
+			v.name, persec, overhead, ss.AuditsRun, detect)
+	}
+	return t, nil
+}
+
+// measureAuditedSubmit drives the conflict-dense group workload through
+// synchronized rounds on a single-lane engine — exactly as
+// measureDurableSubmit does, minus the journal — with the integrity
+// layer disabled or armed at the given audit rate. Every client is
+// honest, so the measured delta is pure enforcement overhead: the
+// per-completion contract/footprint checks plus the sampled
+// re-executions against ζS.
+func measureAuditedSubmit(groups, perGroup, rounds int, disabled bool, rate float64) (float64, metrics.ServerStats, error) {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeIncomplete
+	cfg.Threshold = 1e12
+	cfg.Shards = 1
+	cfg.ShardCellSize = 100
+	cfg.DisableIntegrity = disabled
+	cfg.AuditRate = rate
+
+	init := world.NewState()
+	hubOf := func(g int) world.ObjectID { return world.ObjectID(g*(perGroup+1) + 1) }
+	ownOf := func(g, i int) world.ObjectID { return world.ObjectID(g*(perGroup+1) + 2 + i) }
+	for g := 0; g < groups; g++ {
+		init.Set(hubOf(g), world.Value{0})
+		for i := 0; i < perGroup; i++ {
+			init.Set(ownOf(g, i), world.Value{0})
+		}
+	}
+
+	eng := shard.NewEngine(cfg, init)
+	if r, ok := eng.(*shard.Router); ok {
+		defer r.Close()
+	}
+	clients := groups * perGroup
+	for c := 1; c <= clients; c++ {
+		eng.RegisterClient(action.ClientID(c), 0)
+	}
+
+	mirror := init.Clone()
+	nextSeq := make([]uint32, clients+1)
+	pending := make([][]*wire.Completion, completionLag)
+	var engineTime time.Duration
+	nowMs := 0.0
+
+	for round := 0; round < rounds; round++ {
+		due := pending[0]
+		copy(pending, pending[1:])
+		pending[completionLag-1] = nil
+		start := time.Now()
+		for _, c := range due {
+			eng.HandleMsg(c.By, c, nowMs)
+		}
+		engineTime += time.Since(start)
+
+		acts := make(map[action.ID]*groupAction, clients)
+		var outs []core.ServerOutput
+		start = time.Now()
+		for c := 1; c <= clients; c++ {
+			cid := action.ClientID(c)
+			g := (c - 1) / perGroup
+			nextSeq[c]++
+			a := &groupAction{
+				id:  action.ID{Client: cid, Seq: nextSeq[c]},
+				hub: hubOf(g), own: ownOf(g, (c-1)%perGroup),
+				pos: geom.Vec{X: float64(g)*300 + 50, Y: float64(g)*300 + 50},
+			}
+			acts[a.id] = a
+			outs = append(outs, eng.HandleMsg(cid, &wire.Submit{Env: action.Envelope{Origin: cid, Act: a}}, nowMs))
+		}
+		if f, ok := eng.(core.Flusher); ok {
+			outs = append(outs, f.Flush())
+		}
+		engineTime += time.Since(start)
+		nowMs += 300
+
+		for _, out := range outs {
+			for _, rep := range out.Replies {
+				batch, ok := rep.Msg.(*wire.Batch)
+				if !ok {
+					continue
+				}
+				for _, env := range batch.Envs {
+					a, mine := acts[env.Act.ID()]
+					if !mine || env.Origin != rep.To {
+						continue
+					}
+					res := action.Eval(a, world.StateView{S: mirror})
+					for _, wr := range res.Writes {
+						mirror.Set(wr.ID, wr.Val)
+					}
+					pending[completionLag-1] = append(pending[completionLag-1],
+						&wire.Completion{Seq: env.Seq, By: rep.To, Res: res})
+					delete(acts, env.Act.ID())
+				}
+			}
+		}
+	}
+
+	total := float64(clients * rounds)
+	return total / engineTime.Seconds(), eng.Metrics(), nil
+}
+
+// measureDetectionLatency runs one value-tampering cheater per client
+// slot against a single-lane engine at the given audit rate and returns
+// the mean number of tampered completions accepted before the verdict,
+// plus how many cheaters were caught within the cap. Each cheater owns
+// a disjoint object pair, so its poison never leaks into another run's
+// region; the tampered value stays inside the declared write set, which
+// makes the cheap validator blind to it — detection is purely the
+// auditor's sampling, one geometric trial per completion.
+func measureDetectionLatency(cheaters, maxTries int, rate float64) (float64, int, error) {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeIncomplete
+	cfg.Threshold = 1e12
+	cfg.Shards = 1
+	cfg.ShardCellSize = 100
+	cfg.AuditRate = rate
+
+	init := world.NewState()
+	hubOf := func(g int) world.ObjectID { return world.ObjectID(g*2 + 1) }
+	ownOf := func(g int) world.ObjectID { return world.ObjectID(g*2 + 2) }
+	for g := 0; g < cheaters; g++ {
+		init.Set(hubOf(g), world.Value{0})
+		init.Set(ownOf(g), world.Value{0})
+	}
+
+	eng := shard.NewEngine(cfg, init)
+	if r, ok := eng.(*shard.Router); ok {
+		defer r.Close()
+	}
+	for c := 1; c <= cheaters; c++ {
+		eng.RegisterClient(action.ClientID(c), 0)
+	}
+
+	flush := func(outs []core.ServerOutput) []core.ServerOutput {
+		if f, ok := eng.(core.Flusher); ok {
+			outs = append(outs, f.Flush())
+		}
+		return outs
+	}
+
+	total, caught := 0, 0
+	nowMs := 0.0
+	for c := 1; c <= cheaters; c++ {
+		cid := action.ClientID(c)
+		g := c - 1
+		detected := false
+		for try := 1; try <= maxTries && !detected; try++ {
+			a := &groupAction{
+				id:  action.ID{Client: cid, Seq: uint32(try)},
+				hub: hubOf(g), own: ownOf(g),
+				pos: geom.Vec{X: float64(g)*300 + 50, Y: float64(g)*300 + 50},
+			}
+			var outs []core.ServerOutput
+			outs = append(outs, eng.HandleMsg(cid, &wire.Submit{Env: action.Envelope{Origin: cid, Act: a}}, nowMs))
+			outs = flush(outs)
+			nowMs += 300
+
+			var seq uint64
+			for _, out := range outs {
+				for _, rep := range out.Replies {
+					batch, ok := rep.Msg.(*wire.Batch)
+					if !ok || rep.To != cid {
+						continue
+					}
+					for _, env := range batch.Envs {
+						if env.Act.ID() == a.id {
+							seq = env.Seq
+						}
+					}
+				}
+			}
+			if seq == 0 {
+				return 0, 0, fmt.Errorf("cheater %d try %d: submission never stamped", c, try)
+			}
+
+			// In-footprint tampering: claim writes on exactly the
+			// declared set, with values the action could never produce.
+			forged := action.Result{OK: true, Writes: []world.Write{
+				{ID: a.hub, Val: world.Value{1e6 + float64(try)}},
+				{ID: a.own, Val: world.Value{1e6 + float64(try)}},
+			}}
+			outs = outs[:0]
+			outs = append(outs, eng.HandleMsg(cid, &wire.Completion{Seq: seq, By: cid, Res: forged}, nowMs))
+			outs = flush(outs)
+			nowMs += 300
+			for _, out := range outs {
+				for _, rep := range out.Replies {
+					if _, ok := rep.Msg.(*wire.Quarantine); ok && rep.To == cid {
+						total += try
+						caught++
+						detected = true
+					}
+				}
+			}
+		}
+		if !detected {
+			total += maxTries
+		}
+	}
+	if caught == 0 {
+		return float64(maxTries), 0, nil
+	}
+	return float64(total) / float64(cheaters), caught, nil
+}

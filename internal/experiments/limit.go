@@ -93,7 +93,7 @@ func measureServerRound(clients, rounds int) (float64, metrics.ServerStats, erro
 		// Completions from the previous round arrive first.
 		start := time.Now()
 		for _, c := range pendingCompletions {
-			srv.HandleCompletion(c)
+			srv.HandleCompletion(c.By, c)
 		}
 		serverTime += time.Since(start)
 		pendingCompletions = pendingCompletions[:0]

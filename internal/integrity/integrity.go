@@ -1,0 +1,211 @@
+// Package integrity enforces semantic integrity on untrusted clients,
+// after "Enforcing Semantic Integrity on Untrusted Clients in Networked
+// Virtual Environments" (cs/0503080) mapped onto this engine's action
+// model. Actions already declare read/write sets, so the server can
+// (a) cheaply validate every reported completion against the declared
+// WS ⊆ RS contract and the action's registered footprint, (b) re-execute
+// a deterministically sampled fraction of completions against ζS at
+// exactly their serial point and quarantine clients whose results
+// diverge, and (c) bound each client's influence — submit rate, write-set
+// size, influence-sphere radius.
+//
+// The package is deliberately a leaf: it knows actions and world state
+// but nothing about the engine, so the same checks serve core.Server,
+// shard.Router, and tests without import cycles. Everything here is
+// deterministic — sampling decisions derive from a per-session seed and
+// the serial position, never from wall clocks or math/rand — so the
+// audit schedule replays byte-identically through the effective log and
+// across crash-restart.
+package integrity
+
+import (
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+// Violation classifies an integrity failure. The zero value OK means no
+// violation. Codes travel in the wire.Quarantine verdict, so their
+// numeric values are part of the protocol and must stay stable.
+type Violation uint8
+
+const (
+	// OK is the absence of a violation.
+	OK Violation = iota
+	// ViolationContract: the action's declared sets break the WS ⊆ RS
+	// convention the conflict analysis is built on.
+	ViolationContract
+	// ViolationFootprint: a reported completion wrote an object outside
+	// the action's declared write set (a forged write).
+	ViolationFootprint
+	// ViolationAudit: a sampled re-execution against ζS diverged from
+	// the reported result (result tampering).
+	ViolationAudit
+	// ViolationReplay: a completion replayed for an already-installed
+	// position disagreed with the installed result.
+	ViolationReplay
+	// ViolationRate: the client exceeded its token-bucket submit rate.
+	ViolationRate
+	// ViolationWriteSet: the action's declared write set exceeded the
+	// per-client size cap.
+	ViolationWriteSet
+	// ViolationRadius: the action's influence sphere exceeded the
+	// per-client radius cap.
+	ViolationRadius
+	// ViolationQuarantined: a submission or completion arrived from a
+	// client already under quarantine.
+	ViolationQuarantined
+)
+
+// String names the violation for diagnostics.
+func (v Violation) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case ViolationContract:
+		return "contract"
+	case ViolationFootprint:
+		return "footprint"
+	case ViolationAudit:
+		return "audit"
+	case ViolationReplay:
+		return "replay"
+	case ViolationRate:
+		return "rate"
+	case ViolationWriteSet:
+		return "writeset"
+	case ViolationRadius:
+		return "radius"
+	case ViolationQuarantined:
+		return "quarantined"
+	}
+	return "unknown"
+}
+
+// Mix is the splitmix64 finalizer: a cheap bijective scrambler whose
+// output is uniform enough to treat as 64 random bits. The audit sampler
+// feeds it the session seed and the serial position.
+func Mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sample reports whether the completion at serial position seq is
+// audited under the given per-session seed and sampling rate. The
+// decision is a pure function of (seed, seq, rate): the same session
+// audits the same positions on every replay, so the effective log and a
+// crash-restarted server reproduce the identical audit schedule.
+func Sample(seed, seq uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	// Top 53 bits of the mixed hash as a uniform value in [0, 2^53),
+	// compared against rate scaled to the same range.
+	h := Mix(seed ^ Mix(seq))
+	return float64(h>>11) < rate*(1<<53)
+}
+
+// CheckContract reports whether the action honors the package-wide
+// WS ⊆ RS declaration convention (action.Action doc). A breach means the
+// conflict analysis the serializer ran on this action was unsound, so
+// the submitting client is lying about its footprint.
+func CheckContract(a action.Action) bool {
+	rs, ws := a.ReadSet(), a.WriteSet()
+	for _, id := range ws {
+		if !rs.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckFootprint verifies that every write in a reported result falls
+// inside the action's declared write set. It returns the first offending
+// object id and ok=false on a forged write.
+func CheckFootprint(res action.Result, ws world.IDSet) (world.ObjectID, bool) {
+	for _, w := range res.Writes {
+		if !ws.Contains(w.ID) {
+			return w.ID, false
+		}
+	}
+	return 0, true
+}
+
+// Audit re-executes the action against view — the server's own state at
+// exactly the action's serial point — and compares with the reported
+// result. Determinism of actions (Theorem 1) guarantees an honest
+// client's report matches, so any divergence is tampering. The returned
+// result is the server's authoritative evaluation; on divergence the
+// caller installs it in place of the forged report.
+func Audit(a action.Action, view world.View, reported action.Result) (action.Result, bool) {
+	got := action.Eval(a, view)
+	return got, got.Equal(reported)
+}
+
+// Bucket is a token bucket over the engine's millisecond clock. It
+// refills continuously at the configured rate up to the burst depth and
+// spends one token per submission. Time comes from the caller (the
+// engine's deterministic nowMs), never from the wall clock, so rate
+// verdicts replay identically through the effective log.
+type Bucket struct {
+	tokens float64
+	lastMs float64
+	primed bool
+}
+
+// Allow consumes one token at nowMs, refilling first. ratePerSec <= 0
+// means unlimited; burst < 1 is treated as a depth of 1.
+func (b *Bucket) Allow(nowMs, ratePerSec float64, burst int) bool {
+	if ratePerSec <= 0 {
+		return true
+	}
+	depth := float64(burst)
+	if depth < 1 {
+		depth = 1
+	}
+	if !b.primed {
+		b.tokens = depth
+		b.lastMs = nowMs
+		b.primed = true
+	}
+	if nowMs > b.lastMs {
+		b.tokens += (nowMs - b.lastMs) * ratePerSec / 1000
+		if b.tokens > depth {
+			b.tokens = depth
+		}
+		b.lastMs = nowMs
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Ledger is the server's per-client integrity state: the audit sampling
+// seed, the submit-rate bucket, and the quarantine latch. Ledgers
+// outlive connections (like the engine's slot bindings), so a cheater
+// cannot clear a verdict by reconnecting.
+type Ledger struct {
+	// Seed drives the deterministic audit sampling stream for this
+	// client's completions.
+	Seed uint64
+	// Bucket meters the client's submissions.
+	Bucket Bucket
+	// Quarantined latches the verdict; once set, every further
+	// submission and completion from the client is rejected.
+	Quarantined bool
+}
+
+// NewLedger returns a ledger with the given sampling seed.
+func NewLedger(seed uint64) *Ledger { return &Ledger{Seed: seed} }
+
+// ShouldAudit reports whether this client's completion at serial
+// position seq is audited at the given rate.
+func (l *Ledger) ShouldAudit(seq uint64, rate float64) bool {
+	return Sample(l.Seed, seq, rate)
+}

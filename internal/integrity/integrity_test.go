@@ -1,0 +1,258 @@
+package integrity
+
+import (
+	"testing"
+
+	"seve/internal/action"
+	"seve/internal/world"
+)
+
+// fakeAction is a minimal action with explicit declared sets and an
+// injectable body, for exercising the validator tables.
+type fakeAction struct {
+	id    action.ID
+	rs    world.IDSet
+	ws    world.IDSet
+	apply func(tx *world.Tx) bool
+}
+
+func (a *fakeAction) ID() action.ID         { return a.id }
+func (a *fakeAction) Kind() action.Kind     { return 999 }
+func (a *fakeAction) ReadSet() world.IDSet  { return a.rs }
+func (a *fakeAction) WriteSet() world.IDSet { return a.ws }
+func (a *fakeAction) MarshalBody() []byte   { return nil }
+func (a *fakeAction) Apply(tx *world.Tx) bool {
+	if a.apply == nil {
+		return true
+	}
+	return a.apply(tx)
+}
+
+// delegating wraps an inner action and forwards its set methods — the
+// "delegating set methods" shape from composed application actions. The
+// validator must see through the indirection transparently.
+type delegating struct{ inner action.Action }
+
+func (d delegating) ID() action.ID           { return d.inner.ID() }
+func (d delegating) Kind() action.Kind       { return d.inner.Kind() }
+func (d delegating) ReadSet() world.IDSet    { return d.inner.ReadSet() }
+func (d delegating) WriteSet() world.IDSet   { return d.inner.WriteSet() }
+func (d delegating) MarshalBody() []byte     { return d.inner.MarshalBody() }
+func (d delegating) Apply(tx *world.Tx) bool { return d.inner.Apply(tx) }
+
+func ids(xs ...world.ObjectID) world.IDSet { return world.NewIDSet(xs...) }
+
+func TestCheckContract(t *testing.T) {
+	span := make([]world.ObjectID, 0, 64)
+	for i := world.ObjectID(0); i < 64; i++ {
+		span = append(span, i*7)
+	}
+	cases := []struct {
+		name string
+		act  action.Action
+		want bool
+	}{
+		{"empty write set", &fakeAction{rs: ids(1, 2), ws: nil}, true},
+		{"empty both", &fakeAction{rs: nil, ws: nil}, true},
+		{"ws equals rs", &fakeAction{rs: ids(3, 4), ws: ids(3, 4)}, true},
+		{"ws strict subset", &fakeAction{rs: ids(1, 2, 3), ws: ids(2)}, true},
+		{"ws outside rs", &fakeAction{rs: ids(1, 2), ws: ids(3)}, false},
+		{"ws overlaps rs partially", &fakeAction{rs: ids(1, 2), ws: ids(2, 3)}, false},
+		{"blind-write shape ws only", &fakeAction{rs: nil, ws: ids(9)}, false},
+		{"delegating honest", delegating{&fakeAction{rs: ids(5, 6), ws: ids(5)}}, true},
+		{"delegating forged", delegating{&fakeAction{rs: ids(5), ws: ids(6)}}, false},
+		{"spanning action", &fakeAction{rs: world.NewIDSet(span...), ws: ids(7, 70, 441)}, true},
+		{"spanning with one stray", &fakeAction{rs: world.NewIDSet(span...), ws: ids(7, 8)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CheckContract(tc.act); got != tc.want {
+				t.Fatalf("CheckContract = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckFootprint(t *testing.T) {
+	w := func(id world.ObjectID) world.Write { return world.Write{ID: id, Val: world.Value{1}} }
+	cases := []struct {
+		name   string
+		res    action.Result
+		ws     world.IDSet
+		wantID world.ObjectID
+		wantOK bool
+	}{
+		{"empty writes", action.Result{OK: true}, ids(1), 0, true},
+		{"aborted no-op", action.Result{OK: false}, ids(1), 0, true},
+		{"writes within ws", action.Result{OK: true, Writes: []world.Write{w(1), w(2)}}, ids(1, 2, 3), 0, true},
+		{"forged write", action.Result{OK: true, Writes: []world.Write{w(1), w(4)}}, ids(1, 2), 4, false},
+		{"empty ws with writes", action.Result{OK: true, Writes: []world.Write{w(1)}}, nil, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id, ok := CheckFootprint(tc.res, tc.ws)
+			if ok != tc.wantOK || id != tc.wantID {
+				t.Fatalf("CheckFootprint = (%d, %v), want (%d, %v)", id, ok, tc.wantID, tc.wantOK)
+			}
+		})
+	}
+}
+
+// incr reads obj and writes obj+delta — a deterministic action whose
+// re-execution the auditor can check.
+func incr(obj world.ObjectID, delta float64) *fakeAction {
+	return &fakeAction{
+		rs: ids(obj), ws: ids(obj),
+		apply: func(tx *world.Tx) bool {
+			v, ok := tx.Read(obj)
+			if !ok {
+				return false
+			}
+			tx.Write(obj, world.Value{v[0] + delta})
+			return true
+		},
+	}
+}
+
+func TestAudit(t *testing.T) {
+	st := world.NewState()
+	st.Set(1, world.Value{10})
+	view := world.StateView{S: st}
+
+	honest := action.Eval(incr(1, 5), view)
+	if got, ok := Audit(incr(1, 5), view, honest); !ok {
+		t.Fatalf("honest report diverged: got %+v want %+v", got, honest)
+	}
+
+	tampered := honest.Clone()
+	tampered.Writes[0].Val = world.Value{999}
+	if got, ok := Audit(incr(1, 5), view, tampered); ok {
+		t.Fatal("tampered value escaped the auditor")
+	} else if !got.Equal(honest) {
+		t.Fatalf("auditor's authoritative result %+v != honest %+v", got, honest)
+	}
+
+	// Aborting action: OK=false on both sides matches; a report claiming
+	// success where the server's evaluation aborts diverges.
+	abort := incr(2, 1) // object 2 absent → Apply returns false
+	if _, ok := Audit(abort, view, action.Result{OK: false}); !ok {
+		t.Fatal("honest abort flagged as divergence")
+	}
+	if _, ok := Audit(abort, view, action.Result{OK: true}); ok {
+		t.Fatal("forged commit-where-abort escaped the auditor")
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	if Sample(42, 7, 0) {
+		t.Fatal("rate 0 must never sample")
+	}
+	if Sample(42, 7, -1) {
+		t.Fatal("negative rate must never sample")
+	}
+	if !Sample(42, 7, 1) || !Sample(42, 7, 2) {
+		t.Fatal("rate >= 1 must always sample")
+	}
+}
+
+// TestSampleDeterminismPin: the audit schedule is a pure function of
+// (seed, seq, rate) — two ledgers with the same seed agree on every
+// position, and the empirical rate lands near the configured one.
+func TestSampleDeterminismPin(t *testing.T) {
+	const rate = 0.25
+	a, b := NewLedger(Mix(7)), NewLedger(Mix(7))
+	other := NewLedger(Mix(8))
+	hits, differs := 0, false
+	for seq := uint64(1); seq <= 20000; seq++ {
+		da := a.ShouldAudit(seq, rate)
+		if db := b.ShouldAudit(seq, rate); da != db {
+			t.Fatalf("same seed diverged at seq %d", seq)
+		}
+		if da != other.ShouldAudit(seq, rate) {
+			differs = true
+		}
+		if da {
+			hits++
+		}
+	}
+	if !differs {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+	if hits < 4500 || hits > 5500 {
+		t.Fatalf("empirical rate %d/20000 far from 0.25", hits)
+	}
+}
+
+func TestMixScrambles(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for x := uint64(0); x < 1000; x++ {
+		h := Mix(x)
+		if seen[h] {
+			t.Fatalf("collision at %d", x)
+		}
+		seen[h] = true
+	}
+}
+
+func TestBucket(t *testing.T) {
+	var b Bucket
+	// Unlimited rate never blocks and never primes.
+	for i := 0; i < 100; i++ {
+		if !b.Allow(float64(i), 0, 1) {
+			t.Fatal("unlimited rate blocked")
+		}
+	}
+	// Burst depth spends down, then refills at the configured rate.
+	var m Bucket
+	for i := 0; i < 3; i++ {
+		if !m.Allow(1000, 10, 3) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if m.Allow(1000, 10, 3) {
+		t.Fatal("empty bucket allowed a submission")
+	}
+	// 10/s → one token per 100ms.
+	if m.Allow(1050, 10, 3) {
+		t.Fatal("refill arrived early")
+	}
+	if !m.Allow(1100, 10, 3) {
+		t.Fatal("refill missing after 100ms")
+	}
+	// Refill caps at the burst depth.
+	if !m.Allow(100000, 10, 3) || !m.Allow(100000, 10, 3) || !m.Allow(100000, 10, 3) {
+		t.Fatal("bucket did not refill to depth")
+	}
+	if m.Allow(100000, 10, 3) {
+		t.Fatal("bucket exceeded burst depth")
+	}
+	// A zero burst is treated as depth 1; a backward clock never panics
+	// or refills.
+	var z Bucket
+	if !z.Allow(500, 1, 0) {
+		t.Fatal("first token at depth 1 denied")
+	}
+	if z.Allow(400, 1, 0) {
+		t.Fatal("backward clock minted a token")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	want := map[Violation]string{
+		OK:                   "ok",
+		ViolationContract:    "contract",
+		ViolationFootprint:   "footprint",
+		ViolationAudit:       "audit",
+		ViolationReplay:      "replay",
+		ViolationRate:        "rate",
+		ViolationWriteSet:    "writeset",
+		ViolationRadius:      "radius",
+		ViolationQuarantined: "quarantined",
+		Violation(200):       "unknown",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Fatalf("Violation(%d).String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}

@@ -90,6 +90,32 @@ type ServerStats struct {
 	FramesCoalesced   int
 	SnapshotFallbacks int
 	MaxStaleObjects   int
+
+	// Semantic integrity enforcement (internal/integrity, DESIGN.md
+	// §16). ContractBreaches counts completions for actions whose
+	// declared sets broke WS ⊆ RS; ForgedCompletions counts reported
+	// writes outside the declared write set; AuditsRun counts sampled
+	// (or repair-forced) re-executions against ζS, AuditDivergences the
+	// ones that disagreed with the report, and RepairedResults the
+	// positions installed from the server's own evaluation instead of
+	// the forged report. QuarantinedClients counts verdicts issued;
+	// QuarantineRejected counts submissions/completions refused from
+	// already-quarantined clients. RateLimited, WriteSetViolations, and
+	// RadiusViolations count influence-bound rejections.
+	// OrphanCompletions counts positions a quarantined origin abandoned
+	// that the server completed itself so the queue never wedges. An
+	// honest fleet reports zero everywhere except AuditsRun.
+	ContractBreaches   int
+	ForgedCompletions  int
+	AuditsRun          int
+	AuditDivergences   int
+	RepairedResults    int
+	QuarantinedClients int
+	QuarantineRejected int
+	OrphanCompletions  int
+	RateLimited        int
+	WriteSetViolations int
+	RadiusViolations   int
 }
 
 // Table renders the snapshot as a two-column table.
@@ -128,6 +154,17 @@ func (st ServerStats) Table() *Table {
 	row("frames coalesced", st.FramesCoalesced)
 	row("snapshot fallbacks", st.SnapshotFallbacks)
 	row("max stale objects", st.MaxStaleObjects)
+	row("contract breaches", st.ContractBreaches)
+	row("forged completions", st.ForgedCompletions)
+	row("audits run", st.AuditsRun)
+	row("audit divergences", st.AuditDivergences)
+	row("repaired results", st.RepairedResults)
+	row("quarantined clients", st.QuarantinedClients)
+	row("quarantine rejected", st.QuarantineRejected)
+	row("orphan completions", st.OrphanCompletions)
+	row("rate limited", st.RateLimited)
+	row("write-set violations", st.WriteSetViolations)
+	row("radius violations", st.RadiusViolations)
 	return t
 }
 

@@ -99,6 +99,7 @@ type churnHarness struct {
 	clients map[action.ClientID]*churnClient
 	order   []action.ClientID
 	init    *world.State
+	cfg     core.Config
 
 	violations []string
 	staleMsgs  int
@@ -106,6 +107,10 @@ type churnHarness struct {
 	// process (debugging aid for the durable variants).
 	trace   func(cl *churnClient, msg wire.Msg)
 	traceUp func(cl *churnClient, msg wire.Msg, stale bool)
+	// tamper, when set, rewrites a client's uplink messages after the
+	// stale-generation filter — the cheat-injection seam (cheat_test.go).
+	// Returning nil swallows the message.
+	tamper func(cl *churnClient, msg wire.Msg) wire.Msg
 	// bytes collects the per-client reply stream for the replay
 	// differential.
 	bytes map[action.ClientID][]byte
@@ -141,8 +146,12 @@ func newChurnHarness(t *testing.T, shards, nClients, nObjects int) *churnHarness
 // registers, so session opens are journaled from the very first mint —
 // the order the transport boot path guarantees.
 func newJournaledChurnHarness(t *testing.T, shards, nClients, nObjects int, j core.Journal) *churnHarness {
-	cfg := churnConfig(shards)
+	return newChurnHarnessCfg(t, churnConfig(shards), nClients, nObjects, j)
+}
 
+// newChurnHarnessCfg builds the harness around an explicit engine
+// configuration (the cheat matrix tightens bounds and audit rates).
+func newChurnHarnessCfg(t *testing.T, cfg core.Config, nClients, nObjects int, j core.Journal) *churnHarness {
 	// Clients run with GC off so the per-version oracle check stays
 	// exact: PruneBelow collapses a surviving stale version to the prune
 	// position, deliberately re-stamping it (the Incomplete World Model
@@ -162,6 +171,7 @@ func newJournaledChurnHarness(t *testing.T, shards, nClients, nObjects int, j co
 		eng:     shard.NewEngine(cfg, init),
 		clients: make(map[action.ClientID]*churnClient),
 		init:    init,
+		cfg:     cfg,
 		bytes:   make(map[action.ClientID][]byte),
 	}
 	var ok bool
@@ -183,6 +193,11 @@ func newJournaledChurnHarness(t *testing.T, shards, nClients, nObjects int, j co
 		if cm.gen != cl.gen {
 			h.staleMsgs++ // uplink traffic from a dead connection
 			return
+		}
+		if h.tamper != nil {
+			if cm.msg = h.tamper(cl, cm.msg); cm.msg == nil {
+				return
+			}
 		}
 		now := float64(h.k.Now())
 		var out core.ServerOutput
@@ -504,6 +519,22 @@ func verifyChurn(t *testing.T, h *churnHarness) {
 	if ss.ResumesRejected != 0 {
 		t.Errorf("%d resumes rejected with valid tokens", ss.ResumesRejected)
 	}
+
+	// Zero false positives: the integrity layer runs armed at the default
+	// audit rate through all of this churn — resume re-sends, duplicate
+	// completions, stale uplink traffic — and an honest fleet must come
+	// out with a spotless ledger (AuditsRun alone may move).
+	if ss.QuarantinedClients != 0 || ss.QuarantineRejected != 0 {
+		t.Errorf("honest churn quarantined: clients=%d rejected=%d", ss.QuarantinedClients, ss.QuarantineRejected)
+	}
+	if ss.ContractBreaches != 0 || ss.ForgedCompletions != 0 || ss.AuditDivergences != 0 || ss.RepairedResults != 0 {
+		t.Errorf("honest churn tripped the validator/auditor: breaches=%d forged=%d divergences=%d repaired=%d",
+			ss.ContractBreaches, ss.ForgedCompletions, ss.AuditDivergences, ss.RepairedResults)
+	}
+	if ss.RateLimited != 0 || ss.WriteSetViolations != 0 || ss.RadiusViolations != 0 || ss.OrphanCompletions != 0 {
+		t.Errorf("honest churn tripped the bounds: rate=%d ws=%d radius=%d orphans=%d",
+			ss.RateLimited, ss.WriteSetViolations, ss.RadiusViolations, ss.OrphanCompletions)
+	}
 }
 
 // verifyReplayDifferential replays the router's effective log through
@@ -514,12 +545,7 @@ func verifyReplayDifferential(t *testing.T, h *churnHarness) {
 	if !ok {
 		return // shards=1 already runs the single lane
 	}
-	cfg := core.DefaultConfig()
-	cfg.Mode = core.ModeIncomplete
-	cfg.Strict = true
-	cfg.RecordHistory = true
-	cfg.Threshold = 1e9
-	cfg.ResumeWindow = 2
+	cfg := h.cfg
 	cfg.DisableSharding = true
 
 	single := shard.NewEngine(cfg, h.init)

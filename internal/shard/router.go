@@ -448,6 +448,10 @@ func (r *Router) SnapshotCatchUp(id action.ClientID, nowMs float64) core.ServerO
 	return mergeOut(out, r.inner.SnapshotCatchUp(id, nowMs))
 }
 
+// Quarantined reports whether the inner engine holds an integrity
+// quarantine verdict against the client.
+func (r *Router) Quarantined(id action.ClientID) bool { return r.inner.Quarantined(id) }
+
 // Tick runs the First Bound push cycle over settled state: the epoch
 // flushes first (its actions belong to the push window), then the
 // inner scheduler takes over — its plan fan-out runs on the router's
@@ -488,6 +492,11 @@ func (r *Router) flushInto(out core.ServerOutput, cause *int) core.ServerOutput 
 	}
 	*cause++
 	r.installComps()
+	// Quarantine verdicts drain right after the install pass, before
+	// any stamp replies — completions are recorded in the effective log
+	// ahead of the epoch's stamps, so a single-lane replay of the log
+	// emits the verdicts in the same per-client order.
+	r.inner.DrainQuarantines(&out)
 	if r.bufN == 0 {
 		return out
 	}
@@ -516,7 +525,7 @@ func (r *Router) installComps() {
 	start := time.Now()
 	for _, c := range r.comps {
 		r.record(LogEntry{From: c.from, Msg: c.m, NowMs: c.nowMs})
-		r.inner.TakeCompletion(c.m)
+		r.inner.TakeCompletion(c.from, c.m)
 	}
 	r.comps = r.comps[:0]
 	var taskNs []int64

@@ -194,6 +194,13 @@ func (c *Client) Run() error {
 		if err := c.deliver(conn, out); err != nil {
 			return err
 		}
+		if q, ok := msg.(*wire.Quarantine); ok {
+			// Integrity verdict (DESIGN.md §16): the session is over for
+			// good — the server ignores this ledger's traffic and refuses
+			// its resumes — so stop here instead of burning the reconnect
+			// budget against guaranteed rejections.
+			return quarantinedError{reason: q.Reason}
+		}
 	}
 }
 
@@ -284,6 +291,9 @@ func (c *Client) resumeLoop() error {
 			if _, permanent := err.(resumeRejectedError); permanent {
 				return err
 			}
+			if _, permanent := err.(quarantinedError); permanent {
+				return err
+			}
 			continue
 		}
 		return nil
@@ -296,6 +306,16 @@ func (c *Client) resumeLoop() error {
 type resumeRejectedError struct{}
 
 func (resumeRejectedError) Error() string { return "resume rejected (token unknown or stale)" }
+
+// quarantinedError marks a server integrity verdict (wire.Quarantine):
+// the session is permanently over — the server silently ignores the
+// ledger's traffic and refuses its resumes — so reconnecting is
+// pointless.
+type quarantinedError struct{ reason uint8 }
+
+func (e quarantinedError) Error() string {
+	return fmt.Sprintf("quarantined by server (integrity violation %d)", e.reason)
+}
 
 // resumeOnce performs one Resume/CatchUp handshake.
 func (c *Client) resumeOnce() error {
@@ -314,6 +334,10 @@ func (c *Client) resumeOnce() error {
 	if err != nil {
 		conn.Close()
 		return err
+	}
+	if q, ok := msg.(*wire.Quarantine); ok {
+		conn.Close()
+		return quarantinedError{reason: q.Reason}
 	}
 	cu, ok := msg.(*wire.CatchUp)
 	if !ok {

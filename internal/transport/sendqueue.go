@@ -55,6 +55,12 @@ type SendQueue struct {
 	sup      bool
 	closed   bool
 	wantSnap bool
+	// poisoned marks the queue for disconnect-after-drain (integrity
+	// quarantine, DESIGN.md §16): frames enqueued before the poison —
+	// the Quarantine verdict among them — still deliver, later enqueues
+	// are refused, and the writer pump hangs the connection up once the
+	// queue runs dry.
+	poisoned bool
 	// stale accumulates the covered-object footprints of frames enqueued
 	// while the client was already behind (≥1 undelivered frame). It
 	// resets when the queue drains — the client caught up.
@@ -182,8 +188,9 @@ func (q *SendQueue) addStale(d core.Delivery, behind bool) {
 // metadata, consuming the caller's reference whatever the verdict.
 func (q *SendQueue) Enqueue(f *wire.Frame, d core.Delivery) Verdict {
 	q.mu.Lock()
-	if q.closed {
+	if q.closed || q.poisoned {
 		q.mu.Unlock()
+		//seve:vet-ignore deliveryclass a poisoned queue belongs to a quarantined client: nothing after the verdict may deliver, ordered or not, so dropping here is the contract
 		f.Release()
 		return Closed
 	}
@@ -334,6 +341,27 @@ func (q *SendQueue) PopAll(dst []*wire.Frame, maxBytes int) []*wire.Frame {
 	}
 	q.mu.Unlock()
 	return dst
+}
+
+// PoisonAfterDrain marks the queue for disconnect-after-drain: every
+// frame already queued (the Quarantine verdict among them) still
+// delivers, further Enqueues are refused like Closed, and once the
+// queue runs dry Poisoned reports true — the writer pump's cue to
+// close the connection. Idempotent.
+func (q *SendQueue) PoisonAfterDrain() {
+	q.mu.Lock()
+	q.poisoned = true
+	q.mu.Unlock()
+	q.wake()
+}
+
+// Poisoned reports whether PoisonAfterDrain ran and the queue has
+// drained — everything enqueued before the poison has been popped, so
+// the connection may be closed without losing the verdict.
+func (q *SendQueue) Poisoned() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.poisoned && len(q.items) == 0
 }
 
 // Close releases every queued frame and marks the queue dead: future

@@ -116,9 +116,12 @@ type serverEvent struct {
 	leave bool
 	// resume is non-nil when a connection opened with a Resume handshake
 	// instead of Hello; resumed receives the resolved id (0 = rejected)
-	// once the engine has answered and the writer is registered.
+	// once the engine has answered and the writer is registered. A
+	// rejection carries the verdict message the connection should write
+	// before hanging up — CatchUp{OK: false} for unknown/stale tokens,
+	// the Quarantine verdict for a quarantined ledger.
 	resume  *wire.Resume
-	resumed chan action.ClientID
+	resumed chan resumeReply
 	// writeQ identifies the connection behind a resume or leave: the
 	// resume case registers it as the client's writer; the leave case
 	// tears the client down only if this queue is still the registered
@@ -333,7 +336,7 @@ func (s *Server) handleEvent(ev serverEvent) {
 func (s *Server) handleResume(ev serverEvent) {
 	r, ok := s.engine.(core.Resumer)
 	if !ok {
-		ev.resumed <- 0
+		ev.resumed <- resumeReply{reject: &wire.CatchUp{}}
 		return
 	}
 	s.mu.Lock()
@@ -348,10 +351,27 @@ func (s *Server) handleResume(ev serverEvent) {
 		s.writers[cid] = ev.writeQ
 	}
 	s.mu.Unlock()
-	ev.resumed <- cid
 	if cid != 0 {
+		ev.resumed <- resumeReply{id: cid}
 		s.dispatch(out)
+		return
 	}
+	// Rejected: relay the engine's verdict (addressed To: 0 — this
+	// connection) so a quarantined client hears the Quarantine reason
+	// rather than a generic stale-token CatchUp.
+	reject := wire.Msg(&wire.CatchUp{})
+	if len(out.Replies) == 1 {
+		reject = out.Replies[0].Msg
+	}
+	ev.resumed <- resumeReply{reject: reject}
+}
+
+// resumeReply is the engine's answer to a Resume handshake: the
+// resolved client id, or (id 0) the rejection verdict to write before
+// hanging up.
+type resumeReply struct {
+	id     action.ClientID
+	reject wire.Msg
 }
 
 // dispatch fans an engine output out to the writers, then settles any
@@ -448,6 +468,14 @@ func (s *Server) dispatchReplies(reps []core.Reply) []action.ClientID {
 			// from stalling the world.
 			s.cfg.Logf("transport: client %d write queue full; dropping message", rep.To)
 		}
+		if _, isQuar := rep.Msg.(*wire.Quarantine); isQuar {
+			// Integrity verdict: the client hears why, then the writer
+			// pump hangs up. The reader's leave event unregisters the
+			// engine-side client; the quarantined ledger itself survives
+			// both the unregister and any later resume attempt.
+			q.PoisonAfterDrain()
+			s.cfg.Logf("transport: client %d quarantined; disconnecting", rep.To)
+		}
 	}
 	return needSnap
 }
@@ -498,17 +526,19 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		s.cfg.Logf("transport: client %d joined from %s", id, conn.RemoteAddr())
 	case *wire.Resume:
-		resumed := make(chan action.ClientID, 1)
+		resumed := make(chan resumeReply, 1)
 		select {
 		case s.events <- serverEvent{resume: h, resumed: resumed, writeQ: writeQ}:
 		case <-s.done:
 			return
 		}
-		id = <-resumed
+		rr := <-resumed
+		id = rr.id
 		if id == 0 {
-			// Unknown or stale token: say so and hang up. The client
-			// treats this as permanent and surfaces a violation.
-			_ = wire.WriteFrame(conn, &wire.CatchUp{})
+			// Unknown/stale token or quarantined ledger: write the
+			// engine's verdict and hang up. The client treats either as
+			// permanent and surfaces a violation.
+			_ = wire.WriteFrame(conn, rr.reject)
 			s.cfg.Logf("transport: resume rejected from %s", conn.RemoteAddr())
 			return
 		}
@@ -555,6 +585,13 @@ func (s *Server) handleConn(conn net.Conn) {
 					}
 				}
 				if writeQ.IsClosed() {
+					return
+				}
+				if writeQ.Poisoned() {
+					// Quarantine verdict delivered; hang up. The closed
+					// conn errors the reader pump, whose leave event
+					// unregisters the client.
+					conn.Close()
 					return
 				}
 			case <-connDone:

@@ -32,6 +32,14 @@ func FuzzDecode(f *testing.F) {
 	// drop counts must be rejected before allocation.
 	f.Add(byte(TypeResume), []byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(byte(TypeCatchUp), []byte{3, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 255, 255, 255, 255})
+	// Hostile quarantine verdicts: truncated at every boundary of the
+	// fixed 17-byte layout, and an unknown reason code (decodes fine —
+	// reason semantics live in internal/integrity, not the codec).
+	f.Add(byte(TypeQuarantine), []byte{})
+	f.Add(byte(TypeQuarantine), []byte{3})
+	f.Add(byte(TypeQuarantine), []byte{3, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(byte(TypeQuarantine), []byte{3, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0})
+	f.Add(byte(TypeQuarantine), []byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
 
 	f.Fuzz(func(t *testing.T, typ byte, data []byte) {
 		m, err := Decode(MsgType(typ), data)

@@ -45,6 +45,7 @@ func sampleMsgs() []Msg {
 			DroppedActs:   []action.ID{{Client: 2, Seq: 6}},
 			Writes:        []world.Write{{ID: 3, Val: world.Value{1.5, -2}}},
 		},
+		&Quarantine{Reason: 2, Seq: 31, Detail: 7},
 	}
 }
 

@@ -31,6 +31,7 @@ const (
 	TypeRelay      MsgType = 8 // server → relay client → peers: hybrid P2P push delegation (Section VII)
 	TypeResume     MsgType = 9 // client → server: reconnect with session token + last applied batch
 	TypeCatchUp    MsgType = 10 // server → client: resume verdict + catch-up seed (suffix or snapshot)
+	TypeQuarantine MsgType = 11 // server → client: integrity quarantine verdict; the connection closes after it
 )
 
 // Msg is any protocol message. WireSize reports the exact encoded size in
@@ -270,6 +271,30 @@ func (m *CatchUp) Type() MsgType { return TypeCatchUp }
 func (m *CatchUp) WireSize() int {
 	return 1 + 8 + 8 + 8 + 8 + 4 + 4 + 8*len(m.DroppedActs) + writesSize(m.Writes)
 }
+
+// Quarantine is the server's final verdict on a client that violated
+// semantic integrity (internal/integrity): a forged write set, a
+// tampered completion result, or a replayed completion that disagrees
+// with the installed history. The verdict is the last message the client
+// receives — the transport closes the connection after delivering it,
+// and the session token is dead (resume and rejoin are rejected while
+// the ledger stays quarantined).
+type Quarantine struct {
+	// Reason is the integrity.Violation code.
+	Reason uint8
+	// Seq is the serial position of the offending completion; zero when
+	// the violation was not tied to a position.
+	Seq uint64
+	// Detail carries reason-specific evidence (the forged object id for
+	// footprint violations); zero otherwise.
+	Detail uint64
+}
+
+// Type returns TypeQuarantine.
+func (m *Quarantine) Type() MsgType { return TypeQuarantine }
+
+// WireSize returns the encoded size.
+func (m *Quarantine) WireSize() int { return 1 + 8 + 8 }
 
 // writesSize is the encoded size of a writes section: count(4) +
 // records (id(8) len(2) attrs).
@@ -526,6 +551,10 @@ func appendMsgCached(buf []byte, msg Msg, c *EncodeCache) []byte {
 			buf = binary.LittleEndian.AppendUint32(buf, id.Seq)
 		}
 		return appendWrites(buf, m.Writes)
+	case *Quarantine:
+		buf = append(buf, m.Reason)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+		return binary.LittleEndian.AppendUint64(buf, m.Detail)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", msg))
 	}
@@ -701,6 +730,15 @@ func Decode(t MsgType, buf []byte) (Msg, error) {
 		}
 		m.Writes = ws
 		return m, nil
+	case TypeQuarantine:
+		if len(buf) < 17 {
+			return nil, fmt.Errorf("wire: quarantine truncated")
+		}
+		return &Quarantine{
+			Reason: buf[0],
+			Seq:    binary.LittleEndian.Uint64(buf[1:]),
+			Detail: binary.LittleEndian.Uint64(buf[9:]),
+		}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

@@ -12,10 +12,12 @@
 # interest-churn stalls; see internal/experiments/adversarial.go), and
 # the durablecommit sweep from the durability PR (engine submit-path
 # overhead of the attached journal per fsync policy; see
-# internal/experiments/durablecommit.go).
+# internal/experiments/durablecommit.go), and the cheataudit sweep from
+# the integrity PR (enforcement overhead and cheat detection latency
+# per audit sample rate; see internal/experiments/cheataudit.go).
 #
 # Writes the raw `go test -bench` output and a JSON summary to
-# BENCH_PR9.json at the repo root. BenchmarkServerSubmit grows the
+# BENCH_PR10.json at the repo root. BenchmarkServerSubmit grows the
 # uncommitted queue monotonically (no completions), so it runs with a
 # pinned iteration count: letting benchtime ramp b.N would measure a
 # queue three orders of magnitude deeper than the seed baseline did.
@@ -27,12 +29,13 @@
 # the scalability projection.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 raw="$(mktemp)"
 sweep="$(mktemp)"
 adv="$(mktemp)"
 dur="$(mktemp)"
-trap 'rm -f "$raw" "$sweep" "$adv" "$dur"' EXIT
+aud="$(mktemp)"
+trap 'rm -f "$raw" "$sweep" "$adv" "$dur" "$aud"' EXIT
 
 go test -run '^$' -bench 'BenchmarkServerSubmit$' -benchmem -benchtime 10000x . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkClosureDeepQueue|BenchmarkTickManyClients' \
@@ -56,6 +59,12 @@ go run ./cmd/seve-bench -experiment adversarial -csv | tee "$adv"
 # journal attached under each fsync policy, best-of-3 per row; the
 # overhead column is relative to the journal=off baseline.
 go run ./cmd/seve-bench -experiment durablecommit -csv | tee "$dur"
+
+# The cheataudit sweep: honest-workload submits/s per audit sample rate
+# (overhead relative to the integrity-off baseline) and the mean number
+# of tampered completions a value-tampering cheater lands before the
+# sampled auditor quarantines it (~1/rate; "-" = never detected).
+go run ./cmd/seve-bench -experiment cheataudit -csv | tee "$aud"
 
 # Fold the benchmark lines into JSON: {"benchmarks": [{name, iterations,
 # ns_per_op, bytes_per_op, allocs_per_op}, ...], "shardscale":
@@ -104,6 +113,19 @@ BEGIN { printf "  \"durablecommit\": ["; n = 0 }
     printf "\n    {\"fsync\": \"%s\", \"submits_per_s\": %s, \"overhead_pct\": %s, \"group_commits\": %s, \"checkpoints\": %s, \"lag_at_end\": %s, \"drain_ms\": %s}",
         $1, $2, pct, $4, $5, $6, $7
 }
-END { print "\n  ]"; print "}" }
+END { print "\n  ],\n" }
 ' "$dur" >> "$out"
+awk -F, '
+BEGIN { printf "  \"cheataudit\": ["; n = 0 }
+/^(off|[0-9]+\.[0-9]+),/ {
+    ov = $3; sub(/%$/, "", ov)
+    ap = $5; sub(/%$/, "", ap)
+    det = $6; sub(/ .*/, "", det)
+    if (det == "-") det = "null"
+    if (n++) printf ","
+    printf "\n    {\"rate\": \"%s\", \"submits_per_s\": %s, \"overhead_pct\": %s, \"audits\": %s, \"audited_pct\": %s, \"detect_at\": %s}",
+        $1, $2, ov, $4, ap, det
+}
+END { print "\n  ]"; print "}" }
+' "$aud" >> "$out"
 echo "wrote $out"

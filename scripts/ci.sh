@@ -5,7 +5,9 @@
 # planning over goroutines and the shard router plans epochs on
 # persistent lane workers, so every change must pass -race, not just
 # plain `go test` — the -race run covers TestShardedEquivalence, the
-# sharded-vs-single-lane byte-identity differential;
+# sharded-vs-single-lane byte-identity differential, and the netsim
+# cheat-injection matrix (TestCheat*: every cheat class detected, zero
+# false quarantines on honest churn, across shards × seeds);
 # -shuffle=on keeps tests honest about shared state
 # (the wire pool is process-global); seve-vet enforces the action
 # read/write-set, pool-ownership, nocopy, determinism, lock-region,
@@ -48,3 +50,4 @@ cover_gate() {
 }
 cover_gate ./internal/core 90
 cover_gate ./internal/transport 75
+cover_gate ./internal/integrity 90
